@@ -1,0 +1,29 @@
+# Development convenience targets.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments report examples clean all
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner --out results/
+
+report:
+	$(PYTHON) -m repro.experiments.runner --report results/report.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+all: test bench experiments
+
+clean:
+	rm -rf results/ .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,118 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation switches one calibrated mechanism off (or sweeps it) and
+reports how the paper's effects move — evidence that the reproduced
+phenomena come from the modelled mechanisms, not incidental constants:
+
+* **queue wait-state advantage** — removing it erases most of SIMD's
+  superlinearity;
+* **DRAM refresh** — a second-order contribution to the same effect;
+* **multiplier entropy (b_max)** — moves the Figure 7 crossover;
+* **status-poll cost** — moves the MIMD efficiency gap;
+* **network byte latency** — moves everyone's communication, not the gap.
+"""
+
+import pytest
+
+from repro.core import DecouplingStudy, find_crossover
+from repro.machine import ExecutionMode, PrototypeConfig
+from repro.memory import RefreshModel
+
+BASE = PrototypeConfig.calibrated()
+
+
+def _efficiency(cfg, mode, n=256, p=4, **study_kw):
+    study = DecouplingStudy(cfg, **study_kw)
+    return study.efficiency(mode, n, p, engine="macro")
+
+
+def bench_ablation_queue_wait_states(benchmark):
+    """SIMD superlinearity ablation: no fetch advantage, no refresh."""
+
+    def run():
+        base = _efficiency(BASE, ExecutionMode.SIMD)
+        flat_cfg = BASE.with_overrides(
+            ws_main=0, ws_queue=0, refresh=RefreshModel(250, 0)
+        )
+        flat = _efficiency(flat_cfg, ExecutionMode.SIMD)
+        return base, flat
+
+    base, flat = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSIMD efficiency n=256: calibrated={base:.3f}, "
+          f"no-fetch-advantage={flat:.3f}")
+    # Without the fetch advantage, superlinearity shrinks substantially
+    # (control overlap alone keeps it slightly above the async modes).
+    assert flat < base
+
+
+def bench_ablation_multiplier_entropy(benchmark):
+    """Crossover vs b_max: more multiplier entropy, earlier crossover."""
+
+    def run():
+        points = []
+        for b_max in (16, 64, 256, 65536):
+            study = DecouplingStudy(BASE, b_max=b_max)
+            res = find_crossover(study, n=64, p=4, max_multiplies=60)
+            points.append((b_max, res.crossover))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\ncrossover vs b_max: " + ", ".join(
+        f"{bm}->{x:.1f}" for bm, x in points))
+    xs = [x for _, x in points]
+    assert xs[-1] < xs[0]  # full-width data decouples earliest
+
+
+def bench_ablation_status_poll_cost(benchmark):
+    """MIMD-vs-S/MIMD efficiency gap vs the calibrated poll cost."""
+
+    def run():
+        gaps = []
+        for ws_status in (1, 104):
+            cfg = BASE.with_overrides(ws_status=ws_status)
+            smimd = _efficiency(cfg, ExecutionMode.SMIMD)
+            mimd = _efficiency(cfg, ExecutionMode.MIMD)
+            gaps.append((ws_status, smimd - mimd))
+        return gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nS/MIMD−MIMD efficiency gap: " + ", ".join(
+        f"ws_status={w}: {g:.3f}" for w, g in gaps))
+    assert gaps[1][1] > gaps[0][1]
+
+
+def bench_ablation_network_latency(benchmark):
+    """Byte latency hits all parallel modes' communication, roughly alike."""
+
+    def run():
+        out = {}
+        for latency in (24, 200):
+            cfg = BASE.with_overrides(net_byte_latency=latency)
+            study = DecouplingStudy(cfg)
+            out[latency] = {
+                mode.value: study.run(mode, 64, 4, engine="macro").cycles
+                for mode in (ExecutionMode.SIMD, ExecutionMode.SMIMD)
+            }
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    slow, fast = out[200], out[24]
+    print(f"\nn=64 cycles at latency 24 vs 200: {fast} vs {slow}")
+    assert slow["simd"] > fast["simd"]
+    assert slow["smimd"] > fast["smimd"]
+
+
+def bench_ablation_refresh(benchmark):
+    """DRAM refresh contributes a measurable slice of the SIMD advantage."""
+
+    def run():
+        noref = BASE.with_overrides(refresh=RefreshModel(250, 0))
+        return (
+            _efficiency(BASE, ExecutionMode.SIMD),
+            _efficiency(noref, ExecutionMode.SIMD),
+        )
+
+    with_ref, without_ref = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nSIMD efficiency with/without refresh: {with_ref:.4f} / "
+          f"{without_ref:.4f}")
+    assert with_ref >= without_ref

@@ -1,0 +1,53 @@
+"""Engine benchmarks: how fast do the micro and macro engines run, and
+how much simulated work does each second of benchmarking buy?
+
+Not a paper exhibit, but the number that justifies the two-engine design:
+the micro engine simulates ~10⁵ instructions/s, the macro engine
+evaluates a full n=256 configuration in milliseconds.
+"""
+
+import numpy as np
+
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.programs import build_matmul, generate_matrices
+from repro.programs.loader import run_matmul
+from repro.timing_model import predict_matmul
+
+CFG = PrototypeConfig.calibrated()
+
+
+def bench_micro_engine_simd_n16(benchmark):
+    a, b = generate_matrices(16)
+    bundle = build_matmul(
+        ExecutionMode.SIMD, 16, 4, device_symbols=CFG.device_symbols()
+    )
+
+    def run():
+        machine = PASMMachine(CFG, partition_size=4)
+        return run_matmul(machine, bundle, a, b)
+
+    run_result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert run_result.result.instructions > 20_000
+
+
+def bench_micro_engine_mimd_n16(benchmark):
+    a, b = generate_matrices(16)
+    bundle = build_matmul(
+        ExecutionMode.MIMD, 16, 4, device_symbols=CFG.device_symbols()
+    )
+
+    def run():
+        machine = PASMMachine(CFG, partition_size=4)
+        return run_matmul(machine, bundle, a, b)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def bench_macro_engine_n256(benchmark):
+    _, b = generate_matrices(256)
+
+    def run():
+        return predict_matmul(ExecutionMode.SIMD, CFG, 256, 16, b=b)
+
+    pred = benchmark(run)
+    assert np.isfinite(pred.cycles)

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 11 (efficiency vs problem size, p=4)."""
+
+from conftest import report
+
+from repro.core import DecouplingStudy
+from repro.experiments import run_fig11
+
+
+def bench_fig11(benchmark):
+    def run():
+        return run_fig11(DecouplingStudy())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    report(result)
+    n, simd, smimd, mimd = result.rows[-1]
+    assert simd > 1.0  # superlinear SIMD
+    assert abs(smimd - 0.96) < 0.02
+    assert abs(mimd - 0.87) < 0.02

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 12 (efficiency vs number of PEs, n=64)."""
+
+from conftest import report
+
+from repro.core import DecouplingStudy
+from repro.experiments import run_fig12
+
+
+def bench_fig12(benchmark):
+    def run():
+        return run_fig12(DecouplingStudy())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    report(result)
+    for col in (1, 2, 3):
+        vals = [row[col] for row in result.rows]
+        assert vals == sorted(vals, reverse=True)  # efficiency falls with p

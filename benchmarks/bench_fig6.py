@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 6 (execution time vs problem size, p=8)."""
+
+from conftest import report
+
+from repro.core import DecouplingStudy
+from repro.experiments import run_fig6
+
+
+def bench_fig6(benchmark):
+    def run():
+        # Fresh study: benchmark the full sweep, not the memo cache.
+        return run_fig6(DecouplingStudy())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    report(result)
+    n, sisd, simd, smimd, mimd = result.rows[-1]
+    assert simd < smimd < mimd < sisd

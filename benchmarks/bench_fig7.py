@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 7 (the decoupling crossover, n=64, p=4)."""
+
+from conftest import report
+
+from repro.core import DecouplingStudy
+from repro.experiments import run_fig7
+
+
+def bench_fig7(benchmark):
+    def run():
+        return run_fig7(DecouplingStudy())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    report(result)
+    assert result.rows[0][3] == "SIMD"
+    assert result.rows[-1][3] == "S/MIMD"

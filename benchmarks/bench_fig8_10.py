@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Figures 8, 9 and 10 (component breakdowns)."""
+
+import pytest
+from conftest import report
+
+from repro.core import DecouplingStudy
+from repro.experiments import run_breakdown_figure
+
+
+@pytest.mark.parametrize("figure", ["fig8", "fig9", "fig10"])
+def bench_breakdowns(benchmark, figure):
+    def run():
+        return run_breakdown_figure(figure, DecouplingStudy())
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    report(result)
+    big = result.rows[-1]
+    if figure == "fig8":
+        assert big[4] > big[1]  # S/MIMD mult larger at 0 added multiplies
+    else:
+        assert big[4] < big[1]  # ... smaller at/after the crossover

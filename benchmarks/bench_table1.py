@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 1 (raw MIPS, SIMD vs MIMD).
+
+Runs the instruction-level micro engine: 16 PEs executing repeated
+straight-line blocks from the Fetch Unit Queue and from main memory.
+"""
+
+from conftest import report
+
+from repro.experiments import run_table1
+from repro.machine import PrototypeConfig
+
+
+def bench_table1(benchmark):
+    result = benchmark.pedantic(
+        run_table1, args=(PrototypeConfig.calibrated(),),
+        rounds=2, iterations=1,
+    )
+    report(result)
+    for _, simd, mimd, ratio in result.rows:
+        assert simd > mimd

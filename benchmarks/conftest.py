@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's exhibits and prints the
+same rows/series the paper reports (run with ``-s`` or check
+``bench_output.txt``).  A single study instance is shared so the serial
+baselines are computed once.
+"""
+
+import pytest
+
+from repro.core import DecouplingStudy
+
+
+@pytest.fixture(scope="session")
+def study():
+    return DecouplingStudy()
+
+
+def report(result) -> None:
+    """Print a reproduced exhibit beneath its benchmark."""
+    print()
+    print(result.render(plot=False))

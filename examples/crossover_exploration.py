@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Exploring the SIMD→MIMD decoupling tradeoff beyond the paper's single
+operating point.
+
+The paper measured one crossover: ≈14 added multiplies at n=64, p=4.
+With a model instead of a lab machine we can map the whole frontier —
+how the minimum profitable decoupling granularity moves with problem
+size, machine size, and the entropy of the data driving the
+variable-length instructions — and compare it against the first-order
+analytic prediction from the multiply-time order statistics.
+
+    python examples/crossover_exploration.py
+"""
+
+from repro.analysis import predicted_crossover
+from repro.core import DecouplingStudy, find_crossover
+from repro.machine import PrototypeConfig
+from repro.utils import format_table
+
+
+def sweep_problem_size(study: DecouplingStudy) -> None:
+    rows = []
+    for n in (16, 32, 64, 128, 256):
+        res = find_crossover(study, n=n, p=4, max_multiplies=60)
+        rows.append(
+            (n, n // 4, f"{res.crossover:.1f}" if res.found else "> 60")
+        )
+    print(format_table(
+        ["n", "columns/PE", "crossover (added multiplies)"], rows,
+        title="\nCrossover vs problem size (p=4) — more columns per PE "
+              "weaken the per-step re-coupling, so decoupling pays sooner",
+    ))
+
+
+def sweep_machine_size(study: DecouplingStudy) -> None:
+    rows = []
+    for p in (4, 8, 16):
+        res = find_crossover(study, n=64, p=p, max_multiplies=60)
+        rows.append((p, f"{res.crossover:.1f}" if res.found else "> 60"))
+    print(format_table(
+        ["p", "crossover (added multiplies)"], rows,
+        title="\nCrossover vs machine size (n=64) — the max over more PEs "
+              "grows, but so does the per-step skew the barrier re-couples",
+    ))
+
+
+def sweep_data_entropy(config: PrototypeConfig) -> None:
+    rows = []
+    for b_max in (16, 64, 256, 4096, 65536):
+        study = DecouplingStudy(config, b_max=b_max)
+        res = find_crossover(study, n=64, p=4, max_multiplies=80)
+        pred = predicted_crossover(config, b_max=b_max, p=4, cols=16)
+        rows.append(
+            (
+                b_max,
+                f"{res.crossover:.1f}" if res.found else "> 80",
+                f"{pred.crossover:.1f}",
+                f"{pred.benefit_per_multiply:.2f}",
+            )
+        )
+    print(format_table(
+        ["B value range", "model crossover", "analytic estimate",
+         "benefit/multiply (cycles)"],
+        rows,
+        title="\nCrossover vs multiplier entropy — the more the multiply "
+              "time varies, the earlier asynchronous execution wins",
+    ))
+
+
+def main() -> None:
+    config = PrototypeConfig.calibrated()
+    study = DecouplingStudy(config)
+    print("Paper's operating point: n=64, p=4 →",
+          f"crossover at {find_crossover(study).crossover:.1f} added "
+          "multiplies (paper: ≈14)")
+    sweep_problem_size(study)
+    sweep_machine_size(study)
+    sweep_data_entropy(config)
+
+
+if __name__ == "__main__":
+    main()

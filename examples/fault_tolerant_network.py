@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The Extra-Stage Cube's fault tolerance, demonstrated.
+
+The prototype's interconnection network is "a circuit-switched Extra-Stage
+Cube network, which is a fault-tolerant variation of the multistage cube
+network".  This example shows what the extra stage buys:
+
+1. route the matrix-multiplication shift permutation on a healthy network;
+2. fail an interior interchange box on one of its paths — the plain cube
+   is now stuck, the ESC reroutes through the exchanged extra-stage entry;
+3. verify single-fault tolerance exhaustively: any single interior box
+   fault leaves every source/destination pair connectable;
+4. run an actual byte transfer across the rerouted circuit in the event
+   simulation.
+
+    python examples/fault_tolerant_network.py
+"""
+
+from repro.errors import NetworkFaultError
+from repro.network import (
+    CircuitSwitchedNetwork,
+    ExtraStageCubeTopology,
+    Fault,
+    FaultKind,
+    NetworkFabric,
+    route,
+)
+from repro.sim import Environment
+
+N = 16
+
+
+def main() -> None:
+    topo = ExtraStageCubeTopology(N)
+    print(topo.describe())
+
+    # 1. Healthy network: the algorithm's shift permutation in one setting.
+    net = CircuitSwitchedNetwork(topo)
+    shift = {i: (i - 1) % N for i in range(N)}
+    circuits = net.allocate_permutation(shift)
+    print(f"\nhealthy: shift permutation routed, {len(circuits)} circuits, "
+          "zero conflicts")
+    net.release_all()
+
+    # 2. Fail a box on PE 5 -> PE 4's path.
+    victim = route(topo, 5, 4)
+    stage = 2  # an interior stage
+    fault = Fault(FaultKind.BOX, *topo.box_of(stage, victim.lines[stage]))
+    print(f"\ninjecting fault: interchange box {fault.stage}/{fault.line}")
+    try:
+        route(topo, 5, 4, faults={fault})
+        raise AssertionError("plain cube should be blocked")
+    except NetworkFaultError:
+        print("  plain cube (extra stage bypassed): 5 -> 4 unroutable")
+    detour = route(topo, 5, 4, faults={fault}, extra_stage_enabled=True)
+    print(f"  extra stage enabled: rerouted via "
+          f"{'exchanged' if detour.extra_exchanged else 'straight'} entry, "
+          f"lines {list(detour.lines)}")
+
+    # 3. Exhaustive single-fault tolerance over interior boxes.
+    checked = 0
+    for stage in range(1, topo.n_stages - 1):
+        for box in topo.boxes(stage):
+            f = Fault(FaultKind.BOX, *box)
+            for s in range(N):
+                for d in range(N):
+                    route(topo, s, d, faults={f}, extra_stage_enabled=True)
+                    checked += 1
+    print(f"\nsingle-fault tolerance: {checked} (fault, src, dst) "
+          "combinations all routable")
+
+    # 4. Byte transfer across the rerouted circuit, in simulated time.
+    env = Environment()
+    esc = CircuitSwitchedNetwork(topo, extra_stage_enabled=True,
+                                 faults={fault})
+    fabric = NetworkFabric(env, esc, byte_latency=24)
+    fabric.connect(5, 4)
+
+    def sender():
+        yield from fabric.ports[5].write_tx(0xAB)
+
+    def receiver():
+        value = yield from fabric.ports[4].read_rx()
+        return value, env.now
+
+    env.process(sender())
+    value, t = env.run(until=env.process(receiver()))
+    print(f"\ntransfer over the detour: byte {value:#04x} delivered at "
+          f"t={t:.0f} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Partitioned operation: independent virtual machines on one PASM.
+
+The "partitionable" in PASM: the 16 PEs and 4 MCs divide into independent
+virtual machines of various sizes and modes.  This example runs, *at the
+same simulated time on the same physical machine*:
+
+* VM A — MCs 0–1 (8 PEs): a 16×16 S/MIMD matrix multiplication;
+* VM B — MC 2 (4 PEs): an 8×8 SIMD matrix multiplication;
+* VM C — MC 3 (4 PEs): a MIMD ring token-exchange written in assembly.
+
+Both products are verified, and VM A's timing is shown to be identical to
+running it alone — the virtual machines really are independent.
+
+    python examples/partitioned_machine.py
+"""
+
+import numpy as np
+
+from repro.machine import (
+    ExecutionMode,
+    PASMMachine,
+    PartitionedMachine,
+    PrototypeConfig,
+)
+from repro.m68k.assembler import assemble
+from repro.programs import build_matmul, expected_product, generate_matrices
+from repro.programs.data import assemble_result, load_pe_matrices, read_pe_result
+
+CFG = PrototypeConfig.calibrated()
+
+RING_SRC = """
+        MOVE.W  #PEID,D0
+        ADD.W   #$500,D0
+        MOVE.W  SIMDSPACE,D7    ; barrier
+        MOVE.B  D0,NETTX
+        LSR.W   #8,D0
+        MOVE.B  D0,NETTX
+        MOVE.B  NETRX,D3
+        MOVE.B  NETRX,D4
+        LSL.W   #8,D4
+        MOVE.B  D3,D4
+        MOVE.W  D4,$4000
+        HALT
+"""
+
+
+def arm_matmul(pm, vm, mode, n, seed):
+    a, b = generate_matrices(n, seed=seed)
+    bundle = build_matmul(mode, n, vm.p, device_symbols=CFG.device_symbols())
+    for logical in range(vm.p):
+        load_pe_matrices(vm.pe(logical).memory, bundle.layout, logical, a, b)
+    vm.connect_shift_circuit()
+    if mode is ExecutionMode.SIMD:
+        pm.start(vm, mode, bundle.simd.mc_program, bundle.simd.blocks,
+                 bundle.simd.data_programs)
+    else:
+        pm.start(vm, mode, bundle.programs, bundle.sync_words)
+    return bundle, a, b
+
+
+def main() -> None:
+    pm = PartitionedMachine(CFG)
+    vm_a = pm.new_vm(8, first_mc=0)
+    vm_b = pm.new_vm(4, first_mc=2)
+    vm_c = pm.new_vm(4, first_mc=3)
+
+    bun_a, a1, b1 = arm_matmul(pm, vm_a, ExecutionMode.SMIMD, 16, seed=41)
+    bun_b, a2, b2 = arm_matmul(pm, vm_b, ExecutionMode.SIMD, 8, seed=42)
+
+    ring_programs = []
+    for logical in range(4):
+        symbols = dict(CFG.device_symbols())
+        symbols["PEID"] = logical
+        ring_programs.append(assemble(RING_SRC, predefined=symbols))
+    vm_c.connect_shift_circuit()
+    pm.start(vm_c, ExecutionMode.SMIMD, ring_programs, 1)
+
+    results = pm.run_all()
+
+    got_a = assemble_result(
+        [read_pe_result(vm_a.pe(i).memory, bun_a.layout) for i in range(8)]
+    )
+    got_b = assemble_result(
+        [read_pe_result(vm_b.pe(i).memory, bun_b.layout) for i in range(4)]
+    )
+    assert np.array_equal(got_a, expected_product(a1, b1))
+    assert np.array_equal(got_b, expected_product(a2, b2))
+    tokens = [vm_c.pe(lp).memory.read(0x4000, 2) for lp in range(4)]
+    assert tokens == [0x501, 0x502, 0x503, 0x500]
+
+    for idx, label in ((0, "A: 16x16 S/MIMD on 8 PEs"),
+                       (1, "B:  8x8  SIMD  on 4 PEs"),
+                       (2, "C:  ring exchange on 4 PEs")):
+        r = results[idx]
+        print(f"VM {label}: {r.cycles:>9.0f} cycles "
+              f"({r.seconds * 1e3:6.2f} ms), verified")
+
+    # Independence: VM A alone takes exactly as long.
+    alone = PASMMachine(CFG, partition_size=8, first_mc=0)
+    bundle = build_matmul(ExecutionMode.SMIMD, 16, 8,
+                          device_symbols=CFG.device_symbols())
+    for logical in range(8):
+        load_pe_matrices(alone.pe(logical).memory, bundle.layout, logical,
+                         a1, b1)
+    alone.connect_shift_circuit()
+    alone_result = alone.run_smimd(bundle.programs, bundle.sync_words)
+    assert alone_result.cycles == results[0].cycles
+    print(f"\nVM A alone: {alone_result.cycles:.0f} cycles — identical to "
+          "its co-resident run: the partitions are independent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: multiply two matrices on the simulated PASM prototype in
+all four execution modes and compare them.
+
+Runs the instruction-level micro engine at n=16 (verifying the numeric
+product against numpy) and the macro performance model at n=256 (the
+paper's largest size), printing speed-up and efficiency for each mode.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import DecouplingStudy
+from repro.machine import ExecutionMode
+from repro.utils import format_table
+
+MODES = (ExecutionMode.SIMD, ExecutionMode.SMIMD, ExecutionMode.MIMD)
+
+
+def report(study: DecouplingStudy, n: int, p: int, engine: str) -> None:
+    serial = study.serial_baseline(n, engine=engine)
+    rows = [("SISD", serial.seconds, 1.0, 1.0 / p, serial.engine, "-")]
+    for mode in MODES:
+        res = study.run(mode, n, p, engine=engine)
+        rows.append(
+            (
+                mode.label,
+                res.seconds,
+                serial.cycles / res.cycles,
+                study.efficiency(mode, n, p, engine=engine),
+                res.engine,
+                "exact product verified" if res.verified else "model",
+            )
+        )
+    print(
+        format_table(
+            ["mode", "time (s)", "speed-up", "efficiency", "engine", "check"],
+            rows,
+            title=f"\n{n}x{n} matrix multiplication on {p} PEs",
+        )
+    )
+
+
+def main() -> None:
+    study = DecouplingStudy()
+    # Small problem: full instruction-level simulation, results verified.
+    report(study, n=16, p=4, engine="micro")
+    # Paper-scale problem: the validated macro performance model.
+    report(study, n=256, p=4, engine="macro")
+    print(
+        "\nNote the paper's headline effects: SIMD is superlinear "
+        "(efficiency > 1/p·p = 1) at large n thanks to queue fetches and "
+        "MC control overlap; S/MIMD tracks SIMD closely by replacing "
+        "polling with queue barriers; pure MIMD pays for its polling."
+    )
+
+
+if __name__ == "__main__":
+    main()

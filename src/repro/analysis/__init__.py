@@ -1,0 +1,33 @@
+"""Analytical companions to the simulation: operation counts, multiply-time
+distributions, and first-order predictions of the paper's effects.
+
+These closed forms serve two purposes: they document *why* the measured
+curves look the way they do (O(n³/p) arithmetic vs O(n²) communication,
+order statistics of the multiply time), and they cross-check the macro
+model — tests assert the model agrees with them where they apply.
+"""
+
+from repro.analysis.orders import OperationCounts, count_operations
+from repro.analysis.statistics import (
+    mulu_cycle_pmf,
+    mulu_mean_cycles,
+    mulu_max_mean_cycles,
+    ones_pmf_uniform_range,
+)
+from repro.analysis.predictions import (
+    asymptotic_efficiency,
+    comm_to_compute_ratio,
+    predicted_crossover,
+)
+
+__all__ = [
+    "OperationCounts",
+    "count_operations",
+    "ones_pmf_uniform_range",
+    "mulu_cycle_pmf",
+    "mulu_mean_cycles",
+    "mulu_max_mean_cycles",
+    "predicted_crossover",
+    "asymptotic_efficiency",
+    "comm_to_compute_ratio",
+]

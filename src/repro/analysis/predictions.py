@@ -1,0 +1,106 @@
+"""First-order predictions of the paper's effects.
+
+These are back-of-envelope models — intentionally simpler than
+:mod:`repro.timing_model` — that explain the measured behaviour in a few
+terms.  Tests check that the full model lands near them, which guards both
+against regressions in the model and against the analysis drifting from
+the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.statistics import (
+    mulu_max_mean_cycles,
+    mulu_mean_cycles,
+    ones_std,
+)
+from repro.machine.config import PrototypeConfig
+
+
+@dataclass(frozen=True)
+class CrossoverPrediction:
+    """Decomposition of the first-order crossover estimate."""
+
+    fixed_advantage_per_iteration: float
+    benefit_per_multiply: float
+
+    @property
+    def crossover(self) -> float:
+        if self.benefit_per_multiply <= 0:
+            return float("inf")
+        return self.fixed_advantage_per_iteration / self.benefit_per_multiply
+
+
+def predicted_crossover(
+    config: PrototypeConfig,
+    *,
+    b_max: int,
+    p: int = 4,
+    cols: int = 16,
+) -> CrossoverPrediction:
+    """First-order estimate of the Figure 7 crossover.
+
+    SIMD's fixed advantage per inner-loop iteration: the PE-side loop
+    control it hides (a taken DBRA) plus the wait-state saving on the
+    body's instruction-stream words (≈3 words) plus the refresh exposure.
+
+    The benefit per added multiply: the max-vs-own gap of the multiply
+    time, minus the asynchronous fetch penalty of the multiply itself,
+    minus the share of the gap that the per-rotation-step barrier
+    re-coupling claws back (≈ 2.06·σ/√cols cycles, the expected max of p
+    near-normal step sums).
+    """
+    ws_gain = config.ws_main - config.ws_queue
+    refresh = config.refresh.average_stall_per_access
+    dbra_taken = 10 + 2 * config.ws_main + refresh
+    body_stream_words = 3
+    fixed = dbra_taken + body_stream_words * ws_gain + 2 * refresh
+
+    gap = mulu_max_mean_cycles(b_max, p) - mulu_mean_cycles(b_max)
+    fetch_penalty = ws_gain + refresh
+    recoupling = 2.06 * ones_std(b_max) / (cols**0.5)
+    benefit = gap - fetch_penalty - recoupling
+    return CrossoverPrediction(
+        fixed_advantage_per_iteration=fixed,
+        benefit_per_multiply=benefit,
+    )
+
+
+def comm_to_compute_ratio(n: int, p: int) -> float:
+    """O(n²) communication over O(n³/p) computation — falls as n grows,
+    which is why all three parallel curves converge (Figure 6) and
+    efficiency rises with problem size (Figure 11)."""
+    return (2 * n * n) / (n**3 / p)
+
+
+def asymptotic_efficiency(
+    config: PrototypeConfig, *, b_max: int, mode: str, p: int = 4
+) -> float:
+    """n→∞ efficiency limit from per-inner-iteration costs alone.
+
+    As n grows the O(n²) communication and O(n·…) bookkeeping vanish
+    relative to the O(n³/p) inner loop, so efficiency tends to the ratio
+    of serial to parallel *per-iteration* cost.  ``mode`` is ``"simd"``,
+    ``"smimd"``, or ``"mimd"`` (the latter two share a limit — they differ
+    only in communication, which vanishes).
+    """
+    ws = config.ws_main
+    refresh = config.refresh.average_stall_per_access
+    # Inner body: MOVE.W (A0)+,D0 / MULU D1,D0 / ADD.W D0,(A1)+ (+DBRA).
+    move = 8 + 2 * ws + 2 * refresh
+    add = 12 + 3 * ws + 3 * refresh
+    dbra = 10 + 2 * ws + refresh
+    mul_own = mulu_mean_cycles(b_max) + ws + refresh
+    serial_iter = move + add + dbra + mul_own
+
+    if mode == "simd":
+        ws_q = config.ws_queue
+        move_q = 8 + 1 * ws_q + 1 * ws + 2 * refresh / 2
+        add_q = 12 + 1 * ws_q + 2 * ws + refresh
+        mul_q = mulu_max_mean_cycles(b_max, min(p, 4)) + ws_q
+        return serial_iter / (move_q + add_q + mul_q)
+    if mode in ("smimd", "mimd"):
+        return serial_iter / (move + add + dbra + mul_own)
+    raise ValueError(f"unknown mode {mode!r}")

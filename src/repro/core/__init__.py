@@ -1,0 +1,37 @@
+"""Core API: the SIMD/MIMD decoupling study.
+
+This package is the library's front door.  It wraps the substrates
+(machine simulator + macro timing model) behind one facade,
+:class:`~repro.core.study.DecouplingStudy`, and provides the paper's
+analysis vocabulary:
+
+* the mode equations (:mod:`~repro.core.equations`):
+  ``T_SIMD = Σ_j max_k t_jk`` and ``T_MIMD = max_k Σ_j t_jk``;
+* speed-up and efficiency (:mod:`~repro.core.metrics`), with the paper's
+  definition ``efficiency = T_serial / (p · T_parallel)`` under which
+  SIMD mode exceeds unity ("superlinear speed-up");
+* the decoupling crossover finder (:mod:`~repro.core.crossover`): the
+  minimum number of variable-execution-time operations per inner loop at
+  which asynchronous (S/MIMD) execution beats synchronous (SIMD)
+  broadcast.
+"""
+
+from repro.core.crossover import CrossoverResult, decoupling_benefit_per_multiply, find_crossover
+from repro.core.equations import mimd_time, simd_time, t_mimd_never_exceeds_t_simd
+from repro.core.metrics import efficiency, speedup
+from repro.core.report import full_report
+from repro.core.study import DecouplingStudy, StudyResult
+
+__all__ = [
+    "DecouplingStudy",
+    "StudyResult",
+    "simd_time",
+    "mimd_time",
+    "t_mimd_never_exceeds_t_simd",
+    "speedup",
+    "efficiency",
+    "find_crossover",
+    "CrossoverResult",
+    "decoupling_benefit_per_multiply",
+    "full_report",
+]

@@ -1,0 +1,51 @@
+"""The paper's execution-time equations (Section 5.2).
+
+For K PEs each executing J instructions, with instruction j on PE k
+taking ``t[j, k]`` cycles:
+
+* SIMD mode synchronizes at *every* instruction, so
+  ``T_SIMD = Σ_j max_k t[j, k]``;
+* MIMD mode lets every PE run free, so
+  ``T_MIMD = max_k Σ_j t[j, k]``.
+
+"In general, T_MIMD ≤ T_SIMD" — proved here as a checked property (it is
+the rearrangement/max-sum inequality) and exploited by the S/MIMD hybrid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(times: np.ndarray) -> np.ndarray:
+    t = np.asarray(times, dtype=np.float64)
+    if t.ndim != 2:
+        raise ValueError(
+            f"instruction-time matrix must be (J instructions, K PEs); "
+            f"got shape {t.shape}"
+        )
+    if np.any(t < 0):
+        raise ValueError("instruction times must be non-negative")
+    return t
+
+
+def simd_time(times: np.ndarray) -> float:
+    """``T_SIMD``: the sum over instructions of the worst PE's time."""
+    t = _validate(times)
+    return float(t.max(axis=1).sum())
+
+
+def mimd_time(times: np.ndarray) -> float:
+    """``T_MIMD``: the worst PE's total time."""
+    t = _validate(times)
+    return float(t.sum(axis=0).max())
+
+
+def t_mimd_never_exceeds_t_simd(times: np.ndarray) -> bool:
+    """The paper's inequality; holds for every time matrix."""
+    return mimd_time(times) <= simd_time(times) + 1e-9
+
+
+def decoupling_gain(times: np.ndarray) -> float:
+    """``T_SIMD − T_MIMD``: what full decoupling saves for this workload."""
+    return simd_time(times) - mimd_time(times)

@@ -1,0 +1,164 @@
+"""The DecouplingStudy facade: run any configuration on either engine.
+
+A study object fixes the machine configuration and data-generation policy,
+then answers "how long does (mode, n, p, m) take and where does the time
+go?"  Engines:
+
+* ``"micro"`` — the instruction-level machine simulation (exact, produces
+  and verifies the numeric product; practical for n ≤ ~32);
+* ``"macro"`` — the vectorized performance model (validated against micro;
+  used for paper-scale sweeps);
+* ``"auto"`` — micro below :attr:`DecouplingStudy.micro_threshold`,
+  macro above.
+
+Results are memoised per configuration, so sweeps that revisit the serial
+baseline (every efficiency point does) pay for it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.m68k.timing import CYCLE_SECONDS
+from repro.core.metrics import efficiency as _efficiency
+from repro.core.metrics import speedup as _speedup
+from repro.programs import build_matmul, expected_product, generate_matrices
+from repro.programs.loader import run_matmul
+from repro.timing_model import predict_matmul
+from repro.utils.rng import DEFAULT_SEED
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """One timed configuration."""
+
+    mode: ExecutionMode
+    n: int
+    p: int
+    added_multiplies: int
+    cycles: float
+    breakdown: dict[str, float]
+    engine: str
+    verified: bool  #: micro runs verify the product matrix; macro is None-ish
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles * CYCLE_SECONDS
+
+
+class DecouplingStudy:
+    """Reproduction harness for the paper's experiments.
+
+    Parameters
+    ----------
+    config:
+        Machine parameters; defaults to the calibrated prototype.
+    seed:
+        Data-set seed ("the same data sets were used on all versions").
+    b_max:
+        Exclusive upper bound of the uniform B values (None = calibrated
+        default).
+    micro_threshold:
+        Largest n the ``auto`` engine runs on the micro simulator.
+    """
+
+    def __init__(
+        self,
+        config: PrototypeConfig | None = None,
+        *,
+        seed: int = DEFAULT_SEED,
+        b_max: int | None = None,
+        micro_threshold: int = 16,
+    ) -> None:
+        self.config = config or PrototypeConfig.calibrated()
+        self.seed = seed
+        self.b_max = b_max
+        self.micro_threshold = micro_threshold
+        self._cache: dict[tuple, StudyResult] = {}
+
+    # ------------------------------------------------------------------
+    def matrices(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        kwargs = {"seed": self.seed}
+        if self.b_max is not None:
+            kwargs["b_max"] = self.b_max
+        return generate_matrices(n, **kwargs)
+
+    def run(
+        self,
+        mode: ExecutionMode,
+        n: int,
+        p: int,
+        *,
+        added_multiplies: int = 0,
+        engine: str = "auto",
+    ) -> StudyResult:
+        """Time one configuration (cached)."""
+        if mode is ExecutionMode.SERIAL and p != 1:
+            raise ConfigurationError("serial mode requires p == 1")
+        if engine not in ("auto", "micro", "macro"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
+        if engine == "auto":
+            engine = "micro" if n <= self.micro_threshold else "macro"
+        key = (mode, n, p, added_multiplies, engine)
+        if key not in self._cache:
+            self._cache[key] = self._run_uncached(
+                mode, n, p, added_multiplies, engine
+            )
+        return self._cache[key]
+
+    def _run_uncached(self, mode, n, p, m, engine) -> StudyResult:
+        a, b = self.matrices(n)
+        if engine == "macro":
+            pred = predict_matmul(
+                mode, self.config, n, p, added_multiplies=m, b=b
+            )
+            return StudyResult(
+                mode, n, p, m, pred.cycles, dict(pred.breakdown),
+                engine="macro", verified=False,
+            )
+        machine = PASMMachine(self.config, partition_size=p)
+        bundle = build_matmul(
+            mode, n, p, added_multiplies=m,
+            device_symbols=self.config.device_symbols(),
+        )
+        run = run_matmul(machine, bundle, a, b)
+        verified = bool(np.array_equal(run.product, expected_product(a, b)))
+        if not verified:
+            raise ConfigurationError(
+                f"micro run {mode.value} n={n} p={p} produced a wrong product"
+            )
+        return StudyResult(
+            mode, n, p, m, run.result.cycles, run.result.breakdown(),
+            engine="micro", verified=True,
+        )
+
+    # ------------------------------------------------------------------
+    def serial_baseline(self, n: int, *, added_multiplies: int = 0,
+                        engine: str = "auto") -> StudyResult:
+        return self.run(
+            ExecutionMode.SERIAL, n, 1,
+            added_multiplies=added_multiplies, engine=engine,
+        )
+
+    def speedup(self, mode: ExecutionMode, n: int, p: int,
+                *, added_multiplies: int = 0, engine: str = "auto") -> float:
+        """T_serial / T_mode for one configuration."""
+        ser = self.serial_baseline(n, added_multiplies=added_multiplies,
+                                   engine=engine)
+        par = self.run(mode, n, p, added_multiplies=added_multiplies,
+                       engine=engine)
+        return _speedup(ser.cycles, par.cycles)
+
+    def efficiency(self, mode: ExecutionMode, n: int, p: int,
+                   *, added_multiplies: int = 0,
+                   engine: str = "auto") -> float:
+        """T_serial / (p · T_mode) — the paper's efficiency."""
+        ser = self.serial_baseline(n, added_multiplies=added_multiplies,
+                                   engine=engine)
+        par = self.run(mode, n, p, added_multiplies=added_multiplies,
+                       engine=engine)
+        return _efficiency(ser.cycles, par.cycles, p)

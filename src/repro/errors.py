@@ -1,0 +1,77 @@
+"""Exception hierarchy for the PASM reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be translated.
+
+    Attributes
+    ----------
+    line_no:
+        1-based source line number the error was detected on, or ``None``
+        when the error is not attached to a specific line (e.g. a missing
+        label discovered in pass two).
+    """
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class IllegalInstructionError(ReproError):
+    """Raised when the CPU interpreter encounters an unsupported operation."""
+
+
+class AddressError(ReproError):
+    """Raised on misaligned or out-of-range memory accesses."""
+
+
+class BusError(ReproError):
+    """Raised when an access targets an unmapped region of the address map."""
+
+
+class NetworkError(ReproError):
+    """Base class for interconnection-network errors."""
+
+
+class RoutingConflictError(NetworkError):
+    """Raised when two circuits demand the same network resource."""
+
+
+class NetworkFaultError(NetworkError):
+    """Raised when no fault-free route exists for a requested circuit."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid virtual-machine partitioning requests."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a machine or experiment configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue empties while processes are still blocked."""
+
+
+class ProgramError(ReproError):
+    """Raised when a generated program is malformed or fails validation."""
+
+
+class CalibrationError(ReproError):
+    """Raised when calibration cannot satisfy its fitting targets."""

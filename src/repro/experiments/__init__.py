@@ -1,0 +1,52 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+One module per exhibit:
+
+======== ====================================================== ===========
+Exhibit  Content                                                Module
+======== ====================================================== ===========
+Table 1  Prototype raw performance (MIPS, SIMD vs MIMD)         table1
+Fig. 6   Execution time vs problem size (p=8)                   fig6
+Fig. 7   Execution time vs added multiplies (n=64, p=4)         fig7
+Fig. 8   Time breakdown, 1 multiply per inner loop (p=4)        fig8_10
+Fig. 9   Time breakdown at the crossover (p=4)                  fig8_10
+Fig. 10  Time breakdown, 30 added multiplies (p=4)              fig8_10
+Fig. 11  Efficiency vs problem size (p=4)                       fig11
+Fig. 12  Efficiency vs number of PEs (n=64)                     fig12
+======== ====================================================== ===========
+
+Each experiment returns an :class:`~repro.experiments.results
+.ExperimentResult` carrying the rows/series the paper reports plus
+paper-vs-measured comparison notes; ``python -m repro.experiments.runner``
+(or the ``pasm-experiments`` script) regenerates everything.
+
+Figures use the macro engine (validated against the instruction-level
+micro engine by the cross-engine test suite); Table 1 runs the micro
+engine directly.
+"""
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweeps import (
+    crossover_confidence,
+    sweep,
+    sweep_to_csv,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8_10 import run_breakdown_figure
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_fig6",
+    "run_fig7",
+    "run_breakdown_figure",
+    "run_fig11",
+    "run_fig12",
+    "sweep",
+    "sweep_to_csv",
+    "crossover_confidence",
+]

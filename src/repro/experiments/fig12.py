@@ -1,0 +1,53 @@
+"""Figure 12: efficiency vs number of processors, n=64, one multiply per
+inner loop.
+
+"Efficiency drops as the number of processors utilized increases": n/p
+falls, so inter-processor communication and other non-serial costs loom
+larger against each PE's shrinking computation share.
+"""
+
+from __future__ import annotations
+
+from repro.core import DecouplingStudy
+from repro.experiments.results import ExperimentResult
+from repro.machine import ExecutionMode
+
+PROCESSOR_COUNTS = (4, 8, 16)
+MODES = (ExecutionMode.SIMD, ExecutionMode.SMIMD, ExecutionMode.MIMD)
+
+
+def run_fig12(
+    study: DecouplingStudy | None = None,
+    *,
+    n: int = 64,
+    engine: str = "macro",
+) -> ExperimentResult:
+    study = study or DecouplingStudy()
+    rows = []
+    series: dict[str, list[tuple[float, float]]] = {m.label: [] for m in MODES}
+    for p in PROCESSOR_COUNTS:
+        row: list[object] = [p]
+        for mode in MODES:
+            eff = study.efficiency(mode, n, p, engine=engine)
+            series[mode.label].append((p, eff))
+            row.append(round(eff, 3))
+        rows.append(tuple(row))
+
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=f"Efficiency vs number of PEs, n={n}, one multiply per inner loop",
+        headers=["p", "SIMD", "S/MIMD", "MIMD"],
+        rows=rows,
+        series=series,
+        paper_says=(
+            "efficiency drops as p increases: n/p falls, making "
+            "communication and other non-serial factors more significant"
+        ),
+        we_measure=(
+            "every mode's efficiency is monotonically decreasing in p: "
+            + "; ".join(
+                f"{mode.label} {rows[0][i+1]} -> {rows[-1][i+1]}"
+                for i, mode in enumerate(MODES)
+            )
+        ),
+    )

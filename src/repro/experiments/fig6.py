@@ -1,0 +1,67 @@
+"""Figure 6: execution time vs problem size, p=8, one multiply per inner
+loop (no added multiplies).
+
+Four curves: serial (SISD), SIMD, MIMD, S/MIMD.  The paper's reading:
+parallel versions beat serial by ≈p; T_MIMD/T_S-MIMD shrinks as n grows
+(the O(n²) communication difference is overtaken by O(n³) arithmetic);
+SIMD edges S/MIMD thanks to control-flow overlap and faster fetches.
+"""
+
+from __future__ import annotations
+
+from repro.core import DecouplingStudy
+from repro.experiments.results import ExperimentResult
+from repro.machine import ExecutionMode
+
+#: Problem sizes measured (paper: n = 4..256; parallel runs need n >= p).
+SIZES = (8, 16, 64, 128, 256)
+MODES = (
+    ExecutionMode.SERIAL,
+    ExecutionMode.SIMD,
+    ExecutionMode.SMIMD,
+    ExecutionMode.MIMD,
+)
+
+
+def run_fig6(
+    study: DecouplingStudy | None = None,
+    *,
+    p: int = 8,
+    engine: str = "macro",
+) -> ExperimentResult:
+    study = study or DecouplingStudy()
+    series: dict[str, list[tuple[float, float]]] = {m.label: [] for m in MODES}
+    rows = []
+    for n in SIZES:
+        row: list[object] = [n]
+        for mode in MODES:
+            pp = 1 if mode is ExecutionMode.SERIAL else p
+            res = study.run(mode, n, pp, engine=engine)
+            series[mode.label].append((n, res.seconds))
+            row.append(round(res.seconds, 6))
+        rows.append(tuple(row))
+
+    last = rows[-1]
+    ratio_small = rows[0][4] / rows[0][2]  # MIMD / SIMD at smallest n
+    ratio_large = last[4] / last[2]
+    return ExperimentResult(
+        experiment_id="fig6",
+        title=f"Execution time (s) vs problem size, p={p}, one multiply "
+              "per inner loop",
+        headers=["n", "SISD (s)", "SIMD (s)", "S/MIMD (s)", "MIMD (s)"],
+        rows=rows,
+        series=series,
+        logx=True,
+        logy=True,
+        paper_says=(
+            "parallel versions ≈ p× faster than SISD; T_MIMD/T_S-MIMD "
+            "decreases with n; SIMD slightly ahead of S/MIMD; all three "
+            "parallel curves converge at large n"
+        ),
+        we_measure=(
+            f"speed-up over SISD at n=256: SIMD {last[1]/last[2]:.2f}x, "
+            f"S/MIMD {last[1]/last[3]:.2f}x, MIMD {last[1]/last[4]:.2f}x; "
+            f"MIMD/SIMD ratio falls from {ratio_small:.2f} (n={SIZES[0]}) "
+            f"to {ratio_large:.2f} (n=256)"
+        ),
+    )

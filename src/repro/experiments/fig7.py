@@ -1,0 +1,50 @@
+"""Figure 7: execution time vs number of added inner-loop multiplies,
+n=64, p=4 — the decoupling crossover.
+
+"These lines are disjoint at the endpoints with the SIMD version being
+faster for small numbers of added multiplies and S/MIMD being faster as
+the number ... is increased.  The point at which T_SIMD = T_S/MIMD was
+with approximately fourteen added multiplications."
+"""
+
+from __future__ import annotations
+
+from repro.core import DecouplingStudy, find_crossover
+from repro.experiments.results import ExperimentResult
+
+
+def run_fig7(
+    study: DecouplingStudy | None = None,
+    *,
+    n: int = 64,
+    p: int = 4,
+    max_multiplies: int = 20,
+    engine: str = "macro",
+) -> ExperimentResult:
+    study = study or DecouplingStudy()
+    result = find_crossover(
+        study, n=n, p=p, max_multiplies=max_multiplies, engine=engine
+    )
+    rows = [
+        (m, round(t_simd / 1e6, 3), round(t_smimd / 1e6, 3),
+         "S/MIMD" if t_smimd < t_simd else "SIMD")
+        for m, t_simd, t_smimd in result.sweep
+    ]
+    series = {
+        "SIMD": [(m, ts) for m, ts, _ in result.sweep],
+        "S/MIMD": [(m, th) for m, _, th in result.sweep],
+    }
+    return ExperimentResult(
+        experiment_id="fig7",
+        title=f"Execution time vs added multiplies (n={n}, p={p})",
+        headers=["added multiplies", "SIMD (Mcycles)", "S/MIMD (Mcycles)",
+                 "faster"],
+        rows=rows,
+        series=series,
+        paper_says="T_SIMD = T_S/MIMD at approximately 14 added multiplies",
+        we_measure=(
+            f"crossover at {result.crossover:.1f} added multiplies"
+            if result.found
+            else f"no crossover within {max_multiplies} added multiplies"
+        ),
+    )

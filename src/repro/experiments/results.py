@@ -1,0 +1,80 @@
+"""Structured experiment results with text/CSV rendering."""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.tables import ascii_plot, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        ``"table1"``, ``"fig6"``, … (the exhibit it reproduces).
+    headers / rows:
+        The tabular data (always present; figures are also tabulated).
+    series:
+        Named (x, y) series for figure-style exhibits.
+    paper_says / we_measure:
+        The comparison EXPERIMENTS.md records: the paper's qualitative/
+        quantitative claims and what this reproduction measured.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    paper_says: str = ""
+    we_measure: str = ""
+    logx: bool = False
+    logy: bool = False
+
+    def render(self, *, plot: bool = True) -> str:
+        """Full text rendering: table, optional ASCII plot, comparison."""
+        out = io.StringIO()
+        out.write(format_table(self.headers, self.rows,
+                               title=f"{self.experiment_id}: {self.title}"))
+        if plot and self.series:
+            out.write("\n\n")
+            out.write(
+                ascii_plot(self.series, logx=self.logx, logy=self.logy,
+                           title=f"[{self.experiment_id}]")
+            )
+        if self.paper_says:
+            out.write(f"\n\npaper:    {self.paper_says}")
+        if self.we_measure:
+            out.write(f"\nmeasured: {self.we_measure}")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """The tabular data as CSV."""
+        lines = [",".join(str(h) for h in self.headers)]
+        for row in self.rows:
+            lines.append(",".join(str(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        """Everything (table, series, comparison) as a JSON document."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": list(self.headers),
+                "rows": [list(row) for row in self.rows],
+                "series": {
+                    name: [[x, y] for x, y in points]
+                    for name, points in self.series.items()
+                },
+                "paper_says": self.paper_says,
+                "we_measure": self.we_measure,
+            },
+            indent=2,
+        )

@@ -1,0 +1,119 @@
+"""Command-line harness regenerating every table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything, to stdout
+    python -m repro.experiments.runner fig7 fig11 # a subset
+    python -m repro.experiments.runner --out results/   # also write files
+
+Also installed as the ``pasm-experiments`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import DecouplingStudy
+from repro.experiments.extensions import (
+    run_ext_design_scale,
+    run_ext_dma,
+    run_ext_muls,
+    run_ext_superlinear,
+)
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8_10 import run_breakdown_figure
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.table1 import run_table1
+
+#: Registry of every exhibit, in paper order, plus the extension studies.
+EXPERIMENTS = {
+    "table1": lambda study: run_table1(study.config),
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": lambda study: run_breakdown_figure("fig8", study),
+    "fig9": lambda study: run_breakdown_figure("fig9", study),
+    "fig10": lambda study: run_breakdown_figure("fig10", study),
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "ext-dma": run_ext_dma,
+    "ext-scale": run_ext_design_scale,
+    "ext-muls": run_ext_muls,
+    "ext-superlinear": run_ext_superlinear,
+}
+
+
+def run_experiments(
+    names: list[str] | None = None,
+    *,
+    out_dir: Path | None = None,
+    seed: int | None = None,
+    stream=sys.stdout,
+):
+    """Run the named experiments (all by default); return the results."""
+    names = names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}"
+        )
+    study = DecouplingStudy() if seed is None else DecouplingStudy(seed=seed)
+    results = []
+    for name in names:
+        result = EXPERIMENTS[name](study)
+        results.append(result)
+        stream.write(result.render())
+        stream.write("\n\n" + "=" * 78 + "\n\n")
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(result.render())
+            (out_dir / f"{name}.csv").write_text(result.to_csv())
+            (out_dir / f"{name}.json").write_text(result.to_json())
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the tables and figures of 'Non-Deterministic "
+        "Instruction Time Experiments on the PASM System Prototype' "
+        "(ICPP 1988) on the simulated prototype."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="directory to write per-experiment .txt/.csv files",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="data-set seed (default: the library's fixed seed)",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None, metavar="FILE",
+        help="write the full reproduction report (config + engine check + "
+             "crossover confidence + every exhibit) to FILE and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.report is not None:
+        from repro.core.report import full_report
+        from repro.core import DecouplingStudy
+
+        study = (DecouplingStudy() if args.seed is None
+                 else DecouplingStudy(seed=args.seed))
+        args.report.write_text(full_report(study))
+        print(f"report written to {args.report}")
+        return 0
+    run_experiments(args.experiments or None, out_dir=args.out,
+                    seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Generic parameter sweeps and seed-replication utilities.
+
+The paper reports single measurements; a model can do better.  This module
+provides:
+
+* :func:`sweep` — run a cartesian product of (mode, n, p, m) cells on a
+  study and return long-format records ready for CSV/analysis;
+* :func:`crossover_confidence` — replicate the Figure 7 crossover over
+  independent data seeds and report the spread (the number we quote in
+  EXPERIMENTS.md as "13.4 (12.7–13.9 across seeds)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from statistics import mean, stdev
+
+from repro.core import DecouplingStudy, find_crossover
+from repro.machine import ExecutionMode, PrototypeConfig
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One cell of a sweep, in long format."""
+
+    mode: str
+    n: int
+    p: int
+    added_multiplies: int
+    cycles: float
+    seconds: float
+    engine: str
+    breakdown: dict[str, float] = field(hash=False, default_factory=dict)
+
+
+def sweep(
+    study: DecouplingStudy,
+    *,
+    modes: tuple[ExecutionMode, ...] = (
+        ExecutionMode.SIMD, ExecutionMode.SMIMD, ExecutionMode.MIMD,
+    ),
+    sizes: tuple[int, ...] = (16, 64, 256),
+    processor_counts: tuple[int, ...] = (4,),
+    added_multiplies: tuple[int, ...] = (0,),
+    engine: str = "macro",
+) -> list[SweepRecord]:
+    """Run every (mode, n, p, m) combination; skip infeasible cells."""
+    records: list[SweepRecord] = []
+    for mode, n, p, m in product(modes, sizes, processor_counts,
+                                 added_multiplies):
+        pp = 1 if mode is ExecutionMode.SERIAL else p
+        if n < pp or n % pp:
+            continue
+        res = study.run(mode, n, pp, added_multiplies=m, engine=engine)
+        records.append(
+            SweepRecord(
+                mode=mode.value, n=n, p=pp, added_multiplies=m,
+                cycles=res.cycles, seconds=res.seconds,
+                engine=res.engine, breakdown=dict(res.breakdown),
+            )
+        )
+    return records
+
+
+def sweep_to_csv(records: list[SweepRecord]) -> str:
+    """Long-format CSV with one breakdown column per category."""
+    categories = sorted({c for r in records for c in r.breakdown})
+    header = ["mode", "n", "p", "added_multiplies", "cycles", "seconds",
+              "engine"] + [f"cycles_{c}" for c in categories]
+    lines = [",".join(header)]
+    for r in records:
+        row = [r.mode, r.n, r.p, r.added_multiplies, f"{r.cycles:.1f}",
+               f"{r.seconds:.6f}", r.engine]
+        row += [f"{r.breakdown.get(c, 0.0):.1f}" for c in categories]
+        lines.append(",".join(str(x) for x in row))
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class CrossoverConfidence:
+    """Crossover replicated over independent data seeds."""
+
+    n: int
+    p: int
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.values)
+
+    @property
+    def std(self) -> float:
+        return stdev(self.values) if len(self.values) > 1 else 0.0
+
+    @property
+    def spread(self) -> tuple[float, float]:
+        return min(self.values), max(self.values)
+
+    def __str__(self) -> str:
+        lo, hi = self.spread
+        return (
+            f"crossover at n={self.n}, p={self.p}: {self.mean:.1f} ± "
+            f"{self.std:.1f} added multiplies ({lo:.1f}–{hi:.1f} over "
+            f"{len(self.values)} data seeds)"
+        )
+
+
+def crossover_confidence(
+    config: PrototypeConfig | None = None,
+    *,
+    n: int = 64,
+    p: int = 4,
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 19880815),
+    max_multiplies: int = 60,
+) -> CrossoverConfidence:
+    """Replicate the Figure 7 crossover over independent B data sets."""
+    config = config or PrototypeConfig.calibrated()
+    values = []
+    for seed in seeds:
+        study = DecouplingStudy(config, seed=seed)
+        result = find_crossover(study, n=n, p=p,
+                                max_multiplies=max_multiplies)
+        if result.found:
+            values.append(result.crossover)
+    if not values:
+        raise RuntimeError(
+            f"no crossover found for any seed within {max_multiplies} "
+            "added multiplies"
+        )
+    return CrossoverConfidence(n=n, p=p, values=tuple(values))

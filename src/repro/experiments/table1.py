@@ -1,0 +1,93 @@
+"""Table 1: prototype raw performance in MIPS, SIMD vs MIMD.
+
+The paper measured "repeated blocks of straight line code ... large enough
+to make the loop control overlap insignificant" for two instruction
+types.  We reproduce the measurement on the micro engine with 16 PEs:
+register-to-register ``ADD.W`` and memory-to-register ``MOVE.W d(An),Dn``
+blocks, executed from the Fetch Unit Queue (SIMD) and from PE main memory
+(MIMD).
+
+The published table's absolute numbers are not recoverable from the text
+(the table is an image in surviving copies); the reproduced *shape* — SIMD
+faster than MIMD for both instruction types, by more for memory-touching
+instructions in relative fetch terms — is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import ExperimentResult
+from repro.m68k.assembler import assemble
+from repro.m68k.timing import CLOCK_HZ
+from repro.machine import PASMMachine, PrototypeConfig
+from repro.mc import EnqueueBlock, Loop
+
+#: Instruction types measured (label, one-instruction source).
+INSTRUCTION_TYPES = (
+    ("ADD.W Dn,Dn (register)", "        ADD.W D1,D2"),
+    ("MOVE.W d(An),Dn (memory)", "        MOVE.W 2(A0),D2"),
+)
+
+#: Straight-line repetitions per measurement block.
+BLOCK_REPEATS = 64
+#: Blocks issued per run.
+BLOCKS = 8
+
+
+def _measure_simd(config: PrototypeConfig, source: str) -> float:
+    """Instructions per second across all PEs, SIMD broadcast."""
+    machine = PASMMachine(config, partition_size=config.n_pes)
+    block = assemble(source * 1, predefined=config.device_symbols())
+    instrs = block.instruction_list() * BLOCK_REPEATS
+    blocks = {
+        "meas": instrs,
+        "fini": assemble("        HALT").instruction_list(),
+    }
+    result = machine.run_simd(
+        [Loop(BLOCKS, (EnqueueBlock("meas"),)), EnqueueBlock("fini")], blocks
+    )
+    executed = BLOCK_REPEATS * BLOCKS * config.n_pes
+    return executed / result.seconds
+
+
+def _measure_mimd(config: PrototypeConfig, source: str) -> float:
+    """Instructions per second across all PEs, MIMD from main memory."""
+    machine = PASMMachine(config, partition_size=config.n_pes)
+    body = (source + "\n") * (BLOCK_REPEATS * BLOCKS)
+    program = assemble(
+        body + "        HALT", predefined=config.device_symbols()
+    )
+    result = machine.run_mimd([program] * config.n_pes)
+    # Exclude the HALT from the count, as the paper's loop control was.
+    executed = BLOCK_REPEATS * BLOCKS * config.n_pes
+    halt_share = 1 / (BLOCK_REPEATS * BLOCKS + 1)
+    return executed / (result.seconds * (1 - halt_share))
+
+
+def run_table1(config: PrototypeConfig | None = None) -> ExperimentResult:
+    """Reproduce Table 1 (MIPS = millions of instructions per second)."""
+    config = config or PrototypeConfig.calibrated()
+    rows = []
+    for label, source in INSTRUCTION_TYPES:
+        simd_mips = _measure_simd(config, source) / 1e6
+        mimd_mips = _measure_mimd(config, source) / 1e6
+        rows.append(
+            (label, round(simd_mips, 2), round(mimd_mips, 2),
+             round(simd_mips / mimd_mips, 3))
+        )
+    peak = config.n_pes * CLOCK_HZ / 4 / 1e6  # 4-cycle instructions
+    return ExperimentResult(
+        experiment_id="table1",
+        title=f"Prototype raw performance, {config.n_pes} PEs "
+              f"(theoretical register-op peak {peak:.0f} MIPS)",
+        headers=["instruction type", "SIMD MIPS", "MIMD MIPS", "SIMD/MIMD"],
+        rows=rows,
+        paper_says=(
+            "SIMD outperforms MIMD for both instruction types: queue "
+            "fetches need one less wait state and see no DRAM refresh."
+        ),
+        we_measure=(
+            f"SIMD/MIMD = {rows[0][3]}x (register) and {rows[1][3]}x "
+            "(memory); the advantage comes entirely from instruction "
+            "fetch, so it is largest for short register instructions."
+        ),
+    )

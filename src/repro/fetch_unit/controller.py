@@ -1,0 +1,118 @@
+"""The Fetch Unit Controller: autonomous block enqueuer.
+
+The MC CPU writes a control word naming a block of SIMD instructions held
+in Fetch Unit RAM; the controller then moves the block into the queue word
+by word while the MC proceeds with other work.  The one-deep command
+register means the MC only stalls when it issues a *third* block before the
+first finished transferring.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fetch_unit.mask import MaskRegister
+from repro.fetch_unit.queue import FetchUnitQueue, QueueItem, sync_item
+from repro.m68k.instructions import Instruction
+from repro.sim import Environment, Store
+
+
+class FetchUnitController:
+    """Moves registered blocks from Fetch Unit RAM into the queue.
+
+    Parameters
+    ----------
+    cycles_per_word:
+        Transfer rate of the controller's word mover (one queue slot per
+        this many cycles).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        queue: FetchUnitQueue,
+        mask: MaskRegister,
+        cycles_per_word: int = 4,
+        name: str = "fuc",
+    ) -> None:
+        self.env = env
+        self.queue = queue
+        self.mask = mask
+        self.cycles_per_word = cycles_per_word
+        self.name = name
+        self._blocks: dict[str, list[Instruction]] = {}
+        self._commands = Store(env, capacity=1, name=f"cmd:{name}")
+        self.busy = False
+        self.words_transferred = 0
+        self._outstanding = 0
+        self._idle_waiters: list = []
+        env.process(self._run(), name=f"controller:{name}")
+
+    # ------------------------------------------------------------------
+    def register_block(self, name: str, instructions: list[Instruction]) -> None:
+        """Store a straight-line block in Fetch Unit RAM."""
+        if not instructions:
+            raise ConfigurationError(f"block {name!r} is empty")
+        for instr in instructions:
+            if instr.mnemonic in ("BRA", "BSR") or instr.mnemonic.startswith("DB"):
+                raise ConfigurationError(
+                    f"block {name!r} contains control flow ({instr}); SIMD "
+                    "blocks must be straight-line — loops run on the MC"
+                )
+        self._blocks[name] = list(instructions)
+
+    def block_words(self, name: str) -> int:
+        return sum(i.encoded_words() for i in self._blocks[name])
+
+    @property
+    def outstanding(self) -> int:
+        """Commands submitted but not yet fully transferred."""
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    def submit_block(self, name: str):
+        """Generator (MC side): command transfer of a registered block."""
+        if name not in self._blocks:
+            raise ConfigurationError(f"unknown block {name!r}")
+        self._outstanding += 1
+        yield self._commands.put(("block", name))
+
+    def submit_sync_words(self, count: int):
+        """Generator (MC side): enqueue ``count`` bare data words (barrier)."""
+        if count < 1:
+            raise ConfigurationError(f"sync word count must be >= 1, got {count}")
+        self._outstanding += 1
+        yield self._commands.put(("sync", count))
+
+    def drained(self):
+        """Generator: wait until all submitted commands are transferred."""
+        while self._outstanding:
+            ev = self.env.event(name=f"idle:{self.name}")
+            self._idle_waiters.append(ev)
+            yield ev
+        return None
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            kind, arg = yield self._commands.get()
+            self.busy = True
+            if kind == "block":
+                for instr in self._blocks[arg]:
+                    words = instr.encoded_words()
+                    yield self.env.timeout(self.cycles_per_word * words)
+                    item = QueueItem(
+                        payload=instr, words=words, mask=self.mask.enabled
+                    )
+                    yield from self.queue.enqueue(item)
+                    self.words_transferred += words
+            else:  # sync words
+                for _ in range(arg):
+                    yield self.env.timeout(self.cycles_per_word)
+                    yield from self.queue.enqueue(sync_item(self.mask.enabled))
+                    self.words_transferred += 1
+            self.busy = False
+            self._outstanding -= 1
+            if not self._outstanding:
+                waiters, self._idle_waiters = self._idle_waiters, []
+                for ev in waiters:
+                    ev.succeed()

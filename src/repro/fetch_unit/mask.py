@@ -1,0 +1,47 @@
+"""The Fetch Unit mask register."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class MaskRegister:
+    """Selects which PEs of an MC group participate in SIMD instructions.
+
+    The register holds a bit per PE slot of the group.  Its *current* value
+    is captured by the Fetch Unit whenever a word is enqueued, so changing
+    the mask never affects words already in the queue (matching the
+    hardware described in the paper).
+    """
+
+    def __init__(self, pe_slots: tuple[int, ...]) -> None:
+        if not pe_slots:
+            raise ConfigurationError("mask register needs at least one PE slot")
+        self.pe_slots = tuple(pe_slots)
+        self._enabled = frozenset(pe_slots)
+
+    @property
+    def enabled(self) -> frozenset[int]:
+        """The currently enabled PE slots."""
+        return self._enabled
+
+    def set_enabled(self, slots) -> None:
+        slots = frozenset(slots)
+        unknown = slots - frozenset(self.pe_slots)
+        if unknown:
+            raise ConfigurationError(
+                f"mask enables unknown PE slots {sorted(unknown)}"
+            )
+        self._enabled = slots
+
+    def enable_all(self) -> None:
+        self._enabled = frozenset(self.pe_slots)
+
+    def set_from_bits(self, bits: int) -> None:
+        """Interpret ``bits`` with bit *i* controlling ``pe_slots[i]``."""
+        self.set_enabled(
+            slot for i, slot in enumerate(self.pe_slots) if bits & (1 << i)
+        )
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._enabled

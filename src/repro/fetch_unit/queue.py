@@ -1,0 +1,163 @@
+"""The Fetch Unit Queue and its release-on-all-requests rule.
+
+Items carry either a broadcast :class:`~repro.m68k.instructions.Instruction`
+or a bare synchronization word (for the barrier mechanism).  Each item
+occupies as many queue slots as its encoded word count — the queue is a
+word FIFO in hardware — and remembers the mask under which it was enqueued.
+
+PEs call :meth:`FetchUnitQueue.request`; the head item is released only
+when *every* PE in its mask has a pending request.  PEs not in the mask
+keep waiting for a later item that includes them (disabled PEs "do not
+participate in the instruction and wait until an instruction is broadcast
+for which they are enabled").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from repro.errors import SimulationError
+from repro.m68k.instructions import Instruction
+from repro.sim import Environment, Event
+
+
+@dataclass(frozen=True)
+class QueueItem:
+    """One queue entry: an instruction or a synchronization word."""
+
+    payload: Instruction | None  #: None = bare data word (barrier token)
+    words: int  #: queue slots occupied / PE fetch accesses required
+    mask: frozenset[int]  #: PE slots that must fetch this item
+
+    @property
+    def is_sync(self) -> bool:
+        return self.payload is None
+
+
+def sync_item(mask) -> QueueItem:
+    """A one-word synchronization token for the barrier mechanism."""
+    return QueueItem(payload=None, words=1, mask=frozenset(mask))
+
+
+class FetchUnitQueue:
+    """Finite word-FIFO with the all-enabled-PEs release rule."""
+
+    def __init__(
+        self, env: Environment, capacity_words: int, name: str = "fuq"
+    ) -> None:
+        if capacity_words < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity_words}")
+        self.env = env
+        self.name = name
+        self.capacity_words = capacity_words
+        self._items: deque[QueueItem] = deque()
+        self._words_used = 0
+        self._requests: dict[int, Event] = {}
+        self._space_waiters: deque[tuple[Event, QueueItem]] = deque()
+        # -- statistics ---------------------------------------------------
+        self.releases = 0
+        self.words_enqueued = 0
+        self.empty_stall_cycles = 0.0  #: PE time spent waiting on empty queue
+        self._all_arrived_at: float | None = None
+        self.high_water = 0
+        #: (time, words_used) samples, recorded at every occupancy change.
+        self.occupancy_samples: list[tuple[float, int]] = []
+
+    def _sample(self) -> None:
+        self.occupancy_samples.append((self.env.now, self._words_used))
+
+    # ------------------------------------------------------------------
+    @property
+    def words_used(self) -> int:
+        return self._words_used
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def space_left(self) -> int:
+        return self.capacity_words - self._words_used
+
+    # ------------------------------------------------------------------
+    def enqueue(self, item: QueueItem):
+        """Generator: append ``item``, blocking while the FIFO lacks space."""
+        if not item.mask:
+            raise SimulationError("cannot enqueue an item with an empty mask")
+        if item.words > self.capacity_words:
+            raise SimulationError(
+                f"item of {item.words} words exceeds queue capacity "
+                f"{self.capacity_words}"
+            )
+        if item.words > self.space_left() or self._space_waiters:
+            ev = self.env.event(name=f"space:{self.name}")
+            self._space_waiters.append((ev, item))
+            yield ev
+        else:
+            self._admit(item)
+
+    def try_enqueue(self, item: QueueItem) -> bool:
+        """Non-blocking enqueue; False when the FIFO lacks space."""
+        if item.words > self.space_left() or self._space_waiters:
+            return False
+        self._admit(item)
+        return True
+
+    def _admit(self, item: QueueItem) -> None:
+        self._items.append(item)
+        self._words_used += item.words
+        self.words_enqueued += item.words
+        self.high_water = max(self.high_water, self._words_used)
+        self._sample()
+        self._try_release()
+
+    # ------------------------------------------------------------------
+    def request(self, pe_slot: int):
+        """Generator (PE side): wait for the next item this PE may fetch."""
+        if pe_slot in self._requests:
+            raise SimulationError(
+                f"PE slot {pe_slot} already has a pending request on {self.name}"
+            )
+        ev = self.env.event(name=f"req:{self.name}:{pe_slot}")
+        self._requests[pe_slot] = ev
+        self._try_release()
+        item = yield ev
+        return item
+
+    # ------------------------------------------------------------------
+    def _try_release(self) -> None:
+        """Release head items while their whole mask has requests pending."""
+        while self._items:
+            head = self._items[0]
+            if not head.mask <= self._requests.keys():
+                # Record when the full mask first assembled with an empty /
+                # not-yet-matching queue for empty-stall statistics.
+                return
+            # All enabled PEs are waiting: release.
+            if self._all_arrived_at is not None:
+                self.empty_stall_cycles += self.env.now - self._all_arrived_at
+                self._all_arrived_at = None
+            self._items.popleft()
+            self._words_used -= head.words
+            self.releases += 1
+            self._sample()
+            waiters = [self._requests.pop(slot) for slot in head.mask]
+            for ev in waiters:
+                ev.succeed(head)
+            self._refill_from_waiters()
+        # Queue empty: if some mask could be satisfied later, note the time
+        # all *current* requesters assembled (approximation: first moment
+        # the queue is empty with requests outstanding).
+        if self._requests and self._all_arrived_at is None:
+            self._all_arrived_at = self.env.now
+
+    def _refill_from_waiters(self) -> None:
+        while self._space_waiters:
+            ev, item = self._space_waiters[0]
+            if item.words > self.capacity_words - self._words_used:
+                return
+            self._space_waiters.popleft()
+            self._items.append(item)
+            self._words_used += item.words
+            self.words_enqueued += item.words
+            self.high_water = max(self.high_water, self._words_used)
+            ev.succeed()

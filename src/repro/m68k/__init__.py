@@ -1,0 +1,55 @@
+"""MC68000 processor model.
+
+The PASM prototype used 8 MHz Motorola MC68000 CPUs for both its Processing
+Elements and Micro Controllers.  This package models the subset of the
+MC68000 needed to run the paper's programs with *faithful documented
+timing*, because the paper's central phenomenon — non-deterministic
+instruction time — is a direct consequence of the published MC68000 timing
+rules:
+
+* ``MULU`` takes ``38 + 2n`` cycles where ``n`` is the number of 1 bits in
+  the 16-bit multiplier operand (``MULS``: ``n`` = 01/10 transitions).
+* Every instruction's time decomposes into internal cycles plus 4-cycle bus
+  accesses; the accesses split into *instruction-stream fetches* (served by
+  the Fetch Unit Queue in SIMD mode, by main memory otherwise) and *operand
+  accesses* (always main memory / devices), each of which can be stretched
+  by per-region wait states.
+
+Public surface: :class:`~repro.m68k.registers.RegisterFile`,
+:class:`~repro.m68k.instructions.Instruction`, the
+:func:`~repro.m68k.assembler.assemble` two-pass assembler,
+:func:`~repro.m68k.timing.instruction_timing`, and the
+:class:`~repro.m68k.cpu.CPU` interpreter.
+"""
+
+from repro.m68k.addressing import Mode, Operand
+from repro.m68k.assembler import AssembledProgram, assemble
+from repro.m68k.cpu import CPU, HaltReason
+from repro.m68k.instructions import Instruction, Size
+from repro.m68k.registers import RegisterFile
+from repro.m68k.timing import (
+    CLOCK_HZ,
+    CYCLE_SECONDS,
+    TimingInfo,
+    instruction_timing,
+    muls_cycles,
+    mulu_cycles,
+)
+
+__all__ = [
+    "Mode",
+    "Operand",
+    "Instruction",
+    "Size",
+    "RegisterFile",
+    "assemble",
+    "AssembledProgram",
+    "CPU",
+    "HaltReason",
+    "TimingInfo",
+    "instruction_timing",
+    "mulu_cycles",
+    "muls_cycles",
+    "CLOCK_HZ",
+    "CYCLE_SECONDS",
+]

@@ -1,0 +1,802 @@
+"""MC68000 interpreter.
+
+The CPU executes :class:`~repro.m68k.instructions.Instruction` objects
+against a *bus* object inside the discrete-event simulation.  All memory
+traffic goes through the bus as generator calls so that
+
+* per-region wait states are charged where they belong (instruction stream
+  vs operand data),
+* accesses to memory-mapped devices (network transfer registers, the SIMD
+  instruction space) can block the CPU — which is exactly how PASM's SIMD
+  instruction broadcast, implicit network synchronization, and barrier
+  mechanism work.
+
+Bus protocol (all methods are generators driven by the sim kernel):
+
+``fetch_instruction(addr)``
+    returns the :class:`Instruction` at ``addr`` after charging its
+    instruction-stream fetch accesses; may block (SIMD space rendezvous).
+``fetch_stream_words(addr, n)``
+    charges ``n`` extra instruction-stream accesses (branch-target
+    prefetches, RTS pipeline refill).
+``read(addr, size)`` / ``write(addr, value, size)``
+    operand accesses; may block on device registers.
+``internal(cycles)``
+    pure execution time (no bus activity).
+
+The interpreter computes results *and* the manual timing
+(:func:`~repro.m68k.timing.instruction_timing`) for every executed
+instruction, charging ``internal_cycles`` so the total elapsed simulated
+time equals the manual time plus whatever the bus added (wait states,
+queue/rendezvous stalls, device blocking).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IllegalInstructionError, SimulationError
+from repro.m68k.addressing import Mode, Operand
+from repro.m68k.instructions import (
+    ALU_ADDR,
+    ALU_IMM,
+    ALU_REG,
+    BITOPS,
+    BRANCHES,
+    DBCC,
+    EXTENDED,
+    Instruction,
+    JUMPS,
+    MULDIV,
+    QUICK,
+    SCC,
+    SHIFTS,
+)
+from repro.m68k.registers import RegisterFile
+from repro.m68k.timing import TimingInfo, instruction_timing
+from repro.utils.bitops import sign_extend, to_signed, to_unsigned
+
+
+class HaltReason(enum.Enum):
+    """Why a CPU stopped running."""
+
+    HALT_INSTRUCTION = "halt"
+    EXTERNAL = "external"
+
+
+@dataclass
+class InstructionRecord:
+    """Instrumentation record for one executed instruction."""
+
+    instr: Instruction
+    start: float
+    end: float
+    timing: TimingInfo
+
+    @property
+    def elapsed(self) -> float:
+        """Wall (simulated) cycles including wait states and stalls."""
+        return self.end - self.start
+
+
+class CPU:
+    """One MC68000 core bound to a bus.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment (time in clock cycles).
+    bus:
+        Object implementing the bus protocol described in the module
+        docstring.
+    name:
+        Label used in error messages and traces.
+    """
+
+    def __init__(self, env, bus, name: str = "cpu") -> None:
+        self.env = env
+        self.bus = bus
+        self.name = name
+        self.regs = RegisterFile()
+        self.halted: HaltReason | None = None
+        self.instruction_count = 0
+        #: Per-timecat simulated-cycle totals (fed by ``run``/``step``).
+        self.category_cycles: dict[str, float] = {}
+        #: Optional per-instruction trace (enable with ``trace=True``).
+        self.trace_records: list[InstructionRecord] = []
+        self.trace = False
+
+    # ------------------------------------------------------------------
+    def reset(self, pc: int, sp: int = 0) -> None:
+        """Reset the register file and start address."""
+        self.regs = RegisterFile()
+        self.regs.pc = pc
+        self.regs.sp = sp
+        self.halted = None
+
+    def run(self, max_instructions: int | None = None):
+        """Generator process: execute until HALT (or an instruction cap)."""
+        executed = 0
+        while self.halted is None:
+            yield from self.step()
+            executed += 1
+            if max_instructions is not None and executed >= max_instructions:
+                self.halted = HaltReason.EXTERNAL
+        return self.halted
+
+    # ------------------------------------------------------------------
+    def step(self):
+        """Execute one instruction (generator)."""
+        start = self.env.now
+        pc = self.regs.pc
+        instr = yield from self.bus.fetch_instruction(pc)
+        if not isinstance(instr, Instruction):
+            raise SimulationError(
+                f"{self.name}: no instruction at {pc:#x} (got {instr!r})"
+            )
+        next_pc = pc + instr.encoded_bytes()
+        self.regs.pc = next_pc  # may be overridden by control flow below
+
+        timing = yield from self._execute(instr, pc, next_pc)
+
+        # Charge internal (non-bus) time and any stream accesses beyond the
+        # encoded words (branch-target prefetch, RTS refill).
+        extra_stream = timing.stream_words - instr.encoded_words()
+        if extra_stream > 0:
+            yield from self.bus.fetch_stream_words(self.regs.pc, extra_stream)
+        internal = timing.internal_cycles
+        if internal < 0:
+            raise SimulationError(
+                f"{self.name}: negative internal time for {instr} ({timing})"
+            )
+        if internal:
+            yield from self.bus.internal(internal)
+
+        end = self.env.now
+        self.instruction_count += 1
+        cat = instr.timecat
+        self.category_cycles[cat] = self.category_cycles.get(cat, 0.0) + (end - start)
+        if self.trace:
+            self.trace_records.append(InstructionRecord(instr, start, end, timing))
+
+    # ------------------------------------------------------------------
+    # effective addresses and operand access
+    def _ea_address(self, op: Operand, size: int, instr_addr: int) -> int:
+        """Compute the operand address, applying side effects once."""
+        mode = op.mode
+        r = self.regs
+        if mode is Mode.IND:
+            return r.a[op.reg]
+        if mode is Mode.POSTINC:
+            addr = r.a[op.reg]
+            step = size
+            if op.reg == 7 and size == 1:
+                step = 2  # A7 stays word-aligned on the 68000
+            r.a[op.reg] = (addr + step) & 0xFFFF_FFFF
+            return addr
+        if mode is Mode.PREDEC:
+            step = size
+            if op.reg == 7 and size == 1:
+                step = 2
+            r.a[op.reg] = (r.a[op.reg] - step) & 0xFFFF_FFFF
+            return r.a[op.reg]
+        if mode is Mode.DISP:
+            return (r.a[op.reg] + sign_extend(op.disp, 16)) & 0xFFFF_FFFF
+        if mode is Mode.INDEX:
+            kind, num = op.index_reg
+            idx = r.d[num] if kind == "D" else r.a[num]
+            idx = sign_extend(idx, 16)  # .W index form
+            return (r.a[op.reg] + sign_extend(op.disp, 8) + idx) & 0xFFFF_FFFF
+        if mode is Mode.ABS_W:
+            return sign_extend(int(op.value), 16) & 0xFFFF_FFFF
+        if mode is Mode.ABS_L:
+            return int(op.value) & 0xFFFF_FFFF
+        if mode is Mode.PCDISP:
+            return (instr_addr + 2 + sign_extend(op.disp, 16)) & 0xFFFF_FFFF
+        raise IllegalInstructionError(f"no address for mode {mode}")
+
+    def _read_operand(self, op: Operand, size: int, instr_addr: int):
+        """Generator: operand value (unsigned), charging bus time."""
+        if op.mode is Mode.DREG:
+            return self.regs.read_d(op.reg, size)
+        if op.mode is Mode.AREG:
+            return self.regs.read_a(op.reg, size)
+        if op.mode is Mode.IMM:
+            return to_unsigned(int(op.value), size)
+        addr = self._ea_address(op, size, instr_addr)
+        value = yield from self.bus.read(addr, size)
+        return to_unsigned(value, size)
+
+    def _write_operand(self, op: Operand, value: int, size: int, instr_addr: int):
+        """Generator: write ``value`` to the operand location."""
+        if op.mode is Mode.DREG:
+            self.regs.write_d(op.reg, value, size)
+            return None
+        if op.mode is Mode.AREG:
+            self.regs.write_a(op.reg, value, size)
+            return None
+        addr = self._ea_address(op, size, instr_addr)
+        yield from self.bus.write(addr, to_unsigned(value, size), size)
+        return addr
+
+    # ------------------------------------------------------------------
+    def _execute(self, instr: Instruction, pc: int, next_pc: int):
+        """Generator: execute ``instr``; returns its TimingInfo."""
+        m = instr.mnemonic
+        size = instr.size_bytes
+        ops = instr.operands
+        ccr = self.regs.ccr
+
+        if m == "HALT":
+            self.halted = HaltReason.HALT_INSTRUCTION
+            return instruction_timing(instr)
+
+        if m == "NOP":
+            return instruction_timing(instr)
+
+        if m in ("MOVE", "MOVEA"):
+            src, dst = ops
+            value = yield from self._read_operand(src, size, pc)
+            if m == "MOVEA" or dst.mode is Mode.AREG:
+                self.regs.write_a(dst.reg, value, size)
+            else:
+                yield from self._write_operand(dst, value, size, pc)
+                ccr.set_nz(value, size)
+            return instruction_timing(instr)
+
+        if m == "MOVEQ":
+            value = to_signed(int(ops[0].value) & 0xFF, 1)
+            self.regs.write_d(ops[1].reg, value & 0xFFFF_FFFF, 4)
+            ccr.set_nz(value & 0xFFFF_FFFF, 4)
+            return instruction_timing(instr)
+
+        if m == "LEA":
+            addr = self._ea_address(ops[0], 4, pc)
+            self.regs.write_a(ops[1].reg, addr, 4)
+            return instruction_timing(instr)
+
+        if m == "EXG":
+            a, b = ops
+            va = self.regs.d[a.reg] if a.mode is Mode.DREG else self.regs.a[a.reg]
+            vb = self.regs.d[b.reg] if b.mode is Mode.DREG else self.regs.a[b.reg]
+            if a.mode is Mode.DREG:
+                self.regs.d[a.reg] = vb
+            else:
+                self.regs.a[a.reg] = vb
+            if b.mode is Mode.DREG:
+                self.regs.d[b.reg] = va
+            else:
+                self.regs.a[b.reg] = va
+            return instruction_timing(instr)
+
+        if m == "SWAP":
+            v = self.regs.d[ops[0].reg]
+            v = ((v >> 16) | (v << 16)) & 0xFFFF_FFFF
+            self.regs.d[ops[0].reg] = v
+            ccr.set_nz(v, 4)
+            return instruction_timing(instr)
+
+        if m == "EXT":
+            r = ops[0].reg
+            if size == 2:  # byte → word
+                self.regs.write_d(r, sign_extend(self.regs.read_d(r, 1), 8), 2)
+                ccr.set_nz(self.regs.read_d(r, 2), 2)
+            else:  # word → long
+                self.regs.write_d(r, sign_extend(self.regs.read_d(r, 2), 16), 4)
+                ccr.set_nz(self.regs.read_d(r, 4), 4)
+            return instruction_timing(instr)
+
+        if m in ("CLR", "NOT", "NEG", "NEGX", "TST", "TAS"):
+            dst = ops[0]
+            if m == "TST":
+                value = yield from self._read_operand(dst, size, pc)
+                ccr.set_nz(value, size)
+                return instruction_timing(instr)
+            # read-modify-write (the 68000 reads even for CLR)
+            if dst.mode is Mode.DREG:
+                old = self.regs.read_d(dst.reg, size)
+                new, flags_from = self._unary_result(m, old, size)
+                self.regs.write_d(dst.reg, new, size)
+            else:
+                addr = self._ea_address(dst, size, pc)
+                old = yield from self.bus.read(addr, size)
+                new, flags_from = self._unary_result(m, old, size)
+                yield from self.bus.write(addr, new, size)
+            self._unary_flags(m, old, new, size)
+            return instruction_timing(instr)
+
+        if m in MULDIV:
+            src, dst = ops
+            src_val = yield from self._read_operand(src, 2, pc)
+            if m == "MULU":
+                result = src_val * self.regs.read_d(dst.reg, 2)
+                self.regs.write_d(dst.reg, result & 0xFFFF_FFFF, 4)
+                ccr.set_nz(result & 0xFFFF_FFFF, 4)
+            elif m == "MULS":
+                result = to_signed(src_val, 2) * to_signed(
+                    self.regs.read_d(dst.reg, 2), 2
+                )
+                self.regs.write_d(dst.reg, result & 0xFFFF_FFFF, 4)
+                ccr.set_nz(result & 0xFFFF_FFFF, 4)
+            elif m == "DIVU":
+                divisor = src_val
+                if divisor == 0:
+                    raise IllegalInstructionError(f"{self.name}: divide by zero")
+                dividend = self.regs.read_d(dst.reg, 4)
+                quot, rem = divmod(dividend, divisor)
+                if quot > 0xFFFF:
+                    ccr.v = True  # overflow: register unchanged
+                else:
+                    self.regs.write_d(dst.reg, (rem << 16) | quot, 4)
+                    ccr.set_nz(quot, 2)
+            else:  # DIVS
+                divisor = to_signed(src_val, 2)
+                if divisor == 0:
+                    raise IllegalInstructionError(f"{self.name}: divide by zero")
+                dividend = to_signed(self.regs.read_d(dst.reg, 4), 4)
+                quot = int(dividend / divisor)  # trunc toward zero
+                rem = dividend - quot * divisor
+                if not -0x8000 <= quot <= 0x7FFF:
+                    ccr.v = True
+                else:
+                    self.regs.write_d(
+                        dst.reg,
+                        ((to_unsigned(rem, 2)) << 16) | to_unsigned(quot, 2),
+                        4,
+                    )
+                    ccr.set_nz(to_unsigned(quot, 2), 2)
+            return instruction_timing(instr, src_value=src_val)
+
+        if m in SHIFTS:
+            count_op, reg_op = ops
+            if count_op.mode is Mode.IMM:
+                count = int(count_op.value)
+            else:
+                count = self.regs.read_d(count_op.reg, 4) % 64
+            value = self.regs.read_d(reg_op.reg, size)
+            new = self._shift(m, value, count, size)
+            self.regs.write_d(reg_op.reg, new, size)
+            return instruction_timing(instr, shift_count=count)
+
+        if m in BRANCHES:
+            target = int(instr.target)
+            if m == "BSR":
+                self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+                yield from self.bus.write(self.regs.sp, next_pc, 4)
+                self.regs.pc = target
+                return instruction_timing(instr)
+            cond = instr.condition
+            taken = True if m == "BRA" else ccr.test(cond)
+            if taken:
+                self.regs.pc = target
+            return instruction_timing(instr, branch_taken=taken)
+
+        if m in DBCC:
+            cond = instr.condition
+            target = int(instr.target)
+            if ccr.test(cond):
+                return instruction_timing(instr, branch_taken=False)
+            reg = ops[0].reg
+            counter = (self.regs.read_d(reg, 2) - 1) & 0xFFFF
+            self.regs.write_d(reg, counter, 2)
+            if counter == 0xFFFF:  # expired
+                return instruction_timing(
+                    instr, branch_taken=False, dbcc_expired=True
+                )
+            self.regs.pc = target
+            return instruction_timing(instr, branch_taken=True)
+
+        if m in JUMPS:
+            addr = self._ea_address(ops[0], 4, pc)
+            if m == "JSR":
+                self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+                yield from self.bus.write(self.regs.sp, next_pc, 4)
+            self.regs.pc = addr
+            return instruction_timing(instr)
+
+        if m == "RTS":
+            addr = yield from self.bus.read(self.regs.sp, 4)
+            self.regs.sp = (self.regs.sp + 4) & 0xFFFF_FFFF
+            self.regs.pc = addr & 0xFFFF_FFFF
+            return instruction_timing(instr)
+
+        if m == "PEA":
+            addr = self._ea_address(ops[0], 4, pc)
+            self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+            yield from self.bus.write(self.regs.sp, addr, 4)
+            return instruction_timing(instr)
+
+        if m == "LINK":
+            an, disp = ops
+            self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+            yield from self.bus.write(self.regs.sp, self.regs.a[an.reg], 4)
+            self.regs.a[an.reg] = self.regs.sp
+            self.regs.sp = (self.regs.sp + to_signed(int(disp.value), 2)) \
+                & 0xFFFF_FFFF
+            return instruction_timing(instr)
+
+        if m == "UNLK":
+            an = ops[0].reg
+            self.regs.sp = self.regs.a[an]
+            value = yield from self.bus.read(self.regs.sp, 4)
+            self.regs.a[an] = value
+            self.regs.sp = (self.regs.sp + 4) & 0xFFFF_FFFF
+            return instruction_timing(instr)
+
+        if m == "CMPM":
+            src_val = yield from self._read_operand(ops[0], size, pc)
+            dst_val = yield from self._read_operand(ops[1], size, pc)
+            self._sub_flags(dst_val, src_val, size, set_x=False)
+            return instruction_timing(instr)
+
+        if m in EXTENDED:  # ADDX / SUBX
+            timing = yield from self._addx_subx(instr, m, ops, size, pc)
+            return timing
+
+        if m in SCC:
+            taken = ccr.test(instr.condition)
+            value = 0xFF if taken else 0x00
+            dst = ops[0]
+            if dst.mode is Mode.DREG:
+                self.regs.write_d(dst.reg, value, 1)
+            else:
+                addr = self._ea_address(dst, 1, pc)
+                # read-modify-write like the hardware
+                yield from self.bus.read(addr, 1)
+                yield from self.bus.write(addr, value, 1)
+            return instruction_timing(instr, branch_taken=taken)
+
+        if m in BITOPS:
+            timing = yield from self._bitop(instr, m, ops, pc)
+            return timing
+
+        if m == "MOVEM":
+            timing = yield from self._movem(instr, size, pc)
+            return timing
+
+        if m in QUICK or m in ALU_IMM or m in ALU_ADDR or m in ALU_REG:
+            timing = yield from self._alu(instr, m, ops, size, pc)
+            return timing
+
+        raise IllegalInstructionError(f"{self.name}: cannot execute {m}")
+
+    # ------------------------------------------------------------------
+    def _addx_subx(self, instr: Instruction, m: str, ops, size: int, pc: int):
+        """ADDX/SUBX: multi-precision add/subtract through the X flag."""
+        ccr = self.regs.ccr
+        x_in = int(ccr.x)
+        src, dst = ops
+        if src.mode is Mode.DREG:
+            src_val = self.regs.read_d(src.reg, size)
+            dst_val = self.regs.read_d(dst.reg, size)
+        else:  # -(Ay),-(Ax)
+            src_addr = self._ea_address(src, size, pc)
+            src_val = yield from self.bus.read(src_addr, size)
+            dst_addr = self._ea_address(dst, size, pc)
+            dst_val = yield from self.bus.read(dst_addr, size)
+        if m == "ADDX":
+            result = dst_val + src_val + x_in
+            self._add_flags(dst_val, src_val + x_in, result, size)
+        else:
+            result = dst_val - src_val - x_in
+            borrow = (src_val + x_in) > dst_val
+            bits = size * 8
+            r = result & ((1 << bits) - 1)
+            ccr.n = bool(r >> (bits - 1))
+            ccr.c = ccr.x = borrow
+            sa, sb = dst_val >> (bits - 1), src_val >> (bits - 1)
+            ccr.v = (sa != sb) and ((r >> (bits - 1)) != sa)
+        r = to_unsigned(result, size)
+        # Z accumulates across a multi-precision chain: only cleared.
+        if r != 0:
+            ccr.z = False
+        if src.mode is Mode.DREG:
+            self.regs.write_d(dst.reg, r, size)
+        else:
+            yield from self.bus.write(dst_addr, r, size)
+        return instruction_timing(instr)
+
+    def _bitop(self, instr: Instruction, m: str, ops, pc: int):
+        """BTST/BSET/BCLR/BCHG: Z reflects the tested bit (pre-change)."""
+        bit_src, dst = ops
+        if bit_src.mode is Mode.IMM:
+            bit = int(bit_src.value)
+        else:
+            bit = self.regs.read_d(bit_src.reg, 4)
+        if dst.mode is Mode.DREG:
+            bit %= 32
+            old = self.regs.read_d(dst.reg, 4)
+            mask = 1 << bit
+            self.regs.ccr.z = not (old & mask)
+            if m == "BSET":
+                self.regs.write_d(dst.reg, old | mask, 4)
+            elif m == "BCLR":
+                self.regs.write_d(dst.reg, old & ~mask, 4)
+            elif m == "BCHG":
+                self.regs.write_d(dst.reg, old ^ mask, 4)
+        else:
+            bit %= 8
+            addr = self._ea_address(dst, 1, pc)
+            old = yield from self.bus.read(addr, 1)
+            mask = 1 << bit
+            self.regs.ccr.z = not (old & mask)
+            if m != "BTST":
+                new = {"BSET": old | mask, "BCLR": old & ~mask,
+                       "BCHG": old ^ mask}[m]
+                yield from self.bus.write(addr, new, 1)
+        return instruction_timing(instr)
+
+    def _movem(self, instr: Instruction, size: int, pc: int):
+        """MOVEM: multi-register transfer.
+
+        Loads/stores proceed in mask order (D0→A7 ascending), except the
+        pre-decrement store form which runs A7→D0 with the address moving
+        downward, exactly like the hardware.
+        """
+        ea = instr.operands[0]
+        regs = sorted(
+            instr.reg_list,
+            key=lambda r: (r[0] == "A", r[1]),
+        )
+
+        def read_reg(kind, num):
+            return self.regs.d[num] if kind == "D" else self.regs.a[num]
+
+        def write_reg(kind, num, value):
+            # MOVEM.W loads sign-extend into the full register.
+            if size == 2:
+                value = to_unsigned(sign_extend(value, 16), 4)
+            if kind == "D":
+                self.regs.d[num] = value & 0xFFFF_FFFF
+            else:
+                self.regs.a[num] = value & 0xFFFF_FFFF
+
+        if instr.movem_store:
+            if ea.mode is Mode.PREDEC:
+                for kind, num in reversed(regs):
+                    self.regs.a[ea.reg] = (self.regs.a[ea.reg] - size) \
+                        & 0xFFFF_FFFF
+                    yield from self.bus.write(
+                        self.regs.a[ea.reg],
+                        to_unsigned(read_reg(kind, num), size), size,
+                    )
+            else:
+                addr = self._ea_address(ea, size, pc) \
+                    if ea.mode is not Mode.IND else self.regs.a[ea.reg]
+                for kind, num in regs:
+                    yield from self.bus.write(
+                        addr, to_unsigned(read_reg(kind, num), size), size
+                    )
+                    addr += size
+        else:
+            if ea.mode is Mode.POSTINC:
+                for kind, num in regs:
+                    value = yield from self.bus.read(
+                        self.regs.a[ea.reg], size
+                    )
+                    write_reg(kind, num, value)
+                    self.regs.a[ea.reg] = (self.regs.a[ea.reg] + size) \
+                        & 0xFFFF_FFFF
+            else:
+                addr = self._ea_address(ea, size, pc) \
+                    if ea.mode is not Mode.IND else self.regs.a[ea.reg]
+                for kind, num in regs:
+                    value = yield from self.bus.read(addr, size)
+                    write_reg(kind, num, value)
+                    addr += size
+        return instruction_timing(instr)
+
+    # ------------------------------------------------------------------
+    def _unary_result(self, m: str, old: int, size: int) -> tuple[int, int]:
+        if m == "CLR":
+            return 0, 0
+        if m == "NOT":
+            return to_unsigned(~old, size), 0
+        if m == "NEG":
+            return to_unsigned(-old, size), 0
+        if m == "NEGX":
+            x_in = int(self.regs.ccr.x)
+            return to_unsigned(-old - x_in, size), x_in
+        if m == "TAS":
+            return to_unsigned(old | 0x80, 1), 0
+        raise AssertionError(m)
+
+    def _unary_flags(self, m: str, old: int, new: int, size: int) -> None:
+        ccr = self.regs.ccr
+        if m == "CLR":
+            ccr.n, ccr.z, ccr.v, ccr.c = False, True, False, False
+        elif m == "NOT":
+            ccr.set_nz(new, size)
+        elif m == "NEG":
+            ccr.set_nz(new, size)
+            ccr.c = new != 0
+            ccr.x = ccr.c
+            ccr.v = old == (1 << (size * 8 - 1))  # -MIN overflows
+        elif m == "NEGX":
+            # Z is only *cleared*, never set (multi-precision chains
+            # preserve a zero result built up across words).
+            was_z = ccr.z
+            ccr.set_nz(new, size)
+            ccr.z = was_z and ccr.z
+            # Borrow out of 0 − old − X happens unless old == X == 0.
+            ccr.c = (old != 0) or (new != 0)
+            ccr.x = ccr.c
+            sign_bit = 1 << (size * 8 - 1)
+            ccr.v = bool(old & sign_bit) and bool(new & sign_bit)
+        elif m == "TAS":
+            # Flags reflect the *tested* (pre-set) value.
+            self.regs.ccr.set_nz(old, 1)
+
+    def _shift(self, m: str, value: int, count: int, size: int) -> int:
+        """Apply a shift/rotate; sets flags; returns the new value."""
+        bits = size * 8
+        mask = (1 << bits) - 1
+        ccr = self.regs.ccr
+        value &= mask
+        if count == 0:
+            ccr.set_nz(value, size)
+            # Rotates through X report X in C even for a zero count.
+            ccr.c = ccr.x if m in ("ROXL", "ROXR") else False
+            return value
+        carry = False
+        if m in ("LSL", "ASL"):
+            overflow = False
+            for _ in range(count):
+                carry = bool(value >> (bits - 1))
+                shifted = (value << 1) & mask
+                if m == "ASL" and (value >> (bits - 1)) != (shifted >> (bits - 1)):
+                    overflow = True
+                value = shifted
+            ccr.set_nz(value, size)
+            ccr.c = ccr.x = carry
+            ccr.v = overflow if m == "ASL" else False
+        elif m == "LSR":
+            for _ in range(count):
+                carry = bool(value & 1)
+                value >>= 1
+            ccr.set_nz(value, size)
+            ccr.c = ccr.x = carry
+        elif m == "ASR":
+            sign = value >> (bits - 1)
+            for _ in range(count):
+                carry = bool(value & 1)
+                value = (value >> 1) | (sign << (bits - 1))
+            ccr.set_nz(value, size)
+            ccr.c = ccr.x = carry
+        elif m == "ROL":
+            for _ in range(count):
+                top = value >> (bits - 1)
+                value = ((value << 1) | top) & mask
+                carry = bool(top)
+            ccr.set_nz(value, size)
+            ccr.c = carry
+        elif m == "ROR":
+            for _ in range(count):
+                low = value & 1
+                value = (value >> 1) | (low << (bits - 1))
+                carry = bool(low)
+            ccr.set_nz(value, size)
+            ccr.c = carry
+        elif m == "ROXL":
+            x = ccr.x
+            for _ in range(count):
+                top = bool(value >> (bits - 1))
+                value = ((value << 1) | int(x)) & mask
+                x = top
+            ccr.set_nz(value, size)
+            ccr.c = ccr.x = x
+        elif m == "ROXR":
+            x = ccr.x
+            for _ in range(count):
+                low = bool(value & 1)
+                value = (value >> 1) | (int(x) << (bits - 1))
+                x = low
+            ccr.set_nz(value, size)
+            ccr.c = ccr.x = x
+        else:  # pragma: no cover
+            raise AssertionError(m)
+        return value
+
+    # ------------------------------------------------------------------
+    def _alu(self, instr: Instruction, m: str, ops, size: int, pc: int):
+        """Generator for the ADD/SUB/CMP/logic families (all variants)."""
+        ccr = self.regs.ccr
+        src, dst = ops
+        base = m.rstrip("IQA")  # ADDI/ADDQ/ADDA → ADD, CMPA/CMPI → CMP...
+        if m in ("ADDA", "SUBA", "CMPA"):
+            base = m[:-1]
+        elif m in ALU_IMM:
+            base = m[:-1]
+        elif m in QUICK:
+            base = m[:-1]
+
+        src_val = yield from self._read_operand(src, size, pc)
+        if m in ALU_ADDR:
+            # Word sources sign-extend; operation is on the full 32 bits.
+            if size == 2:
+                src_val32 = to_unsigned(sign_extend(src_val, 16), 4)
+            else:
+                src_val32 = src_val
+            dst_val = self.regs.read_a(dst.reg, 4)
+            if base == "ADD":
+                self.regs.write_a(dst.reg, dst_val + src_val32, 4)
+            elif base == "SUB":
+                self.regs.write_a(dst.reg, dst_val - src_val32, 4)
+            else:  # CMPA
+                self._sub_flags(dst_val, src_val32, 4, set_x=False)
+            return instruction_timing(instr)
+
+        if m in QUICK and dst.mode is Mode.AREG:
+            dst_val = self.regs.read_a(dst.reg, 4)
+            delta = int(src.value)
+            if base == "ADD":
+                self.regs.write_a(dst.reg, dst_val + delta, 4)
+            else:
+                self.regs.write_a(dst.reg, dst_val - delta, 4)
+            return instruction_timing(instr)
+
+        # Resolve destination (register or memory read-modify-write).
+        dst_addr = None
+        if dst.mode is Mode.DREG:
+            dst_val = self.regs.read_d(dst.reg, size)
+        else:
+            dst_addr = self._ea_address(dst, size, pc)
+            dst_val = yield from self.bus.read(dst_addr, size)
+
+        store = True
+        if base == "ADD":
+            result = dst_val + src_val
+            self._add_flags(dst_val, src_val, result, size)
+        elif base == "SUB":
+            result = dst_val - src_val
+            self._sub_flags(dst_val, src_val, size=size, set_x=True)
+        elif base == "CMP":
+            result = dst_val
+            self._sub_flags(dst_val, src_val, size=size, set_x=False)
+            store = False
+        elif base == "AND":
+            result = dst_val & src_val
+            ccr.set_nz(result, size)
+        elif base == "OR":
+            result = dst_val | src_val
+            ccr.set_nz(result, size)
+        elif base == "EOR":
+            result = dst_val ^ src_val
+            ccr.set_nz(result, size)
+        else:  # pragma: no cover
+            raise AssertionError(base)
+
+        if store:
+            result = to_unsigned(result, size)
+            if dst.mode is Mode.DREG:
+                self.regs.write_d(dst.reg, result, size)
+            else:
+                yield from self.bus.write(dst_addr, result, size)
+        return instruction_timing(instr)
+
+    def _add_flags(self, a: int, b: int, result: int, size: int) -> None:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        ccr = self.regs.ccr
+        r = result & mask
+        ccr.z = r == 0
+        ccr.n = bool(r >> (bits - 1))
+        ccr.c = result > mask
+        ccr.x = ccr.c
+        sa, sb, sr = a >> (bits - 1), b >> (bits - 1), r >> (bits - 1)
+        ccr.v = (sa == sb) and (sr != sa)
+
+    def _sub_flags(self, a: int, b: int, size: int, *, set_x: bool) -> None:
+        """Flags for ``a - b`` (CMP/SUB semantics)."""
+        bits = size * 8
+        mask = (1 << bits) - 1
+        ccr = self.regs.ccr
+        result = (a - b) & mask
+        ccr.z = result == 0
+        ccr.n = bool(result >> (bits - 1))
+        ccr.c = b > a
+        if set_x:
+            ccr.x = ccr.c
+        sa, sb, sr = a >> (bits - 1), b >> (bits - 1), result >> (bits - 1)
+        ccr.v = (sa != sb) and (sr != sa)

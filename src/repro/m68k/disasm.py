@@ -1,0 +1,92 @@
+"""Disassembler / annotated listing generator.
+
+Instructions already carry structured operands, so "disassembly" here
+means producing a rich listing from an assembled program or a memory of
+instructions: addresses, encodings (word counts), symbolic names for the
+memory-mapped device registers, static manual timings, and timing
+categories — the view you want when arguing about cycle counts.
+"""
+
+from __future__ import annotations
+
+from repro.m68k.assembler import AssembledProgram
+from repro.m68k.addressing import Mode
+from repro.m68k.instructions import BRANCHES, DBCC, Instruction, MULDIV
+from repro.m68k.timing import instruction_timing
+
+
+def _symbolize(instr: Instruction, symbols: dict[int, str]) -> str:
+    """Render an instruction with device addresses replaced by names."""
+    text = str(instr)
+    for op in instr.operands:
+        if op.mode in (Mode.ABS_L, Mode.ABS_W) and isinstance(op.value, int):
+            name = symbols.get(op.value)
+            if name:
+                text = text.replace(f"({op.value}).L", name)
+                text = text.replace(f"({op.value}).W", name)
+    return text
+
+
+def static_timing_note(instr: Instruction) -> str:
+    """Human-readable manual timing for one instruction.
+
+    Data-dependent and outcome-dependent instructions get their ranges.
+    """
+    m = instr.mnemonic
+    if m in ("MULU", "MULS"):
+        lo = instruction_timing(instr, src_value=0)
+        hi = instruction_timing(instr, src_value=0xFFFF if m == "MULU"
+                                else 0x5555)
+        return f"{lo.cycles}-{hi.cycles} cyc (data-dependent)"
+    if m in BRANCHES and m != "BSR":
+        if m == "BRA":
+            return f"{instruction_timing(instr).cycles} cyc"
+        taken = instruction_timing(instr, branch_taken=True)
+        untaken = instruction_timing(instr, branch_taken=False)
+        return f"{taken.cycles}/{untaken.cycles} cyc (taken/not)"
+    if m in DBCC:
+        loop = instruction_timing(instr, branch_taken=True)
+        exit_ = instruction_timing(instr, branch_taken=False,
+                                   dbcc_expired=True)
+        return f"{loop.cycles}/{exit_.cycles} cyc (loop/exit)"
+    if m.startswith("S") and instr.condition is not None and m not in MULDIV:
+        try:
+            t = instruction_timing(instr, branch_taken=True)
+            f = instruction_timing(instr, branch_taken=False)
+            if t.cycles != f.cycles:
+                return f"{f.cycles}/{t.cycles} cyc (false/true)"
+            return f"{t.cycles} cyc"
+        except Exception:  # memory-destination Scc has one timing
+            pass
+    try:
+        t = instruction_timing(instr)
+    except Exception:
+        return "(runtime-dependent)"
+    return f"{t.cycles} cyc ({t.stream_words}s/{t.data_reads}r/{t.data_writes}w)"
+
+
+def disassemble(
+    program: AssembledProgram,
+    *,
+    device_symbols: dict[str, int] | None = None,
+    with_timing: bool = True,
+) -> str:
+    """Produce an annotated listing of an assembled program."""
+    symbols = {v: k for k, v in (device_symbols or {}).items()}
+    # include program labels
+    label_at = {}
+    for name, value in program.symbols.items():
+        label_at.setdefault(value, name)
+    lines = []
+    for addr in sorted(program.instructions):
+        instr = program.instructions[addr]
+        label = f"{label_at[addr]}:" if addr in label_at else ""
+        text = _symbolize(instr, symbols)
+        if isinstance(instr.target, int) and instr.target in label_at:
+            text = text.replace(f"${instr.target:X}", label_at[instr.target])
+        note = f"  ; {static_timing_note(instr)}" if with_timing else ""
+        lines.append(
+            f"{addr:06X}  {instr.encoded_words()}w  {label:<10} "
+            f"{text:<36}{note}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""MC68000 register file and condition codes.
+
+Eight 32-bit data registers (D0–D7), eight 32-bit address registers
+(A0–A7, A7 doubling as the stack pointer), a program counter, and the five
+condition-code flags X N Z V C.
+
+Partial-width writes follow MC68000 semantics: a byte or word write to a
+data register merges into the low bits; *any* write to an address register
+writes all 32 bits (word sources are sign-extended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.bitops import sign_extend, to_unsigned
+
+MASK32 = 0xFFFF_FFFF
+
+
+@dataclass
+class ConditionCodes:
+    """The MC68000 CCR flags."""
+
+    x: bool = False  #: extend
+    n: bool = False  #: negative
+    z: bool = False  #: zero
+    v: bool = False  #: overflow
+    c: bool = False  #: carry
+
+    def set_nz(self, value: int, size: int) -> None:
+        """Set N and Z from a result of ``size`` bytes; clear V and C."""
+        value = to_unsigned(value, size)
+        self.n = bool(value >> (size * 8 - 1))
+        self.z = value == 0
+        self.v = False
+        self.c = False
+
+    def test(self, cond: str) -> bool:
+        """Evaluate an MC68000 condition mnemonic (``EQ``, ``NE``, ...)."""
+        cond = cond.upper()
+        n, z, v, c = self.n, self.z, self.v, self.c
+        table = {
+            "T": True,
+            "F": False,
+            "HI": not c and not z,
+            "LS": c or z,
+            "CC": not c,
+            "HS": not c,
+            "CS": c,
+            "LO": c,
+            "NE": not z,
+            "EQ": z,
+            "VC": not v,
+            "VS": v,
+            "PL": not n,
+            "MI": n,
+            "GE": n == v,
+            "LT": n != v,
+            "GT": (n == v) and not z,
+            "LE": z or (n != v),
+        }
+        try:
+            return table[cond]
+        except KeyError:
+            raise ValueError(f"unknown condition code {cond!r}") from None
+
+    def as_dict(self) -> dict[str, bool]:
+        return {"X": self.x, "N": self.n, "Z": self.z, "V": self.v, "C": self.c}
+
+
+@dataclass
+class RegisterFile:
+    """Data/address registers plus PC and CCR."""
+
+    d: list[int] = field(default_factory=lambda: [0] * 8)
+    a: list[int] = field(default_factory=lambda: [0] * 8)
+    pc: int = 0
+    ccr: ConditionCodes = field(default_factory=ConditionCodes)
+
+    # -- data registers ---------------------------------------------------
+    def read_d(self, n: int, size: int = 4) -> int:
+        """Read the low ``size`` bytes of Dn (unsigned)."""
+        return to_unsigned(self.d[n], size)
+
+    def write_d(self, n: int, value: int, size: int = 4) -> None:
+        """Write the low ``size`` bytes of Dn, preserving the upper bits."""
+        if size == 4:
+            self.d[n] = value & MASK32
+        else:
+            keep_mask = MASK32 ^ ((1 << (size * 8)) - 1)
+            self.d[n] = (self.d[n] & keep_mask) | to_unsigned(value, size)
+
+    # -- address registers ------------------------------------------------
+    def read_a(self, n: int, size: int = 4) -> int:
+        return to_unsigned(self.a[n], size)
+
+    def write_a(self, n: int, value: int, size: int = 4) -> None:
+        """Write An; word-sized sources are sign-extended to 32 bits."""
+        if size == 2:
+            value = sign_extend(value, 16)
+        elif size == 1:
+            raise ValueError("byte operations on address registers are illegal")
+        self.a[n] = value & MASK32
+
+    @property
+    def sp(self) -> int:
+        """A7, the stack pointer."""
+        return self.a[7]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.a[7] = value & MASK32
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a readable register dump (for debugging and tests)."""
+        out: dict[str, int] = {f"D{i}": v for i, v in enumerate(self.d)}
+        out.update({f"A{i}": v for i, v in enumerate(self.a)})
+        out["PC"] = self.pc
+        return out

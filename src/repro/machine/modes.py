@@ -1,0 +1,27 @@
+"""Execution-mode enumeration shared across the library."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExecutionMode(enum.Enum):
+    """The four modes the paper compares (Sections 5–6)."""
+
+    SERIAL = "serial"  #: SISD baseline on one PE
+    SIMD = "simd"  #: broadcast instructions through the Fetch Unit Queue
+    MIMD = "mimd"  #: fully asynchronous PEs, polled network transfers
+    SMIMD = "smimd"  #: MIMD compute + SIMD-queue barrier synchronization
+
+    @property
+    def is_parallel(self) -> bool:
+        return self is not ExecutionMode.SERIAL
+
+    @property
+    def label(self) -> str:
+        return {
+            ExecutionMode.SERIAL: "SISD",
+            ExecutionMode.SIMD: "SIMD",
+            ExecutionMode.MIMD: "MIMD",
+            ExecutionMode.SMIMD: "S/MIMD",
+        }[self]

@@ -1,0 +1,97 @@
+"""Virtual-machine partitioning.
+
+PASM partitions its N PEs into independent virtual machines.  PE *p*
+belongs to MC *p mod Q*; a virtual machine is a set of MCs together with
+all their PEs, so machine sizes are multiples of N/Q.  The experiments use
+p = 4 (one MC), p = 8 (two MCs), and p = 16 (all four MCs).
+
+Logical numbering is *blocked by MC*: logical PEs ``[m*(N/Q), (m+1)*(N/Q))``
+live on the m-th MC of the partition.  This keeps each Fetch Unit's mask a
+contiguous logical range and — verified by test — keeps the algorithm's
+shift permutation cube-admissible in a single circuit setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitionError
+from repro.machine.config import PrototypeConfig
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A virtual machine: ``size`` logical PEs over ``mcs`` Micro Controllers."""
+
+    config: PrototypeConfig
+    size: int
+    first_mc: int = 0
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        if self.size < 1 or self.size & (self.size - 1):
+            raise PartitionError(f"partition size must be a power of two, {self.size}")
+        if self.size > cfg.n_pes:
+            raise PartitionError(
+                f"partition of {self.size} PEs exceeds machine size {cfg.n_pes}"
+            )
+        if self.size < cfg.pes_per_mc and self.size != 1:
+            raise PartitionError(
+                f"partitions smaller than one MC group ({cfg.pes_per_mc} PEs) "
+                "are not supported (except size 1 for the serial baseline)"
+            )
+        if self.first_mc + self.n_mcs_used > cfg.n_mcs:
+            raise PartitionError(
+                f"partition needs MCs [{self.first_mc}, "
+                f"{self.first_mc + self.n_mcs_used}) but machine has "
+                f"{cfg.n_mcs}"
+            )
+
+    @property
+    def n_mcs_used(self) -> int:
+        return max(1, self.size // self.config.pes_per_mc)
+
+    @property
+    def mcs(self) -> list[int]:
+        return list(range(self.first_mc, self.first_mc + self.n_mcs_used))
+
+    @property
+    def pes_per_mc_used(self) -> int:
+        """Logical PEs per MC (= N/Q except for the serial size-1 case)."""
+        return self.size // self.n_mcs_used
+
+    def physical_pe(self, logical: int) -> int:
+        """Map a logical PE number to its physical PE number."""
+        if not 0 <= logical < self.size:
+            raise PartitionError(f"logical PE {logical} out of range [0, {self.size})")
+        mc = self.first_mc + logical // self.pes_per_mc_used
+        slot = logical % self.pes_per_mc_used
+        return mc + slot * self.config.n_mcs
+
+    def logical_pe(self, physical: int) -> int:
+        """Inverse of :meth:`physical_pe`."""
+        mc = physical % self.config.n_mcs
+        slot = physical // self.config.n_mcs
+        logical = (mc - self.first_mc) * self.pes_per_mc_used + slot
+        if not 0 <= logical < self.size or self.physical_pe(logical) != physical:
+            raise PartitionError(f"physical PE {physical} not in partition")
+        return logical
+
+    def mc_of_logical(self, logical: int) -> int:
+        return self.config.mc_of_pe(self.physical_pe(logical))
+
+    def logical_pes_of_mc(self, mc: int) -> list[int]:
+        """Logical PE numbers controlled by partition MC ``mc``."""
+        base = (mc - self.first_mc) * self.pes_per_mc_used
+        return list(range(base, base + self.pes_per_mc_used))
+
+    def shift_permutation(self) -> dict[int, int]:
+        """Physical source→dest map for logical PE i → PE (i-1) mod size.
+
+        This is the single network setting the matrix-multiplication
+        algorithm holds for its entire run.
+        """
+        return {
+            self.physical_pe(i): self.physical_pe((i - 1) % self.size)
+            for i in range(self.size)
+        }

@@ -1,0 +1,425 @@
+"""The PASM machine: partitioned PEs, MCs, network, and the four run modes.
+
+A :class:`PASMMachine` instance owns one simulation environment and one
+virtual machine (partition).  The mode runners return a
+:class:`MachineResult` with the makespan, per-PE and per-category cycle
+breakdowns (the data behind the paper's Figures 6–12), and queue/network
+statistics.
+
+Timing convention: PEs start executing at t = 0 and the result's ``cycles``
+is the time the *last* PE halts, matching the paper's measurement of total
+execution time with the MC68230 interval timers.  The one-time network
+circuit set-up is reported separately (``net_setup_cycles``) and not
+included, as in the paper ("the measurements made do not reflect any
+significant influence from network reconfiguration overhead").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.fetch_unit import FetchUnitController, FetchUnitQueue, MaskRegister, sync_item
+from repro.m68k.assembler import AssembledProgram
+from repro.m68k.instructions import Instruction
+from repro.m68k.timing import CYCLE_SECONDS
+from repro.machine.config import PrototypeConfig
+from repro.machine.modes import ExecutionMode
+from repro.machine.partition import Partition
+from repro.mc import MCOp, MicroController
+from repro.network import CircuitSwitchedNetwork, ExtraStageCubeTopology, NetworkFabric
+from repro.pe import ProcessingElement
+from repro.sim import AllOf, Environment
+
+
+@dataclass
+class MachineResult:
+    """Outcome of one machine run."""
+
+    mode: ExecutionMode
+    p: int
+    cycles: float
+    per_pe_cycles: dict[int, float]
+    per_pe_categories: dict[int, dict[str, float]]
+    instructions: int
+    queue_stats: dict[int, dict[str, float]] = field(default_factory=dict)
+    net_setup_cycles: float = 0.0
+    mc_stats: dict[int, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Makespan in wall seconds on the 8 MHz prototype."""
+        return self.cycles * CYCLE_SECONDS
+
+    def breakdown(self) -> dict[str, float]:
+        """Mean per-PE cycles by timing category.
+
+        The categories sum (plus idle/stall skew) to roughly the makespan;
+        this is the quantity plotted in the paper's Figures 8–10.
+        """
+        if not self.per_pe_categories:
+            return {}
+        cats: dict[str, float] = {}
+        for per_cat in self.per_pe_categories.values():
+            for cat, cyc in per_cat.items():
+                cats[cat] = cats.get(cat, 0.0) + cyc
+        n = len(self.per_pe_categories)
+        return {cat: cyc / n for cat, cyc in cats.items()}
+
+
+class PASMMachine:
+    """One virtual machine on the simulated prototype."""
+
+    def __init__(
+        self,
+        config: PrototypeConfig | None = None,
+        partition_size: int = 4,
+        first_mc: int = 0,
+        *,
+        shared=None,
+    ) -> None:
+        """``shared`` (env, network, fabric) lets several virtual machines
+        coexist on one physical machine — see
+        :class:`repro.machine.multivm.PartitionedMachine`."""
+        self.config = config or PrototypeConfig.calibrated()
+        self.partition = Partition(self.config, partition_size, first_mc)
+        if shared is not None:
+            self.env, self.network, self.fabric = shared
+        else:
+            self.env = Environment()
+            topo = ExtraStageCubeTopology(self.config.n_pes)
+            self.network = CircuitSwitchedNetwork(
+                topo, setup_cycles=self.config.net_setup_cycles
+            )
+            self.fabric = NetworkFabric(
+                self.env, self.network,
+                byte_latency=self.config.net_byte_latency,
+            )
+
+        # Fetch Units and MCs, one per partition MC.
+        self.masks: dict[int, MaskRegister] = {}
+        self.queues: dict[int, FetchUnitQueue] = {}
+        self.controllers: dict[int, FetchUnitController] = {}
+        self.mcs: dict[int, MicroController] = {}
+        for mc in self.partition.mcs:
+            slots = tuple(self.partition.logical_pes_of_mc(mc))
+            mask = MaskRegister(slots)
+            queue = FetchUnitQueue(
+                self.env, self.config.queue_capacity_words, name=f"fuq{mc}"
+            )
+            controller = FetchUnitController(
+                self.env,
+                queue,
+                mask,
+                cycles_per_word=self.config.controller_cycles_per_word,
+                name=f"fuc{mc}",
+            )
+            self.masks[mc] = mask
+            self.queues[mc] = queue
+            self.controllers[mc] = controller
+            self.mcs[mc] = MicroController(
+                self.env, self.config, mask, controller, name=f"MC{mc}"
+            )
+
+        # PEs, indexed by logical number.
+        self.pes: list[ProcessingElement] = []
+        for logical in range(self.partition.size):
+            physical = self.partition.physical_pe(logical)
+            mc = self.partition.mc_of_logical(logical)
+            self.pes.append(
+                ProcessingElement(
+                    self.env,
+                    self.config,
+                    physical,
+                    port=self.fabric.ports[physical],
+                    queue=self.queues[mc],
+                    pe_slot=logical,
+                )
+            )
+        self._net_setup_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def p(self) -> int:
+        return self.partition.size
+
+    def pe(self, logical: int) -> ProcessingElement:
+        return self.pes[logical]
+
+    def connect_shift_circuit(self) -> None:
+        """Establish the algorithm's single network setting.
+
+        PE i sends to PE (i-1) mod p for the whole run; the set-up cost is
+        recorded but, as in the paper, excluded from execution time.
+        """
+        mapping = self.partition.shift_permutation()
+        self._circuits = self.fabric.connect_permutation(mapping)
+        self._net_setup_cycles = self.network.setup_cycles
+
+    def connect_logical_permutation(self, mapping: dict[int, int]) -> None:
+        """Establish circuits for a logical-PE permutation (one setting)."""
+        physical = {
+            self.partition.physical_pe(src): self.partition.physical_pe(dst)
+            for src, dst in mapping.items()
+        }
+        self._circuits = self.fabric.connect_permutation(physical)
+        self._net_setup_cycles += self.network.setup_cycles
+
+    def disconnect_circuits(self) -> None:
+        """Tear down the current circuit setting (must be idle)."""
+        for circuit in getattr(self, "_circuits", []):
+            self.fabric.disconnect(circuit)
+        self._circuits = []
+
+    def run_staged_smimd(
+        self,
+        stages: list[tuple[list[AssembledProgram], dict[int, int], int]],
+        *,
+        charge_setup: bool = True,
+    ) -> MachineResult:
+        """Run S/MIMD stages with network reconfiguration between them.
+
+        Each stage is ``(per-PE programs, logical permutation,
+        sync_words)``.  Unlike the matrix multiplication — designed so one
+        circuit setting lasts the whole run — staged algorithms (e.g.
+        recursive doubling) pay the circuit-switched network's set-up cost
+        at every stage; with ``charge_setup`` the cost is charged in
+        simulated time, making the paper's "time consuming operation"
+        remark measurable.  PE *memory* carries across stages (registers
+        are reset with each stage's program load).
+
+        Returns one result for the whole staged run; its ``cycles`` is the
+        wall makespan including the reconfiguration windows, and
+        ``net_setup_cycles`` totals the charged set-up time.
+        """
+        setup_charged = 0.0
+        self._staged = True
+        for programs, mapping, sync_words in stages:
+            self.disconnect_circuits()
+            if charge_setup and mapping:
+                self.env.run(until=self.env.timeout(
+                    self.config.net_setup_cycles))
+                setup_charged += self.config.net_setup_cycles
+            if mapping:
+                self.connect_logical_permutation(mapping)
+            done = self.start_smimd(programs, sync_words)
+            self.env.run(until=done)
+        result = self._collect(ExecutionMode.SMIMD)
+        result.cycles = self.env.now  # wall time incl. reconfiguration
+        result.net_setup_cycles = setup_charged
+        return result
+
+    # ------------------------------------------------------------------
+    def _collect(self, mode: ExecutionMode) -> MachineResult:
+        per_pe_cycles = {}
+        per_pe_categories = {}
+        instructions = 0
+        for logical, pe in enumerate(self.pes):
+            per_pe_categories[logical] = dict(pe.cpu.category_cycles)
+            per_pe_cycles[logical] = sum(pe.cpu.category_cycles.values())
+            instructions += pe.cpu.instruction_count
+        queue_stats = {
+            mc: {
+                "releases": q.releases,
+                "words_enqueued": q.words_enqueued,
+                "high_water": q.high_water,
+                "empty_stall_cycles": q.empty_stall_cycles,
+            }
+            for mc, q in self.queues.items()
+        }
+        mc_stats = {
+            mc: {"busy_cycles": m.busy_cycles, "blocked_cycles": m.blocked_cycles}
+            for mc, m in self.mcs.items()
+        }
+        return MachineResult(
+            mode=mode,
+            p=self.p,
+            # The makespan is the last PE's finish time (== env.now for a
+            # single VM, but not when other virtual machines share the
+            # environment).
+            cycles=max(per_pe_cycles.values(), default=self.env.now),
+            per_pe_cycles=per_pe_cycles,
+            per_pe_categories=per_pe_categories,
+            instructions=instructions,
+            queue_stats=queue_stats,
+            net_setup_cycles=self._net_setup_cycles,
+            mc_stats=mc_stats,
+        )
+
+    def _start_pes(self):
+        if getattr(self, "_started", False) and not getattr(
+            self, "_staged", False
+        ):
+            raise ConfigurationError(
+                "this PASMMachine already ran a workload; simulated time "
+                "is monotonic — create a fresh machine per run (or use "
+                "run_staged_smimd / PartitionedMachine for multi-phase work)"
+            )
+        self._started = True
+        procs = [pe.run_process() for pe in self.pes]
+        return AllOf(self.env, procs)
+
+    def _run(self, mode: ExecutionMode, done) -> MachineResult:
+        self.env.run(until=done)
+        return self._collect(mode)
+
+    # ------------------------------------------------------------------
+    # start_* methods load a workload and return its completion event
+    # without advancing simulated time, so several virtual machines can be
+    # armed on a shared environment before anything runs.  The run_*
+    # convenience wrappers start, run to completion, and collect.
+    def start_serial(self, program: AssembledProgram):
+        if self.p != 1:
+            raise ConfigurationError(
+                f"serial runs use a size-1 partition, not {self.p}"
+            )
+        self.pes[0].load_program(program)
+        return self._start_pes()
+
+    def run_serial(self, program: AssembledProgram) -> MachineResult:
+        """SISD baseline: the whole problem on one PE."""
+        return self._run(ExecutionMode.SERIAL, self.start_serial(program))
+
+    def start_mimd(self, programs: list[AssembledProgram]):
+        self._check_program_count(programs)
+        for pe, prog in zip(self.pes, programs):
+            pe.load_program(prog)
+        return self._start_pes()
+
+    def run_mimd(self, programs: list[AssembledProgram]) -> MachineResult:
+        """Pure MIMD: every PE runs its own program asynchronously."""
+        return self._run(ExecutionMode.MIMD, self.start_mimd(programs))
+
+    def start_smimd(self, programs: list[AssembledProgram], sync_words: int):
+        self._check_program_count(programs)
+        for pe, prog in zip(self.pes, programs):
+            pe.load_program(prog)
+        for mc in self.partition.mcs:
+            queue = self.queues[mc]
+            mask = self.masks[mc]
+            remaining = sync_words
+            while remaining and queue.try_enqueue(sync_item(mask.enabled)):
+                remaining -= 1
+            if remaining:
+                self.env.process(
+                    self._sync_feeder(queue, mask, remaining),
+                    name=f"syncfeed{mc}",
+                )
+        return self._start_pes()
+
+    def run_smimd(
+        self, programs: list[AssembledProgram], sync_words: int
+    ) -> MachineResult:
+        """Hybrid S/MIMD: MIMD programs + queue-based barriers.
+
+        ``sync_words`` barrier tokens per MC group are made available
+        (pre-enqueued up to queue capacity, topped up by a zero-cost feeder
+        standing in for the otherwise-idle MC, as Section 3 describes).
+        """
+        return self._run(
+            ExecutionMode.SMIMD, self.start_smimd(programs, sync_words)
+        )
+
+    def _sync_feeder(self, queue, mask, remaining: int):
+        for _ in range(remaining):
+            yield from queue.enqueue(sync_item(mask.enabled))
+
+    def start_simd(
+        self,
+        mc_program: list[MCOp] | tuple[MCOp, ...],
+        blocks: dict[str, list[Instruction]],
+        data_programs: list[AssembledProgram] | None = None,
+    ):
+        if data_programs is not None:
+            self._check_program_count(data_programs)
+            for pe, prog in zip(self.pes, data_programs):
+                pe.bus.load_program(prog)
+        for controller in self.controllers.values():
+            for name, instrs in blocks.items():
+                controller.register_block(name, instrs)
+        for pe in self.pes:
+            pe.enter_simd_mode()
+        for mc_id in self.partition.mcs:
+            mc = self.mcs[mc_id]
+            self.env.process(mc.run_program(mc_program), name=f"MC{mc_id}")
+        return self._start_pes()
+
+    def start_simd_assembly(
+        self,
+        mc_program: AssembledProgram,
+        blocks: dict[str, list[Instruction]],
+        block_ids: dict[int, str],
+        data_programs: list[AssembledProgram] | None = None,
+    ):
+        """Arm a SIMD run whose MCs execute *real assembled 68000 code*.
+
+        ``mc_program`` drives the Fetch Unit through the memory-mapped
+        registers of :mod:`repro.mc.assembly_mc`; ``block_ids`` maps the
+        program's FUCTRL values to registered block names.
+        """
+        from repro.mc.assembly_mc import AssemblyMicroController
+
+        if data_programs is not None:
+            self._check_program_count(data_programs)
+            for pe, prog in zip(self.pes, data_programs):
+                pe.bus.load_program(prog)
+        for controller in self.controllers.values():
+            for name, instrs in blocks.items():
+                controller.register_block(name, instrs)
+        for pe in self.pes:
+            pe.enter_simd_mode()
+        self.assembly_mcs = {}
+        for mc_id in self.partition.mcs:
+            amc = AssemblyMicroController(
+                self.env, self.config, self.masks[mc_id],
+                self.controllers[mc_id], block_ids, name=f"MCasm{mc_id}",
+            )
+            amc.load_program(mc_program)
+            amc.run_process()
+            self.assembly_mcs[mc_id] = amc
+        return self._start_pes()
+
+    def run_simd_assembly(
+        self,
+        mc_program: AssembledProgram,
+        blocks: dict[str, list[Instruction]],
+        block_ids: dict[int, str],
+        data_programs: list[AssembledProgram] | None = None,
+    ) -> MachineResult:
+        """SIMD with MCs running assembled code; see start_simd_assembly."""
+        return self._run(
+            ExecutionMode.SIMD,
+            self.start_simd_assembly(mc_program, blocks, block_ids,
+                                     data_programs),
+        )
+
+    def run_simd(
+        self,
+        mc_program: list[MCOp] | tuple[MCOp, ...],
+        blocks: dict[str, list[Instruction]],
+        data_programs: list[AssembledProgram] | None = None,
+    ) -> MachineResult:
+        """SIMD: PEs consume broadcast instructions; MCs run control flow.
+
+        Parameters
+        ----------
+        mc_program:
+            The control program, executed identically by every partition MC
+            (each drives its own Fetch Unit, so groups may drift by data-
+            dependent amounts — exactly as on the prototype).
+        blocks:
+            Straight-line instruction blocks to register in Fetch Unit RAM.
+        data_programs:
+            Optional per-PE programs whose *data segments* are loaded into
+            PE memory (their text, if any, is ignored by SIMD execution).
+        """
+        return self._run(
+            ExecutionMode.SIMD,
+            self.start_simd(mc_program, blocks, data_programs),
+        )
+
+    def _check_program_count(self, programs) -> None:
+        if len(programs) != self.p:
+            raise ConfigurationError(
+                f"need {self.p} per-PE programs, got {len(programs)}"
+            )

@@ -1,0 +1,23 @@
+"""Micro Controller model: timed control programs driving the Fetch Unit."""
+
+from repro.mc.microcontroller import (
+    EnqueueBlock,
+    EnqueueSync,
+    Loop,
+    MCCostModel,
+    MCOp,
+    MicroController,
+    SetMask,
+    WaitController,
+)
+
+__all__ = [
+    "MicroController",
+    "MCOp",
+    "SetMask",
+    "EnqueueBlock",
+    "EnqueueSync",
+    "Loop",
+    "WaitController",
+    "MCCostModel",
+]

@@ -1,0 +1,162 @@
+"""Micro Controllers running real MC68000 code.
+
+The portable way to drive the Fetch Unit is the timed DSL in
+:mod:`repro.mc.microcontroller`; this module provides the full-fidelity
+alternative: the MC CPU is a real :class:`repro.m68k.cpu.CPU` executing an
+assembled control program from its own DRAM, with the Fetch Unit mapped
+into its address space:
+
+========== =========== ====================================================
+``FUMASK``  write word  set the mask register (bit *i* = i-th PE slot)
+``FUCTRL``  write word  command the controller to enqueue block #value
+``FUSYNC``  write word  command the controller to enqueue *value* bare
+                        sync words (barrier tokens)
+``FUWAIT``  read word   returns 0/1 = controller still busy; poll to drain
+========== =========== ====================================================
+
+A ``FUCTRL``/``FUSYNC`` write stalls the MC's bus while the controller's
+one-deep command register is full — exactly the behaviour the DSL models
+with its ``blocked_cycles`` accounting.  Cross-checking the two MC
+implementations against each other (see ``tests/test_assembly_mc.py``) is
+what validates the DSL's costing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError, ConfigurationError
+from repro.fetch_unit import FetchUnitController, MaskRegister
+from repro.m68k.assembler import AssembledProgram
+from repro.m68k.bus import access_count
+from repro.m68k.cpu import CPU
+from repro.m68k.instructions import Instruction
+from repro.machine.config import PrototypeConfig
+from repro.memory.module import MemoryModule
+
+#: MC-visible device addresses (the MC's map is independent of the PEs').
+FU_MASK_ADDR = 0xE0_0000
+FU_CTRL_ADDR = 0xE0_0002
+FU_SYNC_ADDR = 0xE0_0004
+FU_WAIT_ADDR = 0xE0_0006
+
+#: Symbols predefined for MC control programs.
+MC_DEVICE_SYMBOLS = {
+    "FUMASK": FU_MASK_ADDR,
+    "FUCTRL": FU_CTRL_ADDR,
+    "FUSYNC": FU_SYNC_ADDR,
+    "FUWAIT": FU_WAIT_ADDR,
+}
+
+#: MC main-memory size.
+MC_RAM_SIZE = 0x4_0000
+
+
+class MCBus:
+    """The MC CPU's bus: DRAM plus the Fetch Unit device registers."""
+
+    def __init__(
+        self,
+        env,
+        config: PrototypeConfig,
+        mask: MaskRegister,
+        controller: FetchUnitController,
+        block_ids: dict[int, str],
+        name: str = "mcbus",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.mask = mask
+        self.controller = controller
+        self.block_ids = dict(block_ids)
+        self.name = name
+        self.memory = MemoryModule(MC_RAM_SIZE)
+        self.instructions: dict[int, Instruction] = {}
+        self.device_writes = 0
+
+    def load_program(self, program: AssembledProgram) -> None:
+        self.instructions.update(program.instructions)
+        for addr, chunk in program.data:
+            self.memory.load(addr, chunk)
+
+    # -- timing helpers -------------------------------------------------
+    def _ram_cycles(self, n_accesses: int) -> float:
+        cycles = n_accesses * (4 + self.config.ws_main)
+        cycles += self.config.refresh.stall_cycles(self.env.now, n_accesses)
+        return cycles
+
+    # -- CPU bus protocol ------------------------------------------------
+    def fetch_instruction(self, addr: int):
+        try:
+            instr = self.instructions[addr]
+        except KeyError:
+            raise BusError(f"{self.name}: no instruction at {addr:#x}") from None
+        n = instr.encoded_words()
+        yield self.env.timeout(self._ram_cycles(n))
+        return instr
+
+    def fetch_stream_words(self, addr: int, n: int):
+        yield self.env.timeout(self._ram_cycles(n))
+
+    def read(self, addr: int, size: int):
+        if addr == FU_WAIT_ADDR:
+            yield self.env.timeout(4 + self.config.ws_device)
+            return 1 if self.controller.outstanding else 0
+        n = access_count(size)
+        yield self.env.timeout(self._ram_cycles(n))
+        return self.memory.read(addr, size)
+
+    def write(self, addr: int, value: int, size: int):
+        if addr == FU_MASK_ADDR:
+            yield self.env.timeout(4 + self.config.ws_device)
+            self.mask.set_from_bits(value)
+            self.device_writes += 1
+            return
+        if addr == FU_CTRL_ADDR:
+            name = self.block_ids.get(value)
+            if name is None:
+                raise ConfigurationError(
+                    f"{self.name}: FUCTRL write names unknown block id "
+                    f"{value}"
+                )
+            # The write completes when the command register accepts it —
+            # the MC stalls while the controller is two blocks behind.
+            yield from self.controller.submit_block(name)
+            yield self.env.timeout(4 + self.config.ws_device)
+            self.device_writes += 1
+            return
+        if addr == FU_SYNC_ADDR:
+            yield from self.controller.submit_sync_words(value)
+            yield self.env.timeout(4 + self.config.ws_device)
+            self.device_writes += 1
+            return
+        n = access_count(size)
+        yield self.env.timeout(self._ram_cycles(n))
+        self.memory.write(addr, value, size)
+
+    def internal(self, cycles: float):
+        yield self.env.timeout(cycles)
+
+
+class AssemblyMicroController:
+    """An MC whose control program is real assembled MC68000 code."""
+
+    def __init__(
+        self,
+        env,
+        config: PrototypeConfig,
+        mask: MaskRegister,
+        controller: FetchUnitController,
+        block_ids: dict[int, str],
+        name: str = "MCasm",
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.bus = MCBus(env, config, mask, controller, block_ids,
+                         name=f"{name}.bus")
+        self.cpu = CPU(env, self.bus, name=name)
+
+    def load_program(self, program: AssembledProgram) -> None:
+        self.bus.load_program(program)
+        self.cpu.reset(pc=program.entry, sp=MC_RAM_SIZE - 4)
+
+    def run_process(self):
+        return self.env.process(self.cpu.run(), name=self.name)

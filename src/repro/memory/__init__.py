@@ -1,0 +1,21 @@
+"""Memory-system model: regions, wait states, and DRAM refresh.
+
+The paper attributes part of the SIMD speed advantage to memory technology:
+
+* PE main memories are **dynamic** RAM and need one more wait state per
+  access than the Fetch Unit Queue, which is **static** RAM;
+* DRAM refresh is organized to be almost invisible, but "some delay is
+  still possible" — no such delay exists on queue fetches.
+
+This package provides those mechanisms as explicit, testable components:
+:class:`~repro.memory.dram.RefreshModel`,
+:class:`~repro.memory.map.MemoryMap` with per-region wait states and device
+handlers, and :class:`~repro.memory.module.MemoryModule` (a plain RAM
+image).
+"""
+
+from repro.memory.dram import RefreshModel
+from repro.memory.map import MemoryMap, Region, RegionKind
+from repro.memory.module import MemoryModule
+
+__all__ = ["RefreshModel", "MemoryMap", "Region", "RegionKind", "MemoryModule"]

@@ -1,0 +1,78 @@
+"""Address-space regions for the PE bus.
+
+A :class:`MemoryMap` resolves an address to a :class:`Region`.  The PASM PE
+address space contains:
+
+* main RAM (DRAM: one extra wait state, refresh),
+* the reserved **SIMD instruction space** — accesses here are converted by
+  PE logic into Fetch-Unit requests (instruction broadcast; also the barrier
+  trick when read as data),
+* the memory-mapped **network transfer registers** (transmit / receive /
+  status),
+* the MC68230 interval timer (the paper's measurement instrument).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegionKind(enum.Enum):
+    MAIN_RAM = "main_ram"
+    SIMD_SPACE = "simd_space"
+    NET_TX = "net_tx"
+    NET_RX = "net_rx"
+    NET_STATUS = "net_status"
+    TIMER = "timer"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open address range ``[start, end)`` with access properties."""
+
+    kind: RegionKind
+    start: int
+    end: int
+    wait_states: int = 0
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class MemoryMap:
+    """Ordered collection of non-overlapping regions."""
+
+    def __init__(self, regions: list[Region]) -> None:
+        self.regions = sorted(regions, key=lambda r: r.start)
+        for a, b in zip(self.regions, self.regions[1:]):
+            if a.end > b.start:
+                raise ValueError(
+                    f"overlapping regions {a.kind.value} and {b.kind.value}"
+                )
+
+    def lookup(self, addr: int) -> Region:
+        """Region containing ``addr``; raises BusError when unmapped."""
+        from repro.errors import BusError
+
+        lo, hi = 0, len(self.regions) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            region = self.regions[mid]
+            if addr < region.start:
+                hi = mid - 1
+            elif addr >= region.end:
+                lo = mid + 1
+            else:
+                return region
+        raise BusError(f"unmapped address {addr:#x}")
+
+    def find(self, kind: RegionKind) -> Region:
+        for region in self.regions:
+            if region.kind is kind:
+                return region
+        raise KeyError(kind)

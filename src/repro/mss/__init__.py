@@ -1,0 +1,9 @@
+"""The Memory Storage System: PASM's parallel secondary memory."""
+
+from repro.mss.storage import (
+    FrameRequest,
+    MemoryStorageSystem,
+    StorageUnit,
+)
+
+__all__ = ["MemoryStorageSystem", "StorageUnit", "FrameRequest"]

@@ -1,0 +1,144 @@
+"""Memory Storage System and double-buffered PE memories.
+
+PASM's design pairs the Parallel Computation Unit with a **Memory Storage
+System**: N/Q parallel secondary-storage units feeding the PEs'
+double-buffered memory modules, so the next data set streams in while the
+PEs compute on the current one.  The paper leans on this design point when
+motivating the columnar data format ("Data uniformity is also desirable
+to facilitate parallel I/O transfers of large data sets from secondary
+memory"), and the prototype's double-buffered PE memories are what make
+multi-problem pipelines profitable.
+
+Model:
+
+* one :class:`StorageUnit` per MC group, loading its group's PEs
+  sequentially (seek latency + a per-word streaming rate), all units in
+  parallel;
+* each PE owns a *spare* memory bank; :meth:`MemoryStorageSystem
+  .swap_bank` exchanges the PE's active memory with the spare in O(1) —
+  the frame switch of the real hardware;
+* :meth:`MemoryStorageSystem.load_into_spares` is a simulation process,
+  so I/O genuinely overlaps PE execution in simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memory.module import MemoryModule
+from repro.sim import AllOf
+
+
+@dataclass(frozen=True)
+class FrameRequest:
+    """One chunk of a load: ``words`` written at ``addr`` of a PE's spare."""
+
+    logical_pe: int
+    addr: int
+    words: "np.ndarray"
+
+
+@dataclass
+class StorageUnit:
+    """One parallel secondary-storage unit (serves one MC group)."""
+
+    unit_id: int
+    seek_cycles: int
+    cycles_per_word: int
+    words_transferred: int = 0
+    busy_cycles: float = 0.0
+
+    def transfer_time(self, n_words: int) -> float:
+        return self.seek_cycles + self.cycles_per_word * n_words
+
+
+class MemoryStorageSystem:
+    """The MSS bound to one machine's PEs.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`repro.machine.pasm.PASMMachine` (its partition defines
+        the unit-to-PE mapping).
+    seek_cycles / cycles_per_word:
+        Per-request latency and streaming rate of each storage unit.
+    """
+
+    def __init__(
+        self, machine, *, seek_cycles: int = 2000, cycles_per_word: int = 2
+    ) -> None:
+        self.machine = machine
+        self.env = machine.env
+        part = machine.partition
+        self.units = {
+            mc: StorageUnit(mc, seek_cycles, cycles_per_word)
+            for mc in part.mcs
+        }
+        # One spare bank per PE, same size as the active memory.
+        self._spares = {
+            lp: MemoryModule(machine.config.ram_size)
+            for lp in range(part.size)
+        }
+        self.swaps = 0
+
+    # ------------------------------------------------------------------
+    def spare(self, logical_pe: int) -> MemoryModule:
+        """The PE's inactive bank (what loads stream into)."""
+        return self._spares[logical_pe]
+
+    def swap_bank(self, logical_pe: int) -> None:
+        """Exchange the PE's active memory with its spare (the O(1) frame
+        switch).  Must happen while the PE is not mid-run."""
+        pe = self.machine.pe(logical_pe)
+        active = pe.memory
+        pe.memory = self._spares[logical_pe]
+        pe.bus.memory = pe.memory
+        self._spares[logical_pe] = active
+        self.swaps += 1
+
+    def swap_all(self) -> None:
+        for lp in self._spares:
+            self.swap_bank(lp)
+
+    # ------------------------------------------------------------------
+    def load_into_spares(self, requests: list[FrameRequest]):
+        """Simulation process: stream ``requests`` into the spare banks.
+
+        Each storage unit handles its own MC group's PEs sequentially;
+        units run in parallel.  Returns (as the process's value) the
+        completion time.
+        """
+        part = self.machine.partition
+        by_unit: dict[int, list[FrameRequest]] = {mc: [] for mc in self.units}
+        for req in requests:
+            if not 0 <= req.logical_pe < part.size:
+                raise ConfigurationError(
+                    f"frame request for unknown PE {req.logical_pe}"
+                )
+            by_unit[part.mc_of_logical(req.logical_pe)].append(req)
+
+        def unit_proc(unit: StorageUnit, queue: list[FrameRequest]):
+            start = self.env.now
+            for req in queue:
+                words = np.asarray(req.words, dtype=np.uint16)
+                yield self.env.timeout(unit.transfer_time(len(words)))
+                self._spares[req.logical_pe].write_words(req.addr, words)
+                unit.words_transferred += len(words)
+            unit.busy_cycles += self.env.now - start
+
+        procs = [
+            self.env.process(unit_proc(self.units[mc], queue),
+                             name=f"mss{mc}")
+            for mc, queue in by_unit.items() if queue
+        ]
+        if not procs:
+            return self.env.timeout(0)
+
+        def waiter():
+            yield AllOf(self.env, procs)
+            return self.env.now
+
+        return self.env.process(waiter(), name="mss")

@@ -1,0 +1,41 @@
+"""Circuit-switched Extra-Stage Cube interconnection network.
+
+The PASM prototype's PEs communicate through a circuit-switched
+**Extra-Stage Cube** (ESC) network — a Generalized Cube multistage network
+(log2 N stages of 2x2 interchange boxes, stage *i* pairing lines that
+differ in bit *i*) augmented with an extra input stage that duplicates the
+cube-0 stage.  The extra stage provides a second, disjoint-in-the-middle
+path between every source/destination pair, making the network
+single-fault tolerant (Adams & Siegel, 1982).
+
+The data path is 8 bits wide; 16-bit matrix elements therefore cross the
+network as two byte transfers framed by shift/OR instructions, exactly as
+Section 4 of the paper describes.
+
+Components:
+
+* :mod:`~repro.network.topology` — stages, interchange boxes, link naming;
+* :mod:`~repro.network.routing` — destination-tag path computation with
+  fault avoidance via the extra stage;
+* :mod:`~repro.network.circuit` — circuit-switched resource allocation
+  (path set-up, conflict detection, permutation routing);
+* :mod:`~repro.network.transfer` — the PE-visible transfer registers and
+  the byte-moving fabric processes used by the machine simulation.
+"""
+
+from repro.network.circuit import Circuit, CircuitSwitchedNetwork
+from repro.network.routing import Path, route
+from repro.network.topology import ExtraStageCubeTopology, Fault, FaultKind
+from repro.network.transfer import NetworkFabric, TransferPort
+
+__all__ = [
+    "ExtraStageCubeTopology",
+    "Fault",
+    "FaultKind",
+    "Path",
+    "route",
+    "Circuit",
+    "CircuitSwitchedNetwork",
+    "NetworkFabric",
+    "TransferPort",
+]

@@ -1,0 +1,175 @@
+"""Permutation families and one-pass admissibility analysis.
+
+The matrix-multiplication algorithm was *designed around* the network: it
+needs only the uniform shift, which the cube passes in a single circuit
+setting.  These utilities make that kind of reasoning a library feature:
+generators for the classic permutation families (shifts, exchanges,
+shuffles, bit reversal, butterflies, transpose) and an analyzer that
+reports whether — and where — a permutation blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+from repro.network.circuit import CircuitSwitchedNetwork
+from repro.network.routing import route
+from repro.network.topology import ExtraStageCubeTopology
+
+
+# ---------------------------------------------------------------------------
+# permutation families (all return {source: dest} over N terminals)
+def shift(n_terminals: int, amount: int = 1) -> dict[int, int]:
+    """Uniform cyclic shift: i → (i + amount) mod N."""
+    return {i: (i + amount) % n_terminals for i in range(n_terminals)}
+
+
+def exchange(n_terminals: int, bit: int) -> dict[int, int]:
+    """Cube exchange: complement one address bit (i → i XOR 2^bit)."""
+    if not 0 <= bit < n_terminals.bit_length() - 1:
+        raise NetworkError(f"bit {bit} out of range for N={n_terminals}")
+    return {i: i ^ (1 << bit) for i in range(n_terminals)}
+
+
+def bit_reversal(n_terminals: int) -> dict[int, int]:
+    """i → reverse of i's address bits (the FFT permutation)."""
+    bits = n_terminals.bit_length() - 1
+    return {
+        i: int(format(i, f"0{bits}b")[::-1], 2) for i in range(n_terminals)
+    }
+
+
+def perfect_shuffle(n_terminals: int) -> dict[int, int]:
+    """i → rotate-left of i's address bits."""
+    bits = n_terminals.bit_length() - 1
+    mask = n_terminals - 1
+    return {
+        i: ((i << 1) | (i >> (bits - 1))) & mask for i in range(n_terminals)
+    }
+
+
+def butterfly(n_terminals: int) -> dict[int, int]:
+    """i → swap most- and least-significant address bits."""
+    bits = n_terminals.bit_length() - 1
+    hi = 1 << (bits - 1)
+    out = {}
+    for i in range(n_terminals):
+        top, low = (i & hi) >> (bits - 1), i & 1
+        j = (i & ~(hi | 1)) | (low << (bits - 1)) | top
+        out[i] = j
+    return out
+
+
+def matrix_transpose(n_terminals: int) -> dict[int, int]:
+    """i → swap the high and low halves of i's address bits."""
+    bits = n_terminals.bit_length() - 1
+    if bits % 2:
+        raise NetworkError(
+            f"transpose needs an even number of address bits, N={n_terminals}"
+        )
+    half = bits // 2
+    mask = (1 << half) - 1
+    return {
+        i: ((i & mask) << half) | (i >> half) for i in range(n_terminals)
+    }
+
+
+def identity(n_terminals: int) -> dict[int, int]:
+    return {i: i for i in range(n_terminals)}
+
+
+#: Named registry used by the analyzer and tests.
+FAMILIES = {
+    "identity": identity,
+    "shift+1": lambda n: shift(n, 1),
+    "shift-1": lambda n: shift(n, -1),
+    "shift+N/2": lambda n: shift(n, n // 2),
+    "exchange bit 0": lambda n: exchange(n, 0),
+    "bit reversal": bit_reversal,
+    "perfect shuffle": perfect_shuffle,
+    "butterfly": butterfly,
+    "transpose": matrix_transpose,
+}
+
+
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissibilityReport:
+    """One-pass routability of a permutation."""
+
+    admissible: bool
+    n_circuits: int
+    first_conflict: tuple[int, int] | None  #: (stage, line) that blocked
+    conflicting_pair: tuple[int, int] | None  #: the (src, dst) that failed
+    used_extra_stage: int = 0  #: circuits that needed the exchanged entry
+
+    def __str__(self) -> str:
+        if self.admissible:
+            extra = (f", {self.used_extra_stage} via the extra stage"
+                     if self.used_extra_stage else "")
+            return f"admissible: {self.n_circuits} circuits in one pass{extra}"
+        s, d = self.conflicting_pair
+        stage, line = self.first_conflict
+        return (
+            f"blocked: circuit {s}->{d} conflicts at stage {stage}, "
+            f"output line {line}"
+        )
+
+
+def analyze_permutation(
+    topo: ExtraStageCubeTopology,
+    mapping: dict[int, int],
+    *,
+    extra_stage_enabled: bool = False,
+) -> AdmissibilityReport:
+    """Try to route ``mapping`` in one circuit setting; report the result."""
+    net = CircuitSwitchedNetwork(topo, extra_stage_enabled=extra_stage_enabled)
+    established = []
+    used_extra = 0
+    for src in sorted(mapping):
+        dst = mapping[src]
+        try:
+            circuit = net.allocate(src, dst)
+        except NetworkError:
+            # Identify the blocking link for the report.
+            path = route(topo, src, dst,
+                         extra_stage_enabled=extra_stage_enabled)
+            conflict = net._conflicting_link(path)
+            for c in established:
+                net.release(c)
+            return AdmissibilityReport(
+                admissible=False,
+                n_circuits=len(established),
+                first_conflict=conflict,
+                conflicting_pair=(src, dst),
+            )
+        established.append(circuit)
+        if circuit.path.extra_exchanged:
+            used_extra += 1
+    for c in established:
+        net.release(c)
+    return AdmissibilityReport(
+        admissible=True,
+        n_circuits=len(established),
+        first_conflict=None,
+        conflicting_pair=None,
+        used_extra_stage=used_extra,
+    )
+
+
+def admissibility_survey(
+    n_terminals: int = 16, *, extra_stage_enabled: bool = False
+) -> dict[str, AdmissibilityReport]:
+    """Analyze every registered permutation family on one network size."""
+    topo = ExtraStageCubeTopology(n_terminals)
+    out = {}
+    for name, family in FAMILIES.items():
+        try:
+            mapping = family(n_terminals)
+        except NetworkError:
+            continue
+        out[name] = analyze_permutation(
+            topo, mapping, extra_stage_enabled=extra_stage_enabled
+        )
+    return out

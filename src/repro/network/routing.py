@@ -1,0 +1,119 @@
+"""Destination-tag routing with fault avoidance.
+
+A path is the sequence of lines occupied between stages.  Routing through
+the Generalized Cube part is forced: after the stage controlling bit ``i``,
+the current line's bit ``i`` must equal the destination's.  The only
+freedom is the extra stage (when enabled): passing it *straight* or in
+*exchange* yields two paths whose intermediate links differ in bit 0 —
+that choice is what provides fault tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkFaultError
+from repro.network.topology import ExtraStageCubeTopology, Fault, FaultKind
+
+
+@dataclass(frozen=True)
+class Path:
+    """One source→destination circuit through the network.
+
+    ``lines[j]`` is the line occupied *after* traversal stage ``j - 1``
+    (``lines[0]`` is the source terminal, ``lines[-1]`` the destination).
+    """
+
+    source: int
+    dest: int
+    lines: tuple[int, ...]
+    extra_exchanged: bool
+
+    def output_links(self):
+        """Iterate ``(stage, output_line)`` resource claims of the path."""
+        for stage, line in enumerate(self.lines[1:]):
+            yield (stage, line)
+
+    def boxes(self, topo: ExtraStageCubeTopology):
+        """Iterate canonical box ids the path passes through."""
+        for stage in range(topo.n_stages):
+            yield topo.box_of(stage, self.lines[stage])
+
+
+def _blocked(
+    topo: ExtraStageCubeTopology,
+    path_lines: list[int],
+    faults: frozenset[Fault],
+    extra_enabled: bool,
+) -> bool:
+    """Does the candidate path touch any faulty element?
+
+    A bypassed stage's boxes cannot block a straight traversal (the bypass
+    multiplexer skips the box), so extra-stage box faults only matter when
+    the extra stage is enabled.
+    """
+    if not faults:
+        return False
+    for stage in range(topo.n_stages):
+        in_line = path_lines[stage]
+        out_line = path_lines[stage + 1]
+        box_stage, box_line = topo.box_of(stage, in_line)
+        box_matters = extra_enabled or stage != 0
+        if box_matters and Fault(FaultKind.BOX, box_stage, box_line) in faults:
+            return True
+        if Fault(FaultKind.LINK, stage, out_line) in faults:
+            return True
+    return False
+
+
+def _build(topo: ExtraStageCubeTopology, source: int, dest: int,
+           exchange_extra: bool) -> list[int]:
+    lines = [source]
+    current = source
+    for stage in range(topo.n_stages):
+        bit = topo.stage_bit(stage)
+        if stage == 0:
+            if exchange_extra:
+                current ^= 1 << bit
+        else:
+            mask = 1 << bit
+            current = (current & ~mask) | (dest & mask)
+        lines.append(current)
+    return lines
+
+
+def route(
+    topo: ExtraStageCubeTopology,
+    source: int,
+    dest: int,
+    *,
+    faults: frozenset[Fault] | set[Fault] = frozenset(),
+    extra_stage_enabled: bool = False,
+    prefer_exchange: bool = False,
+) -> Path:
+    """Compute a fault-free path from ``source`` to ``dest``.
+
+    With the extra stage bypassed there is exactly one candidate path (the
+    Generalized Cube's unique route).  With it enabled, both the straight
+    and exchanged variants are tried — ``prefer_exchange`` flips the order,
+    which the circuit allocator uses to resolve conflicts.
+
+    Raises :class:`~repro.errors.NetworkFaultError` when every candidate
+    touches a faulty element.
+    """
+    n = topo.n_terminals
+    if not (0 <= source < n and 0 <= dest < n):
+        raise ValueError(f"terminal out of range: {source}->{dest} (N={n})")
+    faults = frozenset(faults)
+    options = [False] if not extra_stage_enabled else (
+        [True, False] if prefer_exchange else [False, True]
+    )
+    for exchange in options:
+        lines = _build(topo, source, dest, exchange)
+        if not _blocked(topo, lines, faults, extra_stage_enabled):
+            return Path(source, dest, tuple(lines), exchange)
+    raise NetworkFaultError(
+        f"no fault-free path {source}->{dest} "
+        f"(extra stage {'enabled' if extra_stage_enabled else 'bypassed'}, "
+        f"{len(faults)} fault(s))"
+    )

@@ -1,0 +1,90 @@
+"""Extra-Stage Cube topology.
+
+Stage layout for ``N = 2**n`` terminals, in traversal order from source to
+destination::
+
+    stage index 0:      the EXTRA stage, implementing cube_0
+    stage index 1..n:   the Generalized Cube stages, implementing
+                        cube_{n-1} ... cube_0
+
+Each stage contains ``N/2`` two-by-two interchange boxes; the box at stage
+``s`` handling line ``l`` pairs lines ``l`` and ``l ^ bit(s)``.  The extra
+stage and the final cube_0 stage carry bypass multiplexers: when a stage is
+*bypassed*, its boxes are forced straight (and its boxes cannot fail the
+network, since the bypass path skips them).
+
+In normal operation the extra stage is bypassed; it is enabled to route
+around faults.  This module is pure structure — no simulation state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    BOX = "box"  #: a whole interchange box is faulty
+    LINK = "link"  #: an output link of a stage is faulty
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A failed element.
+
+    ``stage`` is a traversal index (0 = extra stage); for ``BOX`` faults
+    ``line`` may be either line of the box (it is canonicalized to the lower
+    one); for ``LINK`` faults ``line`` is the stage's *output* line number.
+    """
+
+    kind: FaultKind
+    stage: int
+    line: int
+
+
+class ExtraStageCubeTopology:
+    """Static structure of an N-terminal Extra-Stage Cube network."""
+
+    def __init__(self, n_terminals: int) -> None:
+        if n_terminals < 2 or n_terminals & (n_terminals - 1):
+            raise ValueError(
+                f"terminal count must be a power of two >= 2, got {n_terminals}"
+            )
+        self.n_terminals = n_terminals
+        self.n_bits = n_terminals.bit_length() - 1
+        #: cube bit controlled by each traversal stage.
+        self.stage_bits = [0] + list(range(self.n_bits - 1, -1, -1))
+
+    @property
+    def n_stages(self) -> int:
+        """Traversal stages including the extra stage (= n + 1)."""
+        return self.n_bits + 1
+
+    def stage_bit(self, stage: int) -> int:
+        """The cube dimension stage ``stage`` can exchange."""
+        return self.stage_bits[stage]
+
+    def box_of(self, stage: int, line: int) -> tuple[int, int]:
+        """Canonical (stage, low-line) id of the box serving ``line``."""
+        bit = self.stage_bit(stage)
+        return (stage, line & ~(1 << bit))
+
+    def partner(self, stage: int, line: int) -> int:
+        """The other line of the box serving ``line`` at ``stage``."""
+        return line ^ (1 << self.stage_bit(stage))
+
+    def boxes(self, stage: int):
+        """Iterate canonical box ids of one stage."""
+        bit = self.stage_bit(stage)
+        for line in range(self.n_terminals):
+            if not line & (1 << bit):
+                yield (stage, line)
+
+    def describe(self) -> str:
+        """Short structural summary (for logs and docs)."""
+        return (
+            f"Extra-Stage Cube: {self.n_terminals} terminals, "
+            f"{self.n_stages} stages (extra + cube"
+            f"{list(range(self.n_bits - 1, -1, -1))}), "
+            f"{self.n_terminals // 2} boxes/stage"
+        )

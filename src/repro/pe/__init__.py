@@ -1,0 +1,5 @@
+"""Processing Element: CPU + memory + network port + SIMD-space logic."""
+
+from repro.pe.processing_element import PEBus, ProcessingElement
+
+__all__ = ["ProcessingElement", "PEBus"]

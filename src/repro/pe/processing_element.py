@@ -1,0 +1,222 @@
+"""Processing Element model.
+
+Each PE is a processor/memory pair plus the address-decode logic that makes
+PASM's mode switching work:
+
+* instruction fetches from **main RAM** run the PE's own (MIMD) program;
+* any access to the reserved **SIMD instruction space** becomes a request
+  to the MC's Fetch Unit Queue — an instruction fetch there receives the
+  next broadcast instruction (SIMD mode), while a *data read* there is the
+  barrier-synchronization trick (the PE proceeds only when all enabled PEs
+  have read);
+* the **network transfer registers** move bytes over the established
+  circuit, blocking in hardware when not ready (SIMD's implicit
+  synchronization) or polled via the status register (MIMD).
+
+Mode switching is therefore "reduced to executing a jump instruction":
+jumping into SIMD space starts consuming broadcast instructions; a
+broadcast jump back to PE memory resumes the MIMD program.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError, SimulationError
+from repro.fetch_unit.queue import FetchUnitQueue
+from repro.m68k.assembler import AssembledProgram
+from repro.m68k.bus import access_count
+from repro.m68k.cpu import CPU
+from repro.m68k.instructions import Instruction
+from repro.machine.config import PrototypeConfig
+from repro.memory.map import RegionKind
+from repro.memory.module import MemoryModule
+from repro.network.transfer import TransferPort
+
+
+class PEBus:
+    """The PE's address decoder / bus timing model."""
+
+    def __init__(
+        self,
+        env,
+        config: PrototypeConfig,
+        memory: MemoryModule,
+        port: TransferPort | None,
+        queue: FetchUnitQueue | None,
+        pe_slot: int,
+        name: str = "pe",
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.map = config.memory_map()
+        self.memory = memory
+        self.port = port
+        self.queue = queue
+        self.pe_slot = pe_slot
+        self.name = name
+        self.instructions: dict[int, Instruction] = {}
+        # -- instrumentation ------------------------------------------------
+        self.stream_accesses = 0
+        self.data_accesses = 0
+        self.queue_fetches = 0
+        self.net_bytes_sent = 0
+        self.net_bytes_received = 0
+        self.sync_reads = 0
+
+    # ------------------------------------------------------------------
+    def load_program(self, program: AssembledProgram) -> None:
+        self.instructions.update(program.instructions)
+        for addr, chunk in program.data:
+            self.memory.load(addr, chunk)
+
+    def _ram_access(self, n_accesses: int, wait_states: int) -> float:
+        cycles = n_accesses * (4 + wait_states)
+        cycles += self.config.refresh.stall_cycles(self.env.now, n_accesses)
+        return cycles
+
+    # -- CPU bus protocol -------------------------------------------------
+    def fetch_instruction(self, addr: int):
+        region = self.map.lookup(addr)
+        if region.kind is RegionKind.MAIN_RAM:
+            try:
+                instr = self.instructions[addr]
+            except KeyError:
+                raise BusError(
+                    f"{self.name}: no instruction at {addr:#x}"
+                ) from None
+            n = instr.encoded_words()
+            self.stream_accesses += n
+            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            return instr
+        if region.kind is RegionKind.SIMD_SPACE:
+            if self.queue is None:
+                raise BusError(f"{self.name}: no Fetch Unit attached")
+            item = yield from self.queue.request(self.pe_slot)
+            if item.payload is None:
+                raise SimulationError(
+                    f"{self.name}: fetched a bare sync word as an instruction"
+                )
+            n = item.words
+            self.queue_fetches += n
+            self.stream_accesses += n
+            # Queue fetches: static RAM, no refresh.
+            yield self.env.timeout(n * (4 + region.wait_states))
+            return item.payload
+        raise BusError(
+            f"{self.name}: cannot execute from {region.kind.value} at {addr:#x}"
+        )
+
+    def fetch_stream_words(self, addr: int, n: int):
+        region = self.map.lookup(addr)
+        self.stream_accesses += n
+        if region.kind is RegionKind.MAIN_RAM:
+            yield self.env.timeout(self._ram_access(n, region.wait_states))
+        else:
+            yield self.env.timeout(n * (4 + region.wait_states))
+
+    def read(self, addr: int, size: int):
+        region = self.map.lookup(addr)
+        kind = region.kind
+        if kind is RegionKind.MAIN_RAM:
+            n = access_count(size)
+            self.data_accesses += n
+            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            return self.memory.read(addr, size)
+        if kind is RegionKind.SIMD_SPACE:
+            # Barrier: a data read from SIMD space consumes one queue word
+            # and completes only when all enabled PEs have read it.
+            item = yield from self.queue.request(self.pe_slot)
+            if item.payload is not None:
+                raise SimulationError(
+                    f"{self.name}: barrier read consumed an instruction "
+                    f"({item.payload})"
+                )
+            self.sync_reads += 1
+            self.data_accesses += 1
+            yield self.env.timeout(4 + region.wait_states)
+            return 0
+        if kind is RegionKind.NET_RX:
+            value = yield from self.port.read_rx()
+            self.net_bytes_received += 1
+            self.data_accesses += 1
+            yield self.env.timeout(4 + region.wait_states)
+            return value
+        if kind is RegionKind.NET_STATUS:
+            self.data_accesses += 1
+            yield self.env.timeout(4 + region.wait_states)
+            return self.port.status()
+        if kind is RegionKind.TIMER:
+            self.data_accesses += access_count(size)
+            yield self.env.timeout(
+                access_count(size) * (4 + region.wait_states)
+            )
+            return int(self.env.now) & ((1 << (8 * size)) - 1)
+        raise BusError(f"{self.name}: cannot read {kind.value} at {addr:#x}")
+
+    def write(self, addr: int, value: int, size: int):
+        region = self.map.lookup(addr)
+        kind = region.kind
+        if kind is RegionKind.MAIN_RAM:
+            n = access_count(size)
+            self.data_accesses += n
+            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            self.memory.write(addr, value, size)
+            return
+        if kind is RegionKind.NET_TX:
+            if size != 1:
+                raise BusError(
+                    f"{self.name}: network data path is 8 bits wide; "
+                    f"{size}-byte write to NET_TX"
+                )
+            yield from self.port.write_tx(value)
+            self.net_bytes_sent += 1
+            self.data_accesses += 1
+            yield self.env.timeout(4 + region.wait_states)
+            return
+        raise BusError(f"{self.name}: cannot write {kind.value} at {addr:#x}")
+
+    def internal(self, cycles: float):
+        yield self.env.timeout(cycles)
+
+
+class ProcessingElement:
+    """A PE: one MC68000 on a :class:`PEBus`."""
+
+    def __init__(
+        self,
+        env,
+        config: PrototypeConfig,
+        physical_id: int,
+        port: TransferPort | None = None,
+        queue: FetchUnitQueue | None = None,
+        pe_slot: int | None = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.physical_id = physical_id
+        self.memory = MemoryModule(config.ram_size)
+        self.bus = PEBus(
+            env,
+            config,
+            self.memory,
+            port,
+            queue,
+            pe_slot if pe_slot is not None else physical_id,
+            name=f"PE{physical_id}",
+        )
+        self.cpu = CPU(env, self.bus, name=f"PE{physical_id}")
+
+    def load_program(self, program: AssembledProgram, *, start_at=None) -> None:
+        """Load code+data and point the CPU at the entry."""
+        self.bus.load_program(program)
+        self.cpu.reset(
+            pc=start_at if start_at is not None else program.entry,
+            sp=self.config.ram_size - 4,
+        )
+
+    def enter_simd_mode(self) -> None:
+        """Point the CPU into the SIMD instruction space (mode switch)."""
+        self.cpu.reset(pc=self.config.simd_space_base, sp=self.config.ram_size - 4)
+
+    def run_process(self):
+        """Create the PE's simulation process."""
+        return self.env.process(self.cpu.run(), name=f"PE{self.physical_id}")

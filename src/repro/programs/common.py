@@ -1,0 +1,207 @@
+"""Shared assembly fragments for the matrix-multiplication programs.
+
+Register conventions (identical across serial, SIMD, MIMD, S/MIMD so the
+measured differences are architectural):
+
+========  ==========================================================
+D0        scratch: A element, then product
+D1        the multiplier (current B element) — constant in the k loop
+D2        k-loop / clear-loop / transfer-loop counter (PE-side loops)
+D3, D4    receive assembly scratch
+D5        poll scratch (MIMD) / added-multiply destination
+D6        v-loop counter (PE-side loops)
+D7        j-loop counter (PE-side loops)
+A0        A-column cursor (walks n words per inner pass)
+A1        C-column cursor
+A2        B-element pointer (via BPTR table)
+A3        TT-table walker
+A4        outgoing-column cursor (network send)
+A5        incoming-store cursor (network receive)
+A6        BPTR-table walker
+========  ==========================================================
+
+Timing categories follow the paper's Figures 8–10 breakdown:
+``mult`` = multiplication time *including related address calculation and
+the C accumulate*; ``comm`` = network transfers including their loop and
+polling; ``other`` = clearing C and pointer rotation; ``control`` =
+PE-side loop bookkeeping (absent in SIMD, where the MC runs it);
+``sync`` = S/MIMD barrier reads.
+"""
+
+from __future__ import annotations
+
+from repro.programs.data import MatmulLayout
+
+#: Register-convention documentation re-exported for the public API.
+BODY_REGISTERS = {
+    "D0": "scratch (A element, product)",
+    "D1": "multiplier (current B element)",
+    "D2": "k/clear/transfer loop counter",
+    "D3": "receive low byte",
+    "D4": "receive high byte",
+    "D5": "poll scratch / added-multiply destination",
+    "D6": "v loop counter",
+    "D7": "j loop counter",
+    "A0": "A column cursor",
+    "A1": "C column cursor",
+    "A2": "B element pointer",
+    "A3": "TT walker",
+    "A4": "send cursor",
+    "A5": "receive-store cursor",
+    "A6": "BPTR walker",
+}
+
+
+def layout_symbols(layout: MatmulLayout) -> dict[str, int]:
+    """Symbols the program sources reference."""
+    return {
+        "ABASE": layout.a_base,
+        "BBASE": layout.b_base,
+        "CBASE": layout.c_base,
+        "TT": layout.tt_base,
+        "BPTR": layout.bptr_base,
+        "COLBYTES": layout.col_bytes,
+    }
+
+
+def inner_body_source(added_multiplies: int) -> str:
+    """The k-loop body: one real multiply-accumulate plus ``m`` added
+    multiplies (the experiments' independent variable).
+
+    The added multiplies use the same data-dependent multiplier (D1) and a
+    throwaway destination, exactly "added as straight line code ... to
+    study the effect on the total execution time" without changing C.
+    """
+    lines = [
+        "        .timecat mult",
+        "        MOVE.W  (A0)+,D0",
+        "        MULU    D1,D0",
+    ]
+    lines += ["        MULU    D1,D5"] * added_multiplies
+    lines += ["        ADD.W   D0,(A1)+"]
+    return "\n".join(lines)
+
+
+def setup_v_source() -> str:
+    """Per-(j,v) setup: next A column, load the multiplier, advance BPTR."""
+    return "\n".join(
+        [
+            "        .timecat mult",
+            "        MOVEA.L (A3)+,A0",  # A0 = TT[v]
+            "        MOVEA.L (A6),A2",  # A2 = BPTR[v]
+            "        MOVE.W  (A2),D1",  # D1 = B element (multiplier)
+            "        ADDQ.L  #2,A2",  # next rotation's row (doubled column)
+            "        MOVE.L  A2,(A6)+",  # store back, walk table
+        ]
+    )
+
+
+def reset_tables_source() -> str:
+    """Per-j reset of the three walkers."""
+    return "\n".join(
+        [
+            "        .timecat mult",
+            "        LEA     TT,A3",
+            "        LEA     BPTR,A6",
+            "        LEA     CBASE,A1",
+        ]
+    )
+
+
+def rotate_source(layout: MatmulLayout) -> str:
+    """Rotate the TT pointer table left by one (straight-line, unrolled).
+
+    "Within each PE, this transfer involves a single memory move, because a
+    pointer to the entire column is changed rather than moving its
+    elements."  The old TT[0] column becomes both the outgoing data and
+    the storage slot for the incoming column (sent element k before
+    receiving element k, so no element is overwritten early).
+    """
+    np_ = layout.cols
+    lines = [
+        "        .timecat other",
+        "        LEA     TT,A3",
+        "        MOVEA.L (A3),A4",  # outgoing column base (old TT[0])
+    ]
+    for v in range(np_ - 1):
+        lines.append(f"        MOVE.L  {4 * (v + 1)}(A3),{4 * v}(A3)")
+    if np_ > 1:
+        lines.append(f"        MOVE.L  A4,{4 * (np_ - 1)}(A3)")
+    lines.append("        MOVEA.L A4,A5")  # incoming store cursor
+    return "\n".join(lines)
+
+
+def xfer_element_source(*, polling: bool, label_prefix: str = "p") -> str:
+    """One 16-bit element across the 8-bit network.
+
+    "Each element transfer required two shift operations (one for
+    transmitting and one for receiving), ... and two network operations"
+    — we send low byte then high byte, and reassemble with a shift and a
+    byte move.  With ``polling`` (pure MIMD), every network-register
+    access is guarded by a status-register poll loop; without (SIMD and
+    S/MIMD), the hardware's implicit synchronization makes transfers plain
+    memory-to-memory moves.
+    """
+    lines = ["        .timecat comm", "        MOVE.W  (A4)+,D0"]
+
+    def poll(bit: int, label: str) -> list[str]:
+        return [
+            f"{label}: MOVE.W  NETSTAT,D5",
+            f"        AND.W   #{bit},D5",
+            f"        BEQ     {label}",
+        ]
+
+    if polling:
+        lines += poll(1, f"{label_prefix}tx1")
+    lines += ["        MOVE.B  D0,NETTX"]
+    lines += ["        LSR.W   #8,D0"]
+    if polling:
+        lines += poll(1, f"{label_prefix}tx2")
+    lines += ["        MOVE.B  D0,NETTX"]
+    if polling:
+        lines += poll(2, f"{label_prefix}rx1")
+    lines += ["        MOVE.B  NETRX,D3"]
+    if polling:
+        lines += poll(2, f"{label_prefix}rx2")
+    lines += [
+        "        MOVE.B  NETRX,D4",
+        "        LSL.W   #8,D4",
+        "        MOVE.B  D3,D4",
+        "        MOVE.W  D4,(A5)+",
+    ]
+    return "\n".join(lines)
+
+
+def clear_c_loop_source(layout: MatmulLayout) -> str:
+    """Loop-based C clear for the serial/MIMD/S-MIMD programs."""
+    words = layout.n * layout.cols
+    return "\n".join(
+        [
+            "        .timecat other",
+            "        LEA     CBASE,A1",
+            f"        MOVE.W  #{(words - 1) & 0xFFFF},D2",
+            "clrloop: CLR.W  (A1)+",
+            "        DBRA    D2,clrloop",
+        ]
+    )
+
+
+def data_section_source(layout: MatmulLayout, logical_pe: int) -> str:
+    """The per-PE data segment: the TT and BPTR pointer tables.
+
+    TT[v] points at A-column slot v (identical on every PE); BPTR[v]
+    points at B[(vp0+v) mod n][local column v] and differs per PE — this
+    is the only per-PE difference, keeping program *text* identical across
+    PEs as the paper requires of its "identical asynchronous MIMD
+    streams".
+    """
+    vp0 = layout.vp0(logical_pe)
+    lines = ["        .data", f"        .org    {layout.tt_base}"]
+    tt = ",".join(str(layout.a_col_addr(v)) for v in range(layout.cols))
+    lines.append(f"ttvec:  .dc.l   {tt}")
+    lines.append(f"        .org    {layout.bptr_base}")
+    bp = ",".join(
+        str(layout.b_elem_addr(vp0 + v, v)) for v in range(layout.cols)
+    )
+    lines.append(f"bpvec:  .dc.l   {bp}")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""A second workload: image intensity transform (pixel squaring).
+
+PASM's motivating domain is image processing; this kernel computes
+``out = (pixel² >> 8) & 0xFFFF`` over a strip of pixels per PE.  Unlike
+matrix multiplication it needs **no communication at all**, which isolates
+the paper's central effect: the multiplier of each ``MULU`` is the pixel
+itself, so instruction times are data-dependent and a SIMD broadcast runs
+at the per-pixel *max* across PEs while the asynchronous modes run at each
+PE's own pace.  Against that stands SIMD's usual fixed advantage (queue
+fetches + hidden loop control) — the same tradeoff as Figure 7, in its
+purest form.
+
+Per-pixel body (identical in all modes)::
+
+    MOVE.W  (A0)+,D1      ; pixel (also the multiplier)
+    MULU    D1,D1         ; 38 + 2·popcount(pixel) cycles
+    LSR.L   #8,D1
+    MOVE.W  D1,(A1)+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.m68k.assembler import AssembledProgram, assemble
+from repro.machine import ExecutionMode, MachineResult, PASMMachine
+from repro.mc import EnqueueBlock, Loop, MCOp
+
+#: Per-PE memory layout.
+PIXELS_ADDR = 0x4000
+OUT_ADDR = 0x8000
+
+_BODY = """
+        .timecat mult
+        MOVE.W  (A0)+,D1
+        MULU    D1,D1
+        LSR.L   #8,D1
+        MOVE.W  D1,(A1)+
+"""
+
+_INIT = f"""
+        .timecat other
+        LEA     {PIXELS_ADDR},A0
+        LEA     {OUT_ADDR},A1
+"""
+
+
+@dataclass(frozen=True)
+class IntensityBundle:
+    """A ready-to-run intensity-transform workload."""
+
+    mode: ExecutionMode
+    p: int
+    pixels_per_pe: int
+    programs: tuple[AssembledProgram, ...] = ()
+    blocks: dict | None = None
+    mc_program: tuple[MCOp, ...] | None = None
+
+
+def reference_transform(pixels: np.ndarray) -> np.ndarray:
+    """The numpy oracle: (pixel² >> 8) & 0xFFFF."""
+    squared = pixels.astype(np.uint32) ** 2
+    return ((squared >> 8) & 0xFFFF).astype(np.uint16)
+
+
+def build_intensity(
+    mode: ExecutionMode, pixels_per_pe: int, p: int = 4
+) -> IntensityBundle:
+    """Generate the workload for one mode."""
+    if pixels_per_pe < 1:
+        raise ConfigurationError(
+            f"need at least one pixel per PE, got {pixels_per_pe}"
+        )
+    if mode is ExecutionMode.SIMD:
+        blocks = {
+            "init": assemble(_INIT).instruction_list(),
+            "body": assemble(_BODY).instruction_list(),
+            "fini": assemble("    HALT").instruction_list(),
+        }
+        mc_program = (
+            EnqueueBlock("init"),
+            Loop(pixels_per_pe, (EnqueueBlock("body"),)),
+            EnqueueBlock("fini"),
+        )
+        return IntensityBundle(
+            mode=mode, p=p, pixels_per_pe=pixels_per_pe,
+            blocks=blocks, mc_program=mc_program,
+        )
+    # Asynchronous variants: PE-side loop.  The S/MIMD variant needs no
+    # barriers (there is no communication); it differs from MIMD only in
+    # being eligible for them — both reduce to the same program here, and
+    # we keep both mode labels for the comparison tables.
+    source = "\n".join(
+        [
+            _INIT,
+            "        .timecat control",
+            f"        MOVE.W  #{pixels_per_pe - 1},D2",
+            "loop:",
+            _BODY,
+            "        .timecat control",
+            "        DBRA    D2,loop",
+            "        HALT",
+        ]
+    )
+    program = assemble(source)
+    count = 1 if mode is ExecutionMode.SERIAL else p
+    return IntensityBundle(
+        mode=mode, p=p if mode is not ExecutionMode.SERIAL else 1,
+        pixels_per_pe=pixels_per_pe,
+        programs=tuple([program] * count),
+    )
+
+
+def run_intensity(
+    machine: PASMMachine,
+    bundle: IntensityBundle,
+    pixels: np.ndarray,
+) -> tuple[MachineResult, np.ndarray]:
+    """Load pixel strips, run, and return (result, transformed pixels).
+
+    ``pixels`` has shape (p, pixels_per_pe); the output has the same
+    shape, read back from the PE memories.
+    """
+    if pixels.shape != (bundle.p, bundle.pixels_per_pe):
+        raise ConfigurationError(
+            f"pixels shape {pixels.shape} != "
+            f"({bundle.p}, {bundle.pixels_per_pe})"
+        )
+    if machine.p != bundle.p:
+        raise ConfigurationError(
+            f"machine partition ({machine.p}) != bundle p ({bundle.p})"
+        )
+    for lp in range(bundle.p):
+        machine.pe(lp).memory.write_words(
+            PIXELS_ADDR, pixels[lp].astype(np.uint16)
+        )
+    if bundle.mode is ExecutionMode.SIMD:
+        result = machine.run_simd(list(bundle.mc_program), bundle.blocks)
+    elif bundle.mode is ExecutionMode.SERIAL:
+        result = machine.run_serial(bundle.programs[0])
+    elif bundle.mode is ExecutionMode.SMIMD:
+        result = machine.run_smimd(list(bundle.programs), sync_words=1)
+    else:
+        result = machine.run_mimd(list(bundle.programs))
+    out = np.stack(
+        [
+            machine.pe(lp).memory.read_words(OUT_ADDR, bundle.pixels_per_pe)
+            for lp in range(bundle.p)
+        ]
+    )
+    return result, out

@@ -1,0 +1,143 @@
+"""Build-and-run entry points tying programs to the machine.
+
+:func:`build_matmul` produces a :class:`MatmulBundle` for any mode;
+:func:`run_matmul` loads the matrices, establishes the network circuit,
+runs the machine, and returns both the timing result and the computed
+product (extracted from PE memories) for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionMode, MachineResult, PASMMachine
+from repro.programs.data import (
+    MatmulLayout,
+    assemble_result,
+    load_pe_matrices,
+    read_pe_result,
+)
+from repro.programs.parallel import build_parallel_programs
+from repro.programs.serial import build_serial_program
+from repro.programs.simd import SIMDMatmul, build_simd_matmul
+
+
+@dataclass
+class MatmulBundle:
+    """A ready-to-run matrix-multiplication workload."""
+
+    mode: ExecutionMode
+    layout: MatmulLayout
+    added_multiplies: int
+    programs: list = field(default_factory=list)  #: per-PE (serial/MIMD/SMIMD)
+    simd: SIMDMatmul | None = None
+    sync_words: int = 0
+
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    @property
+    def p(self) -> int:
+        return self.layout.p
+
+
+def build_matmul(
+    mode: ExecutionMode,
+    n: int,
+    p: int,
+    *,
+    added_multiplies: int = 0,
+    device_symbols: dict[str, int] | None = None,
+) -> MatmulBundle:
+    """Generate the programs for one (mode, n, p, m) configuration."""
+    if mode is ExecutionMode.SERIAL and p != 1:
+        raise ConfigurationError("serial mode requires p == 1")
+    layout = MatmulLayout(n, p)
+    symbols = device_symbols or {}
+    if mode is ExecutionMode.SERIAL:
+        return MatmulBundle(
+            mode=mode,
+            layout=layout,
+            added_multiplies=added_multiplies,
+            programs=[build_serial_program(layout, added_multiplies, symbols)],
+        )
+    if mode is ExecutionMode.SIMD:
+        return MatmulBundle(
+            mode=mode,
+            layout=layout,
+            added_multiplies=added_multiplies,
+            simd=build_simd_matmul(
+                layout,
+                added_multiplies=added_multiplies,
+                device_symbols=symbols,
+            ),
+        )
+    barrier = mode is ExecutionMode.SMIMD
+    return MatmulBundle(
+        mode=mode,
+        layout=layout,
+        added_multiplies=added_multiplies,
+        programs=build_parallel_programs(
+            layout,
+            added_multiplies=added_multiplies,
+            barrier=barrier,
+            device_symbols=symbols,
+        ),
+        sync_words=n if barrier else 0,
+    )
+
+
+@dataclass
+class MatmulRun:
+    """Result of executing a bundle: timing plus the computed product."""
+
+    result: MachineResult
+    product: np.ndarray
+    bundle: MatmulBundle
+    machine: Any = None
+
+
+def run_matmul(
+    machine: PASMMachine,
+    bundle: MatmulBundle,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> MatmulRun:
+    """Load data, run the bundle on ``machine``, extract C.
+
+    The machine's partition size must equal the bundle's p, and the
+    machine must be fresh (one run per PASMMachine instance — simulated
+    time is not reset between runs).
+    """
+    if machine.p != bundle.p:
+        raise ConfigurationError(
+            f"machine partition ({machine.p}) != bundle p ({bundle.p})"
+        )
+    layout = bundle.layout
+    for logical in range(bundle.p):
+        load_pe_matrices(machine.pe(logical).memory, layout, logical, a, b)
+    if bundle.p > 1:
+        machine.connect_shift_circuit()
+
+    if bundle.mode is ExecutionMode.SERIAL:
+        result = machine.run_serial(bundle.programs[0])
+    elif bundle.mode is ExecutionMode.MIMD:
+        result = machine.run_mimd(bundle.programs)
+    elif bundle.mode is ExecutionMode.SMIMD:
+        result = machine.run_smimd(bundle.programs, sync_words=bundle.sync_words)
+    else:
+        simd = bundle.simd
+        result = machine.run_simd(
+            simd.mc_program, simd.blocks, data_programs=simd.data_programs
+        )
+
+    product = assemble_result(
+        [read_pe_result(machine.pe(i).memory, layout) for i in range(bundle.p)]
+    )
+    return MatmulRun(result=result, product=product, bundle=bundle,
+                     machine=machine)

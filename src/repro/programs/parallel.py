@@ -1,0 +1,107 @@
+"""The MIMD and S/MIMD matrix-multiplication programs.
+
+Both run the same asynchronous compute structure (Section 5.2/5.3); they
+differ only in how network readiness is established:
+
+* **MIMD** polls the status register before every network-register access
+  ("the asynchronous network operations necessitated polling of the
+  network buffer");
+* **S/MIMD** replaces the polls with one barrier read from the SIMD
+  instruction space per rotation step, re-aligning the PEs so transfers
+  run as plain move instructions, "at low cost".
+
+Program *text* is identical across PEs; per-PE differences live entirely
+in the data segment (the BPTR table).
+"""
+
+from __future__ import annotations
+
+from repro.m68k.assembler import AssembledProgram, assemble
+from repro.programs.common import (
+    clear_c_loop_source,
+    data_section_source,
+    inner_body_source,
+    layout_symbols,
+    reset_tables_source,
+    rotate_source,
+    setup_v_source,
+    xfer_element_source,
+)
+from repro.programs.data import MatmulLayout
+
+
+def parallel_source(
+    layout: MatmulLayout,
+    *,
+    added_multiplies: int,
+    barrier: bool,
+    logical_pe: int,
+) -> str:
+    """Generate one PE's program source.
+
+    ``barrier=False`` gives the pure-MIMD (polling) variant,
+    ``barrier=True`` the S/MIMD variant.
+    """
+    n, cols = layout.n, layout.cols
+    lines = [
+        f"        .org    {layout.text_base}",
+        clear_c_loop_source(layout),
+        "        .timecat control",
+        f"        MOVE.W  #{n - 1},D7",
+        "jloop:",
+        reset_tables_source(),
+        "        .timecat control",
+        f"        MOVE.W  #{cols - 1},D6",
+        "vloop:",
+        setup_v_source(),
+        "        .timecat control",
+        f"        MOVE.W  #{n - 1},D2",
+        "kloop:",
+        inner_body_source(added_multiplies),
+        "        .timecat control",
+        "        DBRA    D2,kloop",
+        "        DBRA    D6,vloop",
+        rotate_source(layout),
+    ]
+    if barrier:
+        lines += [
+            "        .timecat sync",
+            "        MOVE.W  SIMDSPACE,D5",  # barrier: all PEs ready
+        ]
+    lines += [
+        "        .timecat comm",
+        f"        MOVE.W  #{n - 1},D2",
+        "xloop:",
+        xfer_element_source(polling=not barrier),
+        "        DBRA    D2,xloop",
+        "        .timecat control",
+        "        DBRA    D7,jloop",
+        "        HALT",
+        data_section_source(layout, logical_pe),
+    ]
+    return "\n".join(lines)
+
+
+def build_parallel_programs(
+    layout: MatmulLayout,
+    *,
+    added_multiplies: int = 0,
+    barrier: bool = False,
+    device_symbols: dict[str, int],
+) -> list[AssembledProgram]:
+    """Assemble per-PE programs (identical text, per-PE BPTR data)."""
+    symbols = layout_symbols(layout)
+    symbols.update(device_symbols)
+    return [
+        assemble(
+            parallel_source(
+                layout,
+                added_multiplies=added_multiplies,
+                barrier=barrier,
+                logical_pe=i,
+            ),
+            text_origin=layout.text_base,
+            predefined=dict(symbols),
+        )
+        for i in range(layout.p)
+    ]

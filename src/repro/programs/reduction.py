@@ -1,0 +1,90 @@
+"""Recursive-doubling reduction: a staged-communication workload.
+
+Computes the sum of one 16-bit value per PE, leaving the total on *every*
+PE, in log₂(p) exchange stages: at stage k each PE swaps its partial with
+the PE whose logical number differs in bit k, then adds.  Each stage needs
+a *different* network permutation (the cube exchanges), so — unlike the
+paper's matrix multiplication, which was designed to hold one circuit
+setting — a circuit-switched network pays its path set-up cost at every
+stage.  This workload makes the paper's "setting up a path in the PASM
+prototype network is a time consuming operation" directly measurable:
+compare ``run_staged_smimd(..., charge_setup=True)`` against ``False``.
+
+The exchange is symmetric (i ↔ i XOR 2^k), which the Extra-Stage Cube
+routes in one pass (it *is* a cube permutation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.m68k.assembler import AssembledProgram, assemble
+from repro.machine import MachineResult, PASMMachine
+
+#: Where each PE's value/partial lives.
+VALUE_ADDR = 0x4000
+
+
+def exchange_stage_source() -> str:
+    """One exchange-and-add stage (identical text on every PE)."""
+    return f"""
+        .timecat sync
+        MOVE.W  SIMDSPACE,D7        ; barrier: partners in step
+        .timecat comm
+        MOVE.W  {VALUE_ADDR},D0     ; my partial
+        MOVE.B  D0,NETTX
+        LSR.W   #8,D0
+        MOVE.B  D0,NETTX
+        MOVE.B  NETRX,D3
+        MOVE.B  NETRX,D4
+        LSL.W   #8,D4
+        MOVE.B  D3,D4               ; partner's partial
+        .timecat other
+        ADD.W   {VALUE_ADDR},D4
+        MOVE.W  D4,{VALUE_ADDR}
+        HALT
+    """
+
+
+def build_reduction_stage(
+    device_symbols: dict[str, int] | None = None,
+) -> AssembledProgram:
+    from repro.machine import PrototypeConfig
+
+    symbols = device_symbols or PrototypeConfig.calibrated().device_symbols()
+    return assemble(exchange_stage_source(), predefined=symbols)
+
+
+def run_reduction(
+    machine: PASMMachine,
+    values: np.ndarray,
+    *,
+    charge_setup: bool = True,
+) -> tuple[MachineResult, np.ndarray]:
+    """Sum ``values`` (one uint16 per logical PE) across the partition.
+
+    Returns the machine result and the per-PE totals read back (all equal
+    to the 16-bit wrapped sum when it worked).
+    """
+    p = machine.p
+    if p < 2 or p & (p - 1):
+        raise ConfigurationError(f"reduction needs a power-of-two p >= 2, got {p}")
+    if values.shape != (p,):
+        raise ConfigurationError(
+            f"need one value per PE: shape {values.shape} != ({p},)"
+        )
+    for lp in range(p):
+        machine.pe(lp).memory.write(VALUE_ADDR, int(values[lp]), 2)
+
+    program = build_reduction_stage(machine.config.device_symbols())
+    stages = []
+    for k in range(p.bit_length() - 1):
+        mapping = {i: i ^ (1 << k) for i in range(p)}
+        stages.append(([program] * p, mapping, 1))
+    result = machine.run_staged_smimd(stages, charge_setup=charge_setup)
+    totals = np.array(
+        [machine.pe(lp).memory.read(VALUE_ADDR, 2) for lp in range(p)],
+        dtype=np.uint16,
+    )
+    return result, totals

@@ -1,0 +1,65 @@
+"""The optimized serial (SISD) matrix multiplication.
+
+Runs on one PE with all n columns local.  Per the paper, the serial
+program "followed a more straightforward row-column order" rather than the
+parallel version's rotation: for each C/B column c, B's column is walked
+sequentially and each element scales one full A column into C's column c.
+The inner-loop body (and its timing categories) is byte-identical to the
+parallel versions', so speed-up and efficiency comparisons are fair.
+"""
+
+from __future__ import annotations
+
+from repro.m68k.assembler import AssembledProgram, assemble
+from repro.programs.common import (
+    clear_c_loop_source,
+    inner_body_source,
+    layout_symbols,
+)
+from repro.programs.data import MatmulLayout
+
+
+def serial_source(layout: MatmulLayout, added_multiplies: int = 0) -> str:
+    """Generate the serial program source."""
+    n = layout.n
+    return "\n".join(
+        [
+            f"        .org    {layout.text_base}",
+            clear_c_loop_source(layout),
+            "        .timecat control",
+            "        LEA     BBASE,A2",  # B walked sequentially (not doubled)
+            "        LEA     CBASE,A5",  # current C column base
+            f"        MOVE.W  #{n - 1},D7",
+            "cloop:  LEA     ABASE,A0",  # A walked fully per column of C
+            f"        MOVE.W  #{n - 1},D6",
+            "rloop:",
+            "        .timecat mult",
+            "        MOVE.W  (A2)+,D1",  # multiplier B[r][c]
+            "        MOVEA.L A5,A1",  # C column start
+            "        .timecat control",
+            f"        MOVE.W  #{n - 1},D2",
+            "kloop:",
+            inner_body_source(added_multiplies),
+            "        .timecat control",
+            "        DBRA    D2,kloop",
+            "        DBRA    D6,rloop",
+            f"        ADDA.W  #{layout.col_bytes},A5",
+            "        DBRA    D7,cloop",
+            "        HALT",
+        ]
+    )
+
+
+def build_serial_program(
+    layout: MatmulLayout,
+    added_multiplies: int = 0,
+    extra_symbols: dict[str, int] | None = None,
+) -> AssembledProgram:
+    """Assemble the serial program for a size-1 partition."""
+    symbols = layout_symbols(layout)
+    symbols.update(extra_symbols or {})
+    return assemble(
+        serial_source(layout, added_multiplies),
+        text_origin=layout.text_base,
+        predefined=symbols,
+    )

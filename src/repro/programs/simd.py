@@ -1,0 +1,159 @@
+"""The SIMD matrix multiplication: broadcast blocks + MC control program.
+
+In SIMD mode "all looping and control flow instructions [execute] in the
+MCs; arithmetic, data movement, and index calculation instructions are
+executed on the PEs" (Section 5.1).  The PE-side code is therefore a set
+of straight-line blocks registered in Fetch Unit RAM; the MC's control
+program enqueues them in loop order.  The blocks reuse the exact fragments
+of the MIMD version, so the instruction streams the PEs execute are the
+same — minus the loop control, which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.m68k.assembler import assemble
+from repro.m68k.instructions import Instruction
+from repro.mc import EnqueueBlock, Loop, MCOp
+from repro.programs.common import (
+    data_section_source,
+    inner_body_source,
+    layout_symbols,
+    reset_tables_source,
+    rotate_source,
+    setup_v_source,
+    xfer_element_source,
+)
+from repro.programs.data import MatmulLayout
+
+
+#: Fixed block-id numbering for the assembly MC program's FUCTRL writes.
+BLOCK_IDS = {
+    0: "init",
+    1: "clear",
+    2: "reset",
+    3: "setup_v",
+    4: "body",
+    5: "rotate",
+    6: "xfer",
+    7: "fini",
+}
+
+
+@dataclass(frozen=True)
+class SIMDMatmul:
+    """Everything needed to run the SIMD version on a machine."""
+
+    blocks: dict[str, list[Instruction]]
+    mc_program: tuple[MCOp, ...]
+    data_programs: list  #: per-PE data-only programs (TT/BPTR tables)
+    mc_assembly_source: str = ""  #: equivalent real-68000 MC program
+
+    @property
+    def block_ids(self) -> dict[int, str]:
+        return dict(BLOCK_IDS)
+
+
+def mc_assembly_source(layout: MatmulLayout, group_size: int) -> str:
+    """The MC control program as real MC68000 assembly.
+
+    Functionally identical to the DSL program built below — each
+    ``MOVE.W #id,FUCTRL`` commands one block enqueue, loops are DBRA —
+    so running it on the :class:`repro.mc.assembly_mc
+    .AssemblyMicroController` cross-validates the DSL's cost model.
+    """
+    n, cols = layout.n, layout.cols
+    ids = {name: i for i, name in BLOCK_IDS.items()}
+    return "\n".join(
+        [
+            "        .org    $100",
+            f"        MOVE.W  #{(1 << group_size) - 1},FUMASK",
+            f"        MOVE.W  #{ids['init']},FUCTRL",
+            f"        MOVE.W  #{n * cols - 1},D2",
+            f"clr:    MOVE.W  #{ids['clear']},FUCTRL",
+            "        DBRA    D2,clr",
+            f"        MOVE.W  #{n - 1},D7",
+            f"jloop:  MOVE.W  #{ids['reset']},FUCTRL",
+            f"        MOVE.W  #{cols - 1},D6",
+            f"vloop:  MOVE.W  #{ids['setup_v']},FUCTRL",
+            f"        MOVE.W  #{n - 1},D2",
+            f"kloop:  MOVE.W  #{ids['body']},FUCTRL",
+            "        DBRA    D2,kloop",
+            "        DBRA    D6,vloop",
+            f"        MOVE.W  #{ids['rotate']},FUCTRL",
+            f"        MOVE.W  #{n - 1},D2",
+            f"xloop:  MOVE.W  #{ids['xfer']},FUCTRL",
+            "        DBRA    D2,xloop",
+            "        DBRA    D7,jloop",
+            f"        MOVE.W  #{ids['fini']},FUCTRL",
+            "        HALT",
+        ]
+    )
+
+
+def _block(source: str, symbols: dict[str, int]) -> list[Instruction]:
+    return assemble(source, predefined=dict(symbols)).instruction_list()
+
+
+def build_simd_matmul(
+    layout: MatmulLayout,
+    *,
+    added_multiplies: int = 0,
+    device_symbols: dict[str, int],
+) -> SIMDMatmul:
+    """Build blocks, MC program, and per-PE data for the SIMD version."""
+    n, cols = layout.n, layout.cols
+    symbols = layout_symbols(layout)
+    symbols.update(device_symbols)
+
+    blocks = {
+        "init": _block("        .timecat other\n        LEA CBASE,A1", symbols),
+        "clear": _block("        .timecat other\n        CLR.W (A1)+", symbols),
+        "reset": _block(reset_tables_source(), symbols),
+        "setup_v": _block(setup_v_source(), symbols),
+        "body": _block(inner_body_source(added_multiplies), symbols),
+        "rotate": _block(rotate_source(layout), symbols),
+        "xfer": _block(xfer_element_source(polling=False), symbols),
+        "fini": _block("        .timecat control\n        HALT", symbols),
+    }
+
+    mc_program: tuple[MCOp, ...] = (
+        EnqueueBlock("init"),
+        Loop(n * cols, (EnqueueBlock("clear"),)),
+        Loop(
+            n,
+            (
+                EnqueueBlock("reset"),
+                Loop(
+                    cols,
+                    (
+                        EnqueueBlock("setup_v"),
+                        Loop(n, (EnqueueBlock("body"),)),
+                    ),
+                ),
+                EnqueueBlock("rotate"),
+                Loop(n, (EnqueueBlock("xfer"),)),
+            ),
+        ),
+        EnqueueBlock("fini"),
+    )
+
+    # Data-only per-PE programs: a placeholder text (never executed — the
+    # PEs start in SIMD space) plus the TT/BPTR tables.
+    data_programs = [
+        assemble(
+            f"        .org    {layout.text_base}\n"
+            "        HALT\n" + data_section_source(layout, i),
+            text_origin=layout.text_base,
+            predefined=dict(symbols),
+        )
+        for i in range(layout.p)
+    ]
+    group_size = min(4, layout.p)  # PEs per MC group (N/Q on the prototype)
+    return SIMDMatmul(
+        blocks=blocks,
+        mc_program=mc_program,
+        data_programs=data_programs,
+        mc_assembly_source=mc_assembly_source(layout, group_size),
+    )

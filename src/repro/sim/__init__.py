@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free engine in the style of simpy: simulation
+processes are Python generators that ``yield`` events; the
+:class:`~repro.sim.environment.Environment` advances virtual time (measured
+in CPU clock cycles throughout this library) and resumes processes when the
+events they wait on fire.
+
+The kernel is deliberately small but fully general; the PASM machine model
+(PEs, Micro Controllers, Fetch Unit, network) is built entirely on top of
+it.
+"""
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.environment import Environment, Process
+from repro.sim.resources import Gate, Rendezvous, Store
+
+__all__ = [
+    "Environment",
+    "Process",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Store",
+    "Gate",
+    "Rendezvous",
+]

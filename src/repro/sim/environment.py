@@ -1,0 +1,177 @@
+"""Simulation environment: the event queue and process machinery.
+
+Time is a monotonically non-decreasing float; in this library it always
+denotes *CPU clock cycles* of the 8 MHz prototype (so 1 unit = 125 ns).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Event, Timeout
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A process is itself an :class:`Event` that succeeds with the generator's
+    return value when it finishes, so processes can wait on each other by
+    yielding the :class:`Process` object.
+    """
+
+    __slots__ = ("generator",)
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        # Bootstrap: resume the generator at the current time.
+        bootstrap = Event(env, name=f"start:{self.name}")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the value (or exception) of ``trigger``."""
+        self.env._active_process = self
+        try:
+            if trigger.ok:
+                target = self.generator.send(trigger.value)
+            else:
+                target = self.generator.throw(trigger.value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            # The failure is delivered to processes waiting on this one; if
+            # nobody ever waits, Environment.step raises it (see step()).
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+        if target.callbacks is None:
+            # Event already processed: resume immediately via a fresh event.
+            relay = Event(self.env, name="relay")
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value)
+            else:
+                relay.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+    def interrupt(self, exc: BaseException | None = None) -> None:
+        """Throw an exception into the process at the current time."""
+        kicker = Event(self.env, name=f"interrupt:{self.name}")
+        kicker.callbacks.append(self._resume)
+        kicker.fail(exc or SimulationError(f"process {self.name!r} interrupted"))
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Example
+    -------
+    >>> env = Environment()
+    >>> def proc():
+    ...     yield env.timeout(10)
+    ...     return env.now
+    >>> p = env.process(proc())
+    >>> env.run()
+    >>> p.value
+    10
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in CPU clock cycles."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- factory helpers -------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Enqueue ``event`` for callback processing after ``delay``."""
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise DeadlockError("event queue is empty")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif not event.ok:
+            # A failure nobody is waiting on must not vanish silently.
+            raise event.value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain.  A number — run until
+            simulated time reaches it.  An :class:`Event` — run until it
+            triggers; its value is returned (its exception raised on
+            failure).
+        """
+        if isinstance(until, Event):
+            stop = until
+            # Wait until the event is *processed*, not merely triggered: a
+            # Timeout carries its value from creation but occurs at its
+            # scheduled time.
+            while not stop.processed:
+                if not self._queue:
+                    raise DeadlockError(
+                        f"simulation deadlocked waiting for {stop!r} at t={self._now}"
+                    )
+                self.step()
+            if not stop.ok:
+                raise stop.value
+            return stop.value
+        if until is not None:
+            horizon = float(until)
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = max(self._now, horizon)
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` when queue is empty)."""
+        return self._queue[0][0] if self._queue else float("inf")

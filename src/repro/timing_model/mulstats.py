@@ -1,0 +1,68 @@
+"""Statistics of the data-dependent multiply time.
+
+For uniform random b over ``2**bits`` values, ``ones(b)`` is
+Binomial(bits, 1/2).  The SIMD-vs-asynchronous tradeoff the paper measures
+is governed by the gap between the *expected maximum* over p PEs and the
+mean: each broadcast multiply costs ``38 + 2·max_i ones(b_i)`` in SIMD
+mode but ``38 + 2·ones(b_i)`` per PE asynchronously, so the decoupling
+benefit per multiply is ``2·(E[max_p] − E)`` cycles (minus the SIMD fetch
+advantage — see :mod:`repro.core.crossover`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.bitops import ones_count
+
+
+def expected_ones(bits: int) -> float:
+    """E[ones(b)] for b uniform over ``2**bits`` values."""
+    return bits / 2.0
+
+
+@lru_cache(maxsize=None)
+def expected_max_ones(bits: int, p: int) -> float:
+    """Exact E[max of p iid Binomial(bits, 1/2)] via the order-statistic CDF.
+
+    ``E[max] = Σ_k k · (F(k)^p − F(k-1)^p)``.
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    k = np.arange(bits + 1)
+    cdf = stats.binom.cdf(k, bits, 0.5)
+    cdf_prev = np.concatenate([[0.0], cdf[:-1]])
+    return float(np.sum(k * (cdf**p - cdf_prev**p)))
+
+
+def max_ones_gap(bits: int, p: int) -> float:
+    """E[max_p ones] − E[ones]: the per-multiply decoupling lever (in bits)."""
+    return expected_max_ones(bits, p) - expected_ones(bits)
+
+
+def ones_of_schedule(schedule: np.ndarray) -> np.ndarray:
+    """Popcounts of a multiplier schedule array (any shape)."""
+    return ones_count(schedule.astype(np.uint64), 16)
+
+
+def simd_mult_extra_cycles(schedule_ones: np.ndarray) -> float:
+    """Σ over broadcasts of 2·max_i ones — the SIMD variable multiply time.
+
+    ``schedule_ones`` has shape (p, n_steps, cols); the max is over PEs
+    (axis 0) because a broadcast multiply is released to completion only at
+    the slowest PE's pace, and the result is summed over every (step,
+    column) inner-loop pass.  Multiply by n·(1+m) passes externally.
+    """
+    return float(2.0 * schedule_ones.max(axis=0).sum())
+
+
+def async_mult_extra_cycles(schedule_ones: np.ndarray) -> np.ndarray:
+    """Per-(PE, step) variable multiply cycles for the asynchronous modes.
+
+    Returns shape (p, n_steps): Σ_v 2·ones for each PE and rotation step,
+    ready for the per-step max (S/MIMD barrier coupling) or the global sum.
+    """
+    return 2.0 * schedule_ones.sum(axis=2)

@@ -1,0 +1,5 @@
+"""User-facing tools: the ``pasm-run`` program runner and trace utilities."""
+
+from repro.tools.runner import ProgramRunError, RunOutcome, run_program_file
+
+__all__ = ["run_program_file", "RunOutcome", "ProgramRunError"]

@@ -1,0 +1,30 @@
+"""Execution tracing and machine instrumentation.
+
+The micro engine can record every executed instruction
+(:attr:`repro.m68k.cpu.CPU.trace`); this package turns those records and
+the machine's built-in counters into readable artifacts:
+
+* :func:`format_trace` — an annotated instruction listing with simulated
+  times and per-instruction elapsed cycles (wait states and stalls
+  visible);
+* :func:`activity_gantt` — an ASCII timeline showing what each PE spent
+  each slice of the run on (multiply / communication / control / sync);
+* :func:`queue_occupancy` — statistics and a sparkline of the Fetch Unit
+  Queue depth over time, the quantity behind the paper's "if the queue
+  can remain non-empty and non-full at all times" superlinearity
+  argument.
+"""
+
+from repro.trace.trace import (
+    QueueOccupancy,
+    activity_gantt,
+    format_trace,
+    queue_occupancy,
+)
+
+__all__ = [
+    "format_trace",
+    "activity_gantt",
+    "queue_occupancy",
+    "QueueOccupancy",
+]

@@ -1,0 +1,176 @@
+"""Trace rendering and queue-occupancy analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.m68k.cpu import InstructionRecord
+
+#: One-character codes for the activity timeline.
+CATEGORY_CODES = {
+    "mult": "M",
+    "comm": "C",
+    "control": "c",
+    "sync": "S",
+    "other": ".",
+}
+
+
+def format_trace(
+    records: list[InstructionRecord],
+    *,
+    limit: int | None = 50,
+    start: float = 0.0,
+) -> str:
+    """Render instruction records as an annotated listing.
+
+    Columns: simulated start time, elapsed cycles (including wait states
+    and any queue/network stalls), the manual's zero-wait-state cycles,
+    timing category, and the instruction.  The difference between elapsed
+    and manual cycles is exactly the architectural overhead the paper
+    measures.
+    """
+    lines = [
+        f"{'t':>10}  {'elapsed':>8}  {'manual':>7}  {'cat':<8} instruction"
+    ]
+    shown = 0
+    for rec in records:
+        if rec.start < start:
+            continue
+        if limit is not None and shown >= limit:
+            lines.append(f"... ({len(records) - shown} more records)")
+            break
+        lines.append(
+            f"{rec.start:>10.0f}  {rec.elapsed:>8.1f}  "
+            f"{rec.timing.cycles:>7}  {rec.instr.timecat:<8} {rec.instr}"
+        )
+        shown += 1
+    return "\n".join(lines)
+
+
+def activity_gantt(
+    traces: dict[str, list[InstructionRecord]],
+    *,
+    width: int = 72,
+    end: float | None = None,
+) -> str:
+    """ASCII timeline: one row per traced CPU, one column per time bucket.
+
+    Each bucket shows the category that consumed most of it (codes:
+    M=mult, C=comm, c=control, S=sync, .=other, space=idle/finished).
+    """
+    if not traces:
+        return "(no traces)"
+    horizon = end or max(
+        (recs[-1].end for recs in traces.values() if recs), default=0.0
+    )
+    if horizon <= 0:
+        return "(empty traces)"
+    bucket = horizon / width
+    lines = [f"0 .. {horizon:.0f} cycles, {bucket:.0f} cycles/column"]
+    for name, recs in traces.items():
+        weights = [dict() for _ in range(width)]
+        for rec in recs:
+            lo = min(int(rec.start / bucket), width - 1)
+            hi = min(int(rec.end / bucket), width - 1)
+            for b in range(lo, hi + 1):
+                seg_lo = max(rec.start, b * bucket)
+                seg_hi = min(rec.end, (b + 1) * bucket)
+                if seg_hi > seg_lo:
+                    w = weights[b]
+                    cat = rec.instr.timecat
+                    w[cat] = w.get(cat, 0.0) + (seg_hi - seg_lo)
+        row = "".join(
+            CATEGORY_CODES.get(max(w, key=w.get), "?") if w else " "
+            for w in weights
+        )
+        lines.append(f"{name:>6} |{row}|")
+    legend = " ".join(f"{code}={cat}" for cat, code in CATEGORY_CODES.items())
+    lines.append(f"       {legend}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class QueueOccupancy:
+    """Time-weighted statistics of Fetch Unit Queue depth."""
+
+    mean_words: float
+    max_words: int
+    fraction_empty: float  #: share of time with an empty queue (PE risk)
+    fraction_full: float  #: share of time at capacity (MC risk)
+    sparkline: str
+
+    def __str__(self) -> str:
+        return (
+            f"queue occupancy: mean {self.mean_words:.1f} words, max "
+            f"{self.max_words}, empty {self.fraction_empty:.1%} of the "
+            f"time, full {self.fraction_full:.1%}\n[{self.sparkline}]"
+        )
+
+
+def queue_occupancy(
+    samples: list[tuple[float, int]],
+    capacity: int,
+    *,
+    end: float | None = None,
+    width: int = 60,
+) -> QueueOccupancy:
+    """Summarize (time, words) occupancy samples from a FetchUnitQueue."""
+    if not samples:
+        return QueueOccupancy(0.0, 0, 1.0, 0.0, " " * width)
+    horizon = end if end is not None else samples[-1][0]
+    if horizon <= samples[0][0]:
+        horizon = samples[0][0] + 1.0
+
+    # Integrate the step function.
+    area = 0.0
+    empty_time = 0.0
+    full_time = 0.0
+    max_words = 0
+    levels = " .:-=+*#%@"
+    buckets = [0.0] * width
+    bucket_weight = [0.0] * width
+    prev_t, prev_w = samples[0]
+    prev_t = min(prev_t, horizon)
+
+    def accumulate(t0: float, t1: float, w: int) -> None:
+        nonlocal area, empty_time, full_time
+        span = t1 - t0
+        if span <= 0:
+            return
+        area += span * w
+        if w == 0:
+            empty_time += span
+        if w >= capacity:
+            full_time += span
+        b0 = min(int(t0 / horizon * width), width - 1)
+        b1 = min(int(t1 / horizon * width), width - 1)
+        for b in range(b0, b1 + 1):
+            s_lo = max(t0, b * horizon / width)
+            s_hi = min(t1, (b + 1) * horizon / width)
+            if s_hi > s_lo:
+                buckets[b] += (s_hi - s_lo) * w
+                bucket_weight[b] += s_hi - s_lo
+
+    for t, w in samples[1:]:
+        t = min(t, horizon)
+        accumulate(prev_t, t, prev_w)
+        max_words = max(max_words, w)
+        prev_t, prev_w = t, w
+    accumulate(prev_t, horizon, prev_w)
+    max_words = max(max_words, samples[0][1])
+
+    total = horizon - samples[0][0]
+    spark = "".join(
+        levels[min(int((buckets[b] / bucket_weight[b]) / capacity
+                       * (len(levels) - 1)), len(levels) - 1)]
+        if bucket_weight[b] else " "
+        for b in range(width)
+    )
+    return QueueOccupancy(
+        mean_words=area / total,
+        max_words=max_words,
+        fraction_empty=empty_time / total,
+        fraction_full=full_time / total,
+        sparkline=spark,
+    )

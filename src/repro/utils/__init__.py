@@ -1,0 +1,27 @@
+"""Shared low-level helpers: bit manipulation, RNG policy, table formatting."""
+
+from repro.utils.bitops import (
+    bit_length_mask,
+    byte_swap16,
+    ones_count,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    transitions_count,
+)
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import ascii_plot, format_table
+
+__all__ = [
+    "bit_length_mask",
+    "byte_swap16",
+    "ones_count",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "transitions_count",
+    "derive_seed",
+    "make_rng",
+    "format_table",
+    "ascii_plot",
+]

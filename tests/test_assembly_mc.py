@@ -1,0 +1,163 @@
+"""Tests for the assembly-language Micro Controller, including the
+cross-validation of the MC cost DSL against real executed 68000 code."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.m68k.assembler import assemble
+from repro.mc.assembly_mc import MC_DEVICE_SYMBOLS
+from repro.programs import build_matmul, expected_product, generate_matrices
+from repro.programs.data import assemble_result, load_pe_matrices, read_pe_result
+
+CFG = PrototypeConfig()
+
+
+def mc_asm(source: str):
+    return assemble(source, predefined=dict(MC_DEVICE_SYMBOLS))
+
+
+def pe_block(source: str):
+    return assemble(source, predefined=CFG.device_symbols()).instruction_list()
+
+
+class TestAssemblyMC:
+    def test_basic_broadcast(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        blocks = {
+            "inc": pe_block("    ADDQ.W #1,D0"),
+            "fini": pe_block("    MOVE.W D0,$4000\n    HALT"),
+        }
+        program = mc_asm(
+            """
+            MOVE.W  #%1111,FUMASK
+            MOVE.W  #9,D2
+    loop:   MOVE.W  #0,FUCTRL
+            DBRA    D2,loop
+            MOVE.W  #1,FUCTRL
+            HALT
+            """
+        )
+        machine.run_simd_assembly(
+            program, blocks, block_ids={0: "inc", 1: "fini"}
+        )
+        for lp in range(4):
+            assert machine.pe(lp).memory.read(0x4000, 2) == 10
+
+    def test_mask_control_from_assembly(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        blocks = {
+            "inc": pe_block("    ADDQ.W #1,D0"),
+            "fini": pe_block("    MOVE.W D0,$4000\n    HALT"),
+        }
+        program = mc_asm(
+            """
+            MOVE.W  #%0101,FUMASK    ; slots 0 and 2 only
+            MOVE.W  #0,FUCTRL
+            MOVE.W  #%1111,FUMASK
+            MOVE.W  #1,FUCTRL
+            HALT
+            """
+        )
+        machine.run_simd_assembly(
+            program, blocks, block_ids={0: "inc", 1: "fini"}
+        )
+        values = [machine.pe(lp).memory.read(0x4000, 2) for lp in range(4)]
+        assert values == [1, 0, 1, 0]
+
+    def test_sync_words_and_wait_polling(self):
+        """FUSYNC provisions barrier tokens that a *broadcast barrier
+        read* consumes; FUWAIT lets the MC drain its controller."""
+        machine = PASMMachine(CFG, partition_size=4)
+        blocks = {
+            "barrier": pe_block("    .timecat sync\n    MOVE.W SIMDSPACE,D0"),
+            "fini": pe_block("    MOVE.W D0,$4000\n    HALT"),
+        }
+        program = mc_asm(
+            """
+            MOVE.W  #0,FUCTRL       ; broadcast the barrier-read instruction
+            MOVE.W  #1,FUSYNC       ; ... and the token it consumes
+    wait:   MOVE.W  FUWAIT,D0
+            BNE     wait
+            MOVE.W  #1,FUCTRL
+            HALT
+            """
+        )
+        machine.run_simd_assembly(
+            program, blocks, block_ids={0: "barrier", 1: "fini"}
+        )
+        assert machine.queues[0].words_used == 0  # token consumed
+        for lp in range(4):
+            assert machine.pe(lp).bus.sync_reads == 1
+
+    def test_unknown_block_id_rejected(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        blocks = {"fini": pe_block("    HALT")}
+        program = mc_asm("    MOVE.W #9,FUCTRL\n    HALT")
+        with pytest.raises(ConfigurationError, match="unknown block id"):
+            machine.run_simd_assembly(program, blocks, block_ids={1: "fini"})
+
+
+class TestDSLCrossValidation:
+    """The assembled MC program and the timed DSL must agree — this is
+    what licenses the DSL's cycle accounting."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        n, p = 8, 4
+        a, b = generate_matrices(n)
+        bundle = build_matmul(
+            ExecutionMode.SIMD, n, p, device_symbols=CFG.device_symbols()
+        )
+
+        def run_dsl():
+            machine = PASMMachine(CFG, partition_size=p)
+            for lp in range(p):
+                load_pe_matrices(machine.pe(lp).memory, bundle.layout, lp, a, b)
+            machine.connect_shift_circuit()
+            result = machine.run_simd(
+                bundle.simd.mc_program, bundle.simd.blocks,
+                data_programs=bundle.simd.data_programs,
+            )
+            return machine, result
+
+        def run_asm():
+            machine = PASMMachine(CFG, partition_size=p)
+            for lp in range(p):
+                load_pe_matrices(machine.pe(lp).memory, bundle.layout, lp, a, b)
+            machine.connect_shift_circuit()
+            program = mc_asm(bundle.simd.mc_assembly_source)
+            result = machine.run_simd_assembly(
+                program, bundle.simd.blocks, bundle.simd.block_ids,
+                data_programs=bundle.simd.data_programs,
+            )
+            return machine, result
+
+        return run_dsl(), run_asm(), (a, b, bundle)
+
+    def test_both_compute_the_product(self, runs):
+        (m_dsl, _), (m_asm, _), (a, b, bundle) = runs
+        want = expected_product(a, b)
+        for machine in (m_dsl, m_asm):
+            got = assemble_result(
+                [read_pe_result(machine.pe(i).memory, bundle.layout)
+                 for i in range(4)]
+            )
+            assert np.array_equal(got, want)
+
+    def test_timing_agreement(self, runs):
+        """Executed MC code lands within 2% of the DSL's cost model."""
+        (_, r_dsl), (_, r_asm), _ = runs
+        assert r_asm.cycles == pytest.approx(r_dsl.cycles, rel=0.02)
+
+    def test_breakdowns_agree(self, runs):
+        (_, r_dsl), (_, r_asm), _ = runs
+        d, a_ = r_dsl.breakdown(), r_asm.breakdown()
+        for cat in ("mult", "comm"):
+            assert a_[cat] == pytest.approx(d[cat], rel=0.03), cat
+
+    def test_queue_behaviour_identical(self, runs):
+        """Same blocks in the same order: release counts match exactly."""
+        (m_dsl, _), (m_asm, _), _ = runs
+        assert m_asm.queues[0].releases == m_dsl.queues[0].releases

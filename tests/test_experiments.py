@@ -1,0 +1,196 @@
+"""Tests for the experiment harness: every exhibit regenerates and shows
+the paper's qualitative shape."""
+
+import io
+
+import pytest
+
+from repro.core import DecouplingStudy
+from repro.experiments import (
+    run_breakdown_figure,
+    run_fig6,
+    run_fig7,
+    run_fig11,
+    run_fig12,
+    run_table1,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DecouplingStudy()
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1()
+
+    def test_simd_beats_mimd_for_both_instruction_types(self, table1):
+        for row in table1.rows:
+            label, simd, mimd, ratio = row
+            assert simd > mimd, label
+            assert ratio > 1
+
+    def test_register_ops_near_theoretical_peak(self, table1):
+        # 16 PEs at 8 MHz, 4-cycle ADD from the queue: near 32 MIPS.
+        label, simd, mimd, _ = table1.rows[0]
+        assert 28 <= simd <= 32
+
+    def test_fetch_advantage_larger_for_register_ops(self, table1):
+        assert table1.rows[0][3] > table1.rows[1][3]
+
+    def test_render(self, table1):
+        text = table1.render()
+        assert "SIMD MIPS" in text and "table1" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6()
+
+    def test_mode_ordering_everywhere(self, fig6):
+        for n, sisd, simd, smimd, mimd in fig6.rows:
+            assert simd < smimd < mimd, f"n={n}"
+            if n >= 16:
+                # At n=8 on 8 PEs each PE holds one column and the run is
+                # all communication; polled MIMD can lose to serial there.
+                assert mimd < sisd, f"n={n}"
+
+    def test_parallel_speedup_approaches_p(self, fig6):
+        n, sisd, simd, smimd, mimd = fig6.rows[-1]
+        assert n == 256
+        assert sisd / simd > 8  # superlinear vs p=8
+        assert 7 < sisd / smimd < 8
+
+    def test_mimd_over_smimd_ratio_decreases(self, fig6):
+        ratios = [mimd / smimd for _, _, _, smimd, mimd in fig6.rows]
+        assert all(b < a for a, b in zip(ratios, ratios[1:]))
+
+    def test_times_grow_with_n(self, fig6):
+        for col in range(1, 5):
+            vals = [row[col] for row in fig6.rows]
+            assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_csv(self, fig6):
+        csv = fig6.to_csv()
+        assert csv.startswith("n,")
+        assert len(csv.strip().splitlines()) == len(fig6.rows) + 1
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self, study):
+        return run_fig7(study)
+
+    def test_crossover_in_paper_band(self, fig7):
+        assert "crossover at 1" in fig7.we_measure
+        value = float(fig7.we_measure.split("at ")[1].split(" ")[0])
+        assert 12 <= value <= 16
+
+    def test_simd_faster_at_zero_added(self, fig7):
+        m, simd, smimd, faster = fig7.rows[0]
+        assert m == 0 and faster == "SIMD"
+
+    def test_smimd_faster_at_end(self, fig7):
+        assert fig7.rows[-1][3] == "S/MIMD"
+
+    def test_monotone_gap_closure(self, fig7):
+        gaps = [smimd - simd for _, simd, smimd, _ in fig7.rows]
+        assert all(b < a for a, b in zip(gaps, gaps[1:]))
+
+
+class TestBreakdowns:
+    def test_fig8_smimd_mult_larger(self, study):
+        fig8 = run_breakdown_figure("fig8", study)
+        for row in fig8.rows:
+            n, s_mult, _, _, h_mult, _, _ = row
+            assert h_mult > s_mult, f"n={n}"
+
+    def test_fig9_mult_crosses_at_crossover(self, study):
+        fig9 = run_breakdown_figure("fig9", study)
+        big = fig9.rows[-1]
+        assert big[4] < big[1]  # S/MIMD mult smaller ...
+        assert big[5] > big[2]  # ... offset by larger comm
+
+    def test_fig10_smimd_wins_at_large_n(self, study):
+        fig10 = run_breakdown_figure("fig10", study)
+        n, s_mult, s_comm, s_rest, h_mult, h_comm, h_rest = fig10.rows[-1]
+        assert (h_mult + h_comm + h_rest) < (s_mult + s_comm + s_rest)
+
+    def test_mult_outgrows_comm(self, study):
+        fig8 = run_breakdown_figure("fig8", study)
+        ratios = [row[1] / row[2] for row in fig8.rows]  # SIMD mult/comm
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+    def test_unknown_figure_rejected(self, study):
+        with pytest.raises(ValueError):
+            run_breakdown_figure("fig99", study)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def fig11(self, study):
+        return run_fig11(study)
+
+    def test_efficiency_rises_with_n(self, fig11):
+        for col in (1, 2, 3):
+            vals = [row[col] for row in fig11.rows]
+            assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_simd_superlinear_at_large_n(self, fig11):
+        assert fig11.rows[-1][1] > 1.0
+
+    def test_async_modes_below_unity(self, fig11):
+        for row in fig11.rows:
+            assert row[2] < 1.0 and row[3] < 1.0
+
+    def test_paper_endpoints(self, fig11):
+        """S/MIMD ≈ 96%, MIMD ≈ 87% at n=256 (the paper's best points)."""
+        n, simd, smimd, mimd = fig11.rows[-1]
+        assert n == 256
+        assert smimd == pytest.approx(0.96, abs=0.015)
+        assert mimd == pytest.approx(0.87, abs=0.015)
+
+    def test_mode_ordering(self, fig11):
+        for _, simd, smimd, mimd in fig11.rows:
+            assert simd > smimd > mimd
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def fig12(self, study):
+        return run_fig12(study)
+
+    def test_efficiency_drops_with_p(self, fig12):
+        for col in (1, 2, 3):
+            vals = [row[col] for row in fig12.rows]
+            assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_processor_counts(self, fig12):
+        assert [row[0] for row in fig12.rows] == [4, 8, 16]
+
+
+class TestRunner:
+    def test_registry_covers_all_exhibits(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "ext-dma", "ext-scale", "ext-muls",
+            "ext-superlinear",
+        }
+
+    def test_subset_run_and_files(self, tmp_path):
+        stream = io.StringIO()
+        results = run_experiments(
+            ["fig12"], out_dir=tmp_path, stream=stream
+        )
+        assert len(results) == 1
+        assert (tmp_path / "fig12.txt").exists()
+        assert (tmp_path / "fig12.csv").exists()
+        assert "fig12" in stream.getvalue()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_experiments(["fig99"], stream=io.StringIO())

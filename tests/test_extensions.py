@@ -1,0 +1,130 @@
+"""Tests for the extension studies (DMA, design scale, MULS)."""
+
+import pytest
+
+from repro.analysis.statistics import mul_count_stats, transitions_pmf_uniform_range
+from repro.core import DecouplingStudy
+from repro.experiments.extensions import (
+    DMAModel,
+    run_ext_design_scale,
+    run_ext_dma,
+    run_ext_muls,
+    with_dma_comm,
+)
+from repro.machine import ExecutionMode
+
+
+@pytest.fixture(scope="module")
+def study():
+    return DecouplingStudy()
+
+
+class TestDMA:
+    def test_dma_always_saves(self, study):
+        result = run_ext_dma(study)
+        for row in result.rows:
+            for cell in row[1:]:
+                assert float(cell.rstrip("%")) > 0
+
+    def test_mimd_saves_most(self, study):
+        result = run_ext_dma(study)
+        for n, simd, smimd, mimd in result.rows:
+            assert float(mimd.rstrip("%")) > float(smimd.rstrip("%"))
+
+    def test_saving_shrinks_with_n(self, study):
+        result = run_ext_dma(study)
+        mimd = [float(row[3].rstrip("%")) for row in result.rows]
+        assert mimd == sorted(mimd, reverse=True)
+
+    def test_with_dma_comm_arithmetic(self, study):
+        res = study.run(ExecutionMode.MIMD, 64, 4, engine="macro")
+        dma = DMAModel(setup_cycles=100, cycles_per_word=10)
+        cycles, breakdown = with_dma_comm(res, dma, 64)
+        assert breakdown["comm"] == 64 * (100 + 10 * 64)
+        assert cycles == pytest.approx(
+            res.cycles - res.breakdown["comm"] + breakdown["comm"]
+        )
+
+    def test_column_cost(self):
+        dma = DMAModel(setup_cycles=50, cycles_per_word=4)
+        assert dma.column_cycles(16) == 50 + 64
+
+
+class TestDesignScale:
+    @pytest.fixture(scope="class")
+    def scale(self):
+        return run_ext_design_scale()
+
+    def test_efficiency_falls_with_p(self, scale):
+        for col in (1, 2, 3):
+            vals = [row[col] for row in scale.rows]
+            assert vals == sorted(vals, reverse=True)
+
+    def test_mode_ordering_holds_at_design_scale(self, scale):
+        for _, simd, smimd, mimd in scale.rows:
+            assert simd > smimd > mimd
+
+    def test_simd_superlinear_at_moderate_p(self, scale):
+        assert scale.rows[0][1] > 1.0  # p=32
+
+    def test_processor_counts(self, scale):
+        assert [row[0] for row in scale.rows] == [32, 128, 512, 1024]
+
+
+class TestMuls:
+    def test_distribution_sums_to_one(self):
+        for b_max in (2, 256, 65536):
+            _, pmf = transitions_pmf_uniform_range(b_max)
+            assert pmf.sum() == pytest.approx(1.0)
+
+    def test_stats_match_brute_force(self):
+        import numpy as np
+
+        from repro.m68k.timing import muls_cycles
+
+        values = np.arange(256)
+        counts = np.array([muls_cycles(int(v)) for v in values])
+        mean, std, _ = mul_count_stats(256, "MULS")
+        assert 38 + 2 * mean == pytest.approx(counts.mean())
+        assert 2 * std == pytest.approx(counts.std())
+
+    def test_emax_exceeds_mean_for_p_gt_1(self):
+        mean, _, emax = mul_count_stats(256, "MULS", p=8)
+        assert emax > mean
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            mul_count_stats(256, "FMUL")
+
+    def test_experiment_rows(self, study):
+        result = run_ext_muls(study)
+        ops = [row[0] for row in result.rows]
+        assert ops == ["MULU", "MULS"]
+        for row in result.rows:
+            assert row[1] >= 38  # mean cycles at least the base
+
+
+class TestSuperlinearDecomposition:
+    def test_both_mechanisms_needed(self, study):
+        from repro.experiments.extensions import run_ext_superlinear
+
+        result = run_ext_superlinear(study)
+        effs = {row[0]: row[1] for row in result.rows}
+        full = effs["full SIMD (both mechanisms)"]
+        no_fetch = effs[
+            "no fetch advantage (ws_main = ws_queue, no refresh)"]
+        no_overlap = effs["no control overlap (= S/MIMD)"]
+        assert full > 1.0
+        assert no_fetch < full
+        assert no_overlap < 1.0
+        # Each ablation alone removes a real share of the margin.
+        assert full - no_fetch > 0.02
+        assert full - no_overlap > 0.02
+
+
+def test_full_width_muls_has_lower_relative_variance():
+    """At full 16-bit width MULS and MULU have similar spread; at very
+    small ranges MULS keeps more variance (the boundary transition)."""
+    _, mulu_std, _ = mul_count_stats(4, "MULU")
+    _, muls_std, _ = mul_count_stats(4, "MULS")
+    assert muls_std >= mulu_std

@@ -1,0 +1,123 @@
+"""Tests for the intensity-transform workload: correctness in every mode
+and the communication-free view of the decoupling tradeoff."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.programs.intensity import (
+    IntensityBundle,
+    build_intensity,
+    reference_transform,
+    run_intensity,
+)
+from repro.utils.rng import make_rng
+
+CFG = PrototypeConfig()
+
+
+def run_mode(mode, pixels, p=4):
+    per_pe = pixels.shape[1]
+    machine = PASMMachine(CFG, partition_size=p if mode.is_parallel else 1)
+    bundle = build_intensity(mode, per_pe, p)
+    return run_intensity(machine, bundle, pixels)
+
+
+@pytest.fixture(scope="module")
+def pixels():
+    rng = make_rng(3, "intensity")
+    return rng.integers(0, 1 << 16, size=(4, 32), dtype=np.uint16)
+
+
+@pytest.mark.parametrize(
+    "mode", [ExecutionMode.SIMD, ExecutionMode.MIMD, ExecutionMode.SMIMD]
+)
+def test_transform_correct(mode, pixels):
+    _, out = run_mode(mode, pixels)
+    assert np.array_equal(out, reference_transform(pixels))
+
+
+def test_serial_correct(pixels):
+    strip = pixels[:1]
+    _, out = run_mode(ExecutionMode.SERIAL, strip, p=1)
+    assert np.array_equal(out, reference_transform(strip))
+
+
+def test_one_slow_pe_costs_simd_like_all_slow(pixels):
+    """Max-coupling: one worst-case strip drags every SIMD broadcast to
+    worst-case speed, the paper's T_SIMD = Σ max."""
+    one_slow = pixels.copy()
+    one_slow[2, :] = 0xFFFF
+    all_slow = np.full_like(pixels, 0xFFFF)
+    r_one, _ = run_mode(ExecutionMode.SIMD, one_slow)
+    r_all, _ = run_mode(ExecutionMode.SIMD, all_slow)
+    assert r_one.cycles == pytest.approx(r_all.cycles, rel=0.01)
+
+
+def test_simd_sensitive_to_distribution_mimd_is_not(pixels):
+    """Shuffle the same pixel multiset differently across PEs: SIMD's
+    per-broadcast max rises, while MIMD's per-PE sums (and thus its
+    critical path) are unchanged — Equations (1) vs (2) in the flesh."""
+    row = pixels[0]
+    same = np.tile(row, (4, 1))
+    mixed = np.stack([np.roll(row, 7 * k) for k in range(4)])
+    simd_same, _ = run_mode(ExecutionMode.SIMD, same)
+    simd_mixed, _ = run_mode(ExecutionMode.SIMD, mixed)
+    mimd_same, _ = run_mode(ExecutionMode.MIMD, same)
+    mimd_mixed, _ = run_mode(ExecutionMode.MIMD, mixed)
+    assert simd_mixed.cycles > simd_same.cycles
+    assert mimd_mixed.cycles == pytest.approx(mimd_same.cycles, rel=0.002)
+
+
+def test_decoupling_without_communication(pixels):
+    """With zero communication, SIMD's fixed advantages (queue fetch +
+    hidden loop control) beat the asynchronous modes at one multiply per
+    pixel — the m=0 end of Figure 7, isolated."""
+    simd, _ = run_mode(ExecutionMode.SIMD, pixels)
+    mimd, _ = run_mode(ExecutionMode.MIMD, pixels)
+    assert simd.cycles < mimd.cycles
+
+
+def test_identical_data_removes_max_penalty():
+    """When every PE holds the same pixels, SIMD max-coupling costs
+    nothing: per-broadcast max equals each PE's own time."""
+    rng = make_rng(4, "identical")
+    row = rng.integers(0, 1 << 16, size=32, dtype=np.uint16)
+    same = np.tile(row, (4, 1))
+    mixed = np.stack([np.roll(row, k) for k in range(4)])  # same multiset
+    simd_same, _ = run_mode(ExecutionMode.SIMD, same)
+    simd_mixed, _ = run_mode(ExecutionMode.SIMD, mixed)
+    assert simd_same.cycles <= simd_mixed.cycles
+
+
+def test_mult_category_dominates(pixels):
+    result, _ = run_mode(ExecutionMode.SIMD, pixels)
+    breakdown = result.breakdown()
+    assert breakdown["mult"] > 0.8 * result.cycles
+
+
+class TestValidation:
+    def test_zero_pixels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_intensity(ExecutionMode.SIMD, 0)
+
+    def test_shape_mismatch_rejected(self, pixels):
+        machine = PASMMachine(CFG, partition_size=4)
+        bundle = build_intensity(ExecutionMode.MIMD, 8, 4)
+        with pytest.raises(ConfigurationError, match="shape"):
+            run_intensity(machine, bundle, pixels)
+
+    def test_partition_mismatch_rejected(self):
+        machine = PASMMachine(CFG, partition_size=8)
+        bundle = build_intensity(ExecutionMode.MIMD, 4, 4)
+        with pytest.raises(ConfigurationError, match="partition"):
+            run_intensity(
+                machine, bundle,
+                np.zeros((4, 4), dtype=np.uint16),
+            )
+
+    def test_bundle_is_frozen(self):
+        bundle = build_intensity(ExecutionMode.MIMD, 4, 4)
+        with pytest.raises(AttributeError):
+            bundle.p = 8

@@ -1,0 +1,247 @@
+"""Assembler tests: parsing, layout, symbols, directives, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.m68k.addressing import Mode
+from repro.m68k.assembler import assemble
+from repro.m68k.instructions import Size
+
+
+def first(program):
+    return program.instruction_list()[0]
+
+
+class TestOperandParsing:
+    def parse_one(self, operand_text, mnemonic="TST.W"):
+        prog = assemble(f"    {mnemonic} {operand_text}\n    HALT")
+        return first(prog).operands[0]
+
+    def test_data_register(self):
+        op = self.parse_one("D3")
+        assert op.mode is Mode.DREG and op.reg == 3
+
+    def test_address_register_via_move(self):
+        prog = assemble("    MOVE.W A5,D0\n    HALT")
+        assert first(prog).operands[0].mode is Mode.AREG
+
+    def test_indirect(self):
+        op = self.parse_one("(A2)")
+        assert op.mode is Mode.IND and op.reg == 2
+
+    def test_postincrement(self):
+        op = self.parse_one("(A4)+")
+        assert op.mode is Mode.POSTINC and op.reg == 4
+
+    def test_predecrement(self):
+        op = self.parse_one("-(A1)")
+        assert op.mode is Mode.PREDEC and op.reg == 1
+
+    def test_displacement(self):
+        op = self.parse_one("12(A3)")
+        assert op.mode is Mode.DISP and op.reg == 3 and op.disp == 12
+
+    def test_negative_displacement(self):
+        op = self.parse_one("-4(A3)")
+        assert op.mode is Mode.DISP and op.disp == -4
+
+    def test_hex_displacement(self):
+        op = self.parse_one("$10(A0)")
+        assert op.disp == 16
+
+    def test_index_mode(self):
+        op = self.parse_one("4(A1,D2.W)")
+        assert op.mode is Mode.INDEX
+        assert op.reg == 1 and op.disp == 4 and op.index_reg == ("D", 2)
+
+    def test_immediate_via_move(self):
+        prog = assemble("    MOVE.W #42,D0\n    HALT")
+        op = first(prog).operands[0]
+        assert op.mode is Mode.IMM and op.value == 42
+
+    def test_immediate_hex(self):
+        prog = assemble("    MOVE.W #$FF,D0\n    HALT")
+        assert first(prog).operands[0].value == 255
+
+    def test_immediate_binary(self):
+        prog = assemble("    MOVE.W #%1010,D0\n    HALT")
+        assert first(prog).operands[0].value == 10
+
+    def test_absolute_long_bare_symbol(self):
+        prog = assemble(
+            "    MOVE.W var,D0\n    HALT\n    .data\nvar: .dc.w 7"
+        )
+        op = first(prog).operands[0]
+        assert op.mode is Mode.ABS_L
+        assert op.value == 0x8000  # default data origin
+
+    def test_absolute_short_suffix(self):
+        op = self.parse_one("$400.W")
+        assert op.mode is Mode.ABS_W and op.value == 0x400
+
+    def test_sp_aliases(self):
+        prog = assemble("    MOVE.W D0,-(SP)\n    MOVE.W (SP)+,D1\n    HALT")
+        instrs = prog.instruction_list()
+        assert instrs[0].operands[1].mode is Mode.PREDEC
+        assert instrs[0].operands[1].reg == 7
+        assert instrs[1].operands[0].mode is Mode.POSTINC
+
+
+class TestLayoutAndSymbols:
+    def test_addresses_advance_by_encoded_bytes(self):
+        prog = assemble(
+            """
+            MOVEQ   #1,D0        ; 1 word
+            MOVE.W  #5,D1        ; 2 words
+            MOVE.W  D1,$2000     ; 3 words (abs.L dest)
+            HALT
+            """,
+            text_origin=0x1000,
+        )
+        addrs = sorted(prog.instructions)
+        assert addrs == [0x1000, 0x1002, 0x1006, 0x100C]
+
+    def test_labels_resolve_to_addresses(self):
+        prog = assemble(
+            """
+    start:  MOVEQ #0,D0
+    loop:   ADDQ.W #1,D0
+            DBRA D1,loop
+            HALT
+            """
+        )
+        assert prog.symbols["start"] == 0x1000
+        assert prog.symbols["loop"] == 0x1002
+        dbra = [i for i in prog.instruction_list() if i.mnemonic == "DBRA"][0]
+        assert dbra.target == prog.symbols["loop"]
+
+    def test_forward_reference(self):
+        prog = assemble(
+            """
+            BRA  done
+            NOP
+    done:   HALT
+            """
+        )
+        bra = first(prog)
+        assert bra.target == prog.symbols["done"]
+
+    def test_equ_and_expressions(self):
+        prog = assemble(
+            """
+            .equ  BASE, $4000
+            .equ  OFF, 8
+            MOVE.W BASE+OFF,D0
+            MOVE.W #BASE-OFF,D1
+            HALT
+            """
+        )
+        instrs = prog.instruction_list()
+        assert instrs[0].operands[0].value == 0x4008
+        assert instrs[1].operands[0].value == 0x4000 - 8
+
+    def test_predefined_symbols(self):
+        prog = assemble(
+            "    MOVE.W D0,NETTX\n    HALT", predefined={"NETTX": 0xFF0000}
+        )
+        assert first(prog).operands[1].value == 0xFF0000
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:  NOP\nx:  HALT")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("    MOVE.W nowhere,D0\n    HALT")
+
+    def test_entry_is_first_instruction(self):
+        prog = assemble("    .org $2000\n    NOP\n    HALT")
+        assert prog.entry == 0x2000
+
+
+class TestDataSection:
+    def test_dc_w(self):
+        prog = assemble(
+            """
+            HALT
+            .data
+    tbl:    .dc.w  1,2,$FFFF
+            """
+        )
+        assert prog.data == [(0x8000, bytes([0, 1, 0, 2, 0xFF, 0xFF]))]
+
+    def test_dc_negative_value_wraps(self):
+        prog = assemble("    HALT\n    .data\nv: .dc.w -1")
+        assert prog.data[0][1] == b"\xff\xff"
+
+    def test_ds_reserves_space(self):
+        prog = assemble(
+            """
+            HALT
+            .data
+    a:      .ds.w  4
+    b:      .dc.w  9
+            """
+        )
+        assert prog.symbols["b"] == 0x8000 + 8
+
+    def test_dc_in_text_rejected(self):
+        with pytest.raises(AssemblerError, match="only allowed in .data"):
+            assemble("    .dc.w 1")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError, match="outside .text"):
+            assemble("    .data\n    NOP")
+
+
+class TestDirectivesAndDiagnostics:
+    def test_timecat_tags_instructions(self):
+        prog = assemble(
+            """
+            .timecat control
+            MOVEQ #0,D0
+            .timecat mult
+            MULU  D1,D2
+            HALT
+            """
+        )
+        instrs = prog.instruction_list()
+        assert instrs[0].timecat == "control"
+        assert instrs[1].timecat == "mult"
+        assert instrs[2].timecat == "mult"  # sticky until changed
+
+    def test_unknown_timecat_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown .timecat"):
+            assemble("    .timecat bogus\n    NOP")
+
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("    NOP\n    FROB D0\n    HALT")
+
+    def test_operand_validation_reports_line(self):
+        with pytest.raises(AssemblerError):
+            assemble("    MULU D0,A1\n    HALT")  # dest must be Dn
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble(
+            """
+    * full-line comment
+            NOP        ; trailing comment
+
+            HALT
+            """
+        )
+        assert len(prog.instructions) == 2
+
+    def test_branch_size_suffix_tolerated(self):
+        prog = assemble("loop:  BNE.S loop\n    HALT")
+        assert first(prog).mnemonic == "BNE"
+
+    def test_default_size_is_word(self):
+        prog = assemble("    ADD D0,D1\n    HALT")
+        assert first(prog).size is Size.WORD
+
+    def test_listing_contains_addresses(self):
+        prog = assemble("start:  NOP\n    HALT")
+        listing = prog.listing()
+        assert "start:" in listing and "NOP" in listing

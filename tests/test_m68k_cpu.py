@@ -1,0 +1,452 @@
+"""Interpreter tests: instruction semantics, flags, control flow, and
+end-to-end cycle accounting on the SimpleBus."""
+
+import pytest
+
+from repro.m68k.assembler import assemble
+from repro.m68k.bus import SimpleBus
+from repro.m68k.cpu import CPU, HaltReason
+from repro.sim import Environment
+
+
+def run_source(source, *, ws_stream=0, ws_data=0, setup=None, **asm_kwargs):
+    """Assemble and run until HALT; return (cpu, bus, env)."""
+    env = Environment()
+    bus = SimpleBus(env, ws_stream=ws_stream, ws_data=ws_data)
+    prog = assemble(source, **asm_kwargs)
+    bus.load_program(prog)
+    cpu = CPU(env, bus, name="test")
+    cpu.reset(pc=prog.entry, sp=0x1_F000)
+    if setup:
+        setup(cpu, bus)
+    env.run(until=env.process(cpu.run()))
+    assert cpu.halted is HaltReason.HALT_INSTRUCTION
+    return cpu, bus, env
+
+
+class TestDataMovement:
+    def test_moveq_sign_extends(self):
+        cpu, _, _ = run_source("    MOVEQ #-1,D0\n    HALT")
+        assert cpu.regs.d[0] == 0xFFFF_FFFF
+        assert cpu.regs.ccr.n
+
+    def test_move_word_to_register_preserves_upper(self):
+        def setup(cpu, bus):
+            cpu.regs.d[1] = 0xAAAA_0000
+
+        cpu, _, _ = run_source("    MOVE.W #$1234,D1\n    HALT", setup=setup)
+        assert cpu.regs.d[1] == 0xAAAA_1234
+
+    def test_move_memory_roundtrip(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #$BEEF,$4000
+            MOVE.W  $4000,D2
+            HALT
+            """
+        )
+        assert bus.peek(0x4000, 2) == 0xBEEF
+        assert cpu.regs.d[2] & 0xFFFF == 0xBEEF
+
+    def test_movea_sign_extends_word(self):
+        cpu, _, _ = run_source("    MOVEA.W #$8000,A0\n    HALT")
+        assert cpu.regs.a[0] == 0xFFFF_8000
+
+    def test_postincrement_steps_by_size(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0] = 0x4000
+            bus.poke(0x4000, 0x1111, 2)
+            bus.poke(0x4002, 0x2222, 2)
+
+        cpu, _, _ = run_source(
+            """
+            MOVE.W (A0)+,D0
+            MOVE.W (A0)+,D1
+            HALT
+            """,
+            setup=setup,
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0x1111
+        assert cpu.regs.d[1] & 0xFFFF == 0x2222
+        assert cpu.regs.a[0] == 0x4004
+
+    def test_predecrement(self):
+        def setup(cpu, bus):
+            cpu.regs.a[1] = 0x4004
+
+        cpu, bus, _ = run_source(
+            "    MOVE.W #7,-(A1)\n    HALT", setup=setup
+        )
+        assert cpu.regs.a[1] == 0x4002
+        assert bus.peek(0x4002, 2) == 7
+
+    def test_displacement_addressing(self):
+        def setup(cpu, bus):
+            cpu.regs.a[2] = 0x4000
+            bus.poke(0x4008, 0x5A5A, 2)
+
+        cpu, _, _ = run_source("    MOVE.W 8(A2),D3\n    HALT", setup=setup)
+        assert cpu.regs.d[3] & 0xFFFF == 0x5A5A
+
+    def test_index_addressing(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0] = 0x4000
+            cpu.regs.d[1] = 6
+            bus.poke(0x4000 + 6 + 2, 0x77, 2)
+
+        cpu, _, _ = run_source("    MOVE.W 2(A0,D1.W),D0\n    HALT", setup=setup)
+        assert cpu.regs.d[0] & 0xFFFF == 0x77
+
+    def test_lea(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0] = 0x4000
+
+        cpu, _, _ = run_source("    LEA 16(A0),A1\n    HALT", setup=setup)
+        assert cpu.regs.a[1] == 0x4010
+
+    def test_swap_and_exg(self):
+        def setup(cpu, bus):
+            cpu.regs.d[0] = 0x1234_5678
+            cpu.regs.a[3] = 0x9ABC_DEF0
+
+        cpu, _, _ = run_source(
+            "    SWAP D0\n    EXG D0,A3\n    HALT", setup=setup
+        )
+        assert cpu.regs.a[3] == 0x5678_1234
+        assert cpu.regs.d[0] == 0x9ABC_DEF0
+
+    def test_move_long(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.L #$12345678,D0
+            MOVE.L D0,$4000
+            HALT
+            """
+        )
+        assert bus.peek(0x4000, 4) == 0x1234_5678
+
+
+class TestArithmetic:
+    def test_add_and_flags(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$7FFF,D0\n    ADD.W #1,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0x8000
+        assert cpu.regs.ccr.v and cpu.regs.ccr.n and not cpu.regs.ccr.c
+
+    def test_add_carry(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$FFFF,D0\n    ADD.W #1,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0
+        assert cpu.regs.ccr.c and cpu.regs.ccr.z and cpu.regs.ccr.x
+
+    def test_sub_borrow(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #3,D0\n    SUB.W #5,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0xFFFE
+        assert cpu.regs.ccr.c and cpu.regs.ccr.n
+
+    def test_cmp_does_not_store(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #9,D0\n    CMP.W #9,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 9
+        assert cpu.regs.ccr.z
+
+    def test_memory_destination_add(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #10,$4000
+            MOVE.W  #32,D0
+            ADD.W   D0,$4000
+            HALT
+            """
+        )
+        assert bus.peek(0x4000, 2) == 42
+
+    def test_addq_subq(self):
+        cpu, _, _ = run_source(
+            "    MOVEQ #10,D0\n    ADDQ.W #5,D0\n    SUBQ.W #1,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 14
+
+    def test_adda_no_flags(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0] = 0x4000
+            cpu.regs.ccr.z = True
+
+        cpu, _, _ = run_source("    ADDA.W #$10,A0\n    HALT", setup=setup)
+        assert cpu.regs.a[0] == 0x4010
+        assert cpu.regs.ccr.z  # unchanged
+
+    def test_mulu_result(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #300,D0
+            MOVE.W  #500,D1
+            MULU    D0,D1
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] == 150_000
+
+    def test_mulu_unsigned_interpretation(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #$FFFF,D0
+            MOVE.W  #2,D1
+            MULU    D0,D1
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] == 0xFFFF * 2
+
+    def test_muls_signed(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #-3,D0
+            MOVE.W  #7,D1
+            MULS    D0,D1
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] == (-21) & 0xFFFF_FFFF
+
+    def test_logic_ops(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #$F0F0,D0
+            AND.W   #$FF00,D0
+            OR.W    #$000F,D0
+            EOR.W   #$0001,D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0xF00E
+
+    def test_shifts(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #1,D0
+            LSL.W   #4,D0
+            MOVE.W  #$8000,D1
+            LSR.W   #1,D1
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 16
+        assert cpu.regs.d[1] & 0xFFFF == 0x4000
+
+    def test_clr_not_neg(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #5,D0
+            NEG.W   D0
+            MOVE.W  #$00FF,D1
+            NOT.W   D1
+            MOVE.W  #3,D2
+            CLR.W   D2
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0xFFFB
+        assert cpu.regs.d[1] & 0xFFFF == 0xFF00
+        assert cpu.regs.d[2] & 0xFFFF == 0
+        assert cpu.regs.ccr.z
+
+    def test_ext(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$FFFF,D0\n    EXT.L D0\n    HALT"
+        )
+        assert cpu.regs.d[0] == 0xFFFF_FFFF
+
+    def test_divu(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.L  #100007,D0
+            MOVE.W  #10,D1
+            DIVU    D1,D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 10000  # quotient
+        assert (cpu.regs.d[0] >> 16) & 0xFFFF == 7  # remainder
+
+
+class TestControlFlow:
+    def test_dbra_loop_count(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            MOVE.W  #9,D1
+    loop:   ADDQ.W  #1,D0
+            DBRA    D1,loop
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 10  # DBRA executes count+1 times
+
+    def test_conditional_branch(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #5,D0
+            CMP.W   #5,D0
+            BEQ     equal
+            MOVEQ   #0,D1
+            BRA     done
+    equal:  MOVEQ   #1,D1
+    done:   HALT
+            """
+        )
+        assert cpu.regs.d[1] == 1
+
+    def test_bne_loop(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            MOVE.W  #5,D1
+    loop:   ADDQ.W  #1,D0
+            SUBQ.W  #1,D1
+            BNE     loop
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 5
+
+    def test_jsr_rts(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            JSR     sub
+            ADDQ.W  #1,D0
+            HALT
+    sub:    MOVE.W  #10,D0
+            RTS
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 11
+
+    def test_bsr_rts_nested(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            BSR     one
+            HALT
+    one:    BSR     two
+            ADDQ.W  #1,D0
+            RTS
+    two:    ADDQ.W  #2,D0
+            RTS
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 3
+
+    def test_jmp_indirect(self):
+        cpu, _, _ = run_source(
+            """
+            LEA     there,A0
+            JMP     (A0)
+            MOVEQ   #0,D0
+            HALT
+    there:  MOVEQ   #9,D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] == 9
+
+    def test_dbcc_exits_on_condition(self):
+        # DBEQ: exit the loop early when Z becomes set.
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            MOVE.W  #100,D1
+    loop:   ADDQ.W  #1,D0
+            CMP.W   #4,D0
+            DBEQ    D1,loop
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 4
+
+
+class TestCycleAccounting:
+    def test_straight_line_cycle_total(self):
+        # MOVEQ(4) + MOVE.W #,Dn(8) + ADD Dn,Dn(4) + MULU(38+2*ones(3)=42)
+        # + HALT(4) = 62 at zero wait states.
+        cpu, bus, env = run_source(
+            """
+            MOVEQ   #3,D0
+            MOVE.W  #3,D1
+            ADD.W   D1,D1
+            MULU    D0,D1
+            HALT
+            """
+        )
+        assert env.now == 4 + 8 + 4 + 42 + 4
+
+    def test_wait_states_stretch_stream_accesses(self):
+        src = "    NOP\n    NOP\n    HALT"
+        _, _, env0 = run_source(src)
+        _, _, env1 = run_source(src, ws_stream=1)
+        # three single-word instructions → 3 extra cycles
+        assert env1.now - env0.now == 3
+
+    def test_wait_states_stretch_data_accesses(self):
+        src = """
+            MOVE.W  #1,$4000
+            MOVE.W  $4000,D0
+            HALT
+            """
+        _, _, env0 = run_source(src)
+        _, _, env1 = run_source(src, ws_data=2)
+        # one data write + one data read → 2 accesses * 2 ws = 4 cycles
+        assert env1.now - env0.now == 4
+
+    def test_dbra_loop_timing(self):
+        # Loop body: ADDQ.W #1,D0 (4) + DBRA taken (10); final: DBRA
+        # expired (14).  3 iterations: 2*(4+10) + (4+14).
+        cpu, bus, env = run_source(
+            """
+            MOVE.W  #2,D1
+    loop:   ADDQ.W  #1,D0
+            DBRA    D1,loop
+            HALT
+            """
+        )
+        assert env.now == 8 + 2 * 14 + 18 + 4
+
+    def test_category_cycles_accumulate(self):
+        cpu, _, env = run_source(
+            """
+            .timecat mult
+            MOVE.W  #15,D0
+            MULU    D0,D1
+            .timecat control
+            HALT
+            """
+        )
+        assert cpu.category_cycles["mult"] == 8 + (38 + 8)
+        assert cpu.category_cycles["control"] == 4
+        assert sum(cpu.category_cycles.values()) == env.now
+
+    def test_instruction_count(self):
+        cpu, _, _ = run_source("    NOP\n    NOP\n    NOP\n    HALT")
+        assert cpu.instruction_count == 4
+
+    def test_mulu_data_dependent_time(self):
+        def run_with_multiplier(value):
+            cpu, _, env = run_source(
+                f"""
+                MOVE.W  #{value},D0
+                MULU    D0,D1
+                HALT
+                """
+            )
+            return env.now
+
+        base = run_with_multiplier(0)
+        assert run_with_multiplier(1) == base + 2
+        assert run_with_multiplier(0xFFFF) == base + 32
+        assert run_with_multiplier(0x00FF) == base + 16

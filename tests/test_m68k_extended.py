@@ -1,0 +1,409 @@
+"""Tests for the extended MC68000 subset: bit operations, Scc, CMPM,
+ADDX/SUBX/NEGX chains, rotates through X, PEA/LINK/UNLK, MOVEM, TAS."""
+
+import pytest
+
+from repro.m68k.addressing import Mode, Operand, areg, dreg, imm
+from repro.m68k.assembler import assemble
+from repro.m68k.instructions import Instruction, Size
+from repro.m68k.timing import instruction_timing
+
+from tests.test_m68k_cpu import run_source
+
+
+def ind(n):
+    return Operand(Mode.IND, reg=n)
+
+
+class TestBitOps:
+    def test_btst_sets_z_from_bit(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.L  #%1000,D0
+            BTST    #3,D0
+            SEQ     D1          ; Z clear (bit was set) -> D1 = 0
+            BTST    #2,D0
+            SNE     D2          ; Z set (bit clear) -> D2 = 0
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] & 0xFF == 0
+        assert cpu.regs.d[2] & 0xFF == 0
+
+    def test_bset_bclr_bchg_on_register(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            BSET    #5,D0
+            BSET    #31,D0
+            BCLR    #5,D0
+            BCHG    #0,D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] == (1 << 31) | 1
+
+    def test_bit_number_from_register_mod_32(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            MOVE.W  #33,D1      ; 33 mod 32 = 1
+            BSET    D1,D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] == 2
+
+    def test_memory_bitops_are_byte_wide_mod_8(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #$00FF,$4000
+            BCLR    #0,$4000     ; operates on the byte at $4000 = $00
+            BSET    #10,$4001    ; 10 mod 8 = 2 on the byte at $4001
+            HALT
+            """
+        )
+        assert bus.peek(0x4000, 1) == 0x00
+        assert bus.peek(0x4001, 1) == 0xFF  # bit 2 already set
+
+    def test_btst_timing(self):
+        t = instruction_timing(Instruction("BTST", None, (dreg(0), dreg(1))))
+        assert (t.cycles, t.stream_words) == (6, 1)
+        t = instruction_timing(
+            Instruction("BTST", Size.BYTE, (imm(3), dreg(1)))
+        )
+        assert (t.cycles, t.stream_words) == (10, 2)
+
+    def test_bclr_register_timing(self):
+        t = instruction_timing(Instruction("BCLR", None, (dreg(0), dreg(1))))
+        assert t.cycles == 10
+
+
+class TestScc:
+    def test_all_conditions_set_or_clear(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #5,D0
+            CMP.W   #5,D0
+            SEQ     D1          ; true  -> $FF
+            SNE     D2          ; false -> $00
+            SGE     D3          ; 5 >= 5 -> $FF
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] & 0xFF == 0xFF
+        assert cpu.regs.d[2] & 0xFF == 0x00
+        assert cpu.regs.d[3] & 0xFF == 0xFF
+
+    def test_scc_memory(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #1,D0
+            TST.W   D0
+            SNE     $4000
+            HALT
+            """
+        )
+        assert bus.peek(0x4000, 1) == 0xFF
+
+    def test_scc_only_touches_low_byte(self):
+        def setup(cpu, bus):
+            cpu.regs.d[1] = 0x1234_5678
+
+        cpu, _, _ = run_source(
+            "    MOVEQ #0,D0\n    TST.W D0\n    SEQ D1\n    HALT",
+            setup=setup,
+        )
+        assert cpu.regs.d[1] == 0x1234_56FF
+
+    def test_scc_timing_true_vs_false(self):
+        st = Instruction("ST", Size.BYTE, (dreg(0),))
+        assert instruction_timing(st, branch_taken=True).cycles == 6
+        assert instruction_timing(st, branch_taken=False).cycles == 4
+
+
+class TestCmpmAndExtended:
+    def test_cmpm_compares_and_advances(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #7,$4000
+            MOVE.W  #7,$4100
+            LEA     $4000,A0
+            LEA     $4100,A1
+            CMPM    (A0)+,(A1)+
+            SEQ     D3
+            HALT
+            """
+        )
+        assert cpu.regs.d[3] & 0xFF == 0xFF
+        assert cpu.regs.a[0] == 0x4002 and cpu.regs.a[1] == 0x4102
+
+    def test_addx_chain_32bit_via_16bit(self):
+        """Add two 32-bit numbers with 16-bit ADD/ADDX (the classic use)."""
+        a, b = 0x0001_FFFF, 0x0000_0001
+        cpu, _, _ = run_source(
+            f"""
+            MOVE.W  #{a & 0xFFFF},D0        ; a low
+            MOVE.W  #{a >> 16},D1           ; a high
+            MOVE.W  #{b & 0xFFFF},D2        ; b low
+            MOVE.W  #{b >> 16},D3           ; b high
+            ADD.W   D2,D0                   ; low halves (sets X)
+            ADDX.W  D3,D1                   ; high halves + carry
+            HALT
+            """
+        )
+        result = ((cpu.regs.d[1] & 0xFFFF) << 16) | (cpu.regs.d[0] & 0xFFFF)
+        assert result == a + b
+
+    def test_subx_borrow(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #0,D0
+            MOVE.W  #1,D1
+            SUB.W   D1,D0       ; 0-1: borrow, X set
+            MOVE.W  #5,D2
+            MOVE.W  #2,D3
+            SUBX.W  D3,D2       ; 5-2-1 = 2
+            HALT
+            """
+        )
+        assert cpu.regs.d[2] & 0xFFFF == 2
+
+    def test_addx_memory_form(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #$FFFF,$4000
+            MOVE.W  #$0001,$4100
+            LEA     $4002,A0
+            LEA     $4102,A1
+            ADD.W   D7,D7       ; clear X (0+0)
+            ADDX.W  -(A0),-(A1)
+            HALT
+            """
+        )
+        assert bus.peek(0x4100, 2) == 0x0000  # FFFF + 1 wraps
+        assert bus.peek(0x4000, 2) == 0xFFFF  # source unchanged
+
+    def test_negx(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #1,D0
+            SUB.W   #2,D0       ; sets X (borrow)
+            MOVE.W  #10,D1
+            NEGX.W  D1          ; -(10) - 1 = -11
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] & 0xFFFF == (-11) & 0xFFFF
+
+    def test_cmpm_timing(self):
+        t = instruction_timing(
+            Instruction("CMPM", Size.WORD,
+                        (Operand(Mode.POSTINC, reg=0),
+                         Operand(Mode.POSTINC, reg=1)))
+        )
+        assert t.cycles == 12 and t.data_reads == 2
+
+    def test_addx_timing(self):
+        reg = Instruction("ADDX", Size.WORD, (dreg(0), dreg(1)))
+        assert instruction_timing(reg).cycles == 4
+        mem = Instruction(
+            "ADDX", Size.WORD,
+            (Operand(Mode.PREDEC, reg=0), Operand(Mode.PREDEC, reg=1)),
+        )
+        t = instruction_timing(mem)
+        assert (t.cycles, t.data_reads, t.data_writes) == (18, 2, 1)
+
+
+class TestRotatesThroughX:
+    def test_roxl_inserts_x(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #$FFFF,D0
+            ADD.W   D0,D0       ; sets X (carry out)
+            MOVE.W  #0,D1
+            ROXL.W  #1,D1       ; rotates X into bit 0
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] & 0xFFFF == 1
+
+    def test_roxr_full_cycle_restores(self):
+        """17 ROXR steps (16 bits + X) restore the original word."""
+        cpu, _, _ = run_source(
+            """
+            ADD.W   D7,D7       ; X := 0
+            MOVE.W  #$1234,D0
+            ROXR.W  #8,D0
+            ROXR.W  #8,D0
+            ROXR.W  #1,D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0x1234
+
+    def test_roxl_timing_matches_shift_family(self):
+        t = instruction_timing(
+            Instruction("ROXL", Size.WORD, (imm(4), dreg(0))), shift_count=4
+        )
+        assert t.cycles == 6 + 8
+
+
+class TestStackOps:
+    def test_pea_pushes_effective_address(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0] = 0x4000
+
+        cpu, bus, _ = run_source("    PEA 8(A0)\n    HALT", setup=setup)
+        assert bus.peek(cpu.regs.sp, 4) == 0x4008
+
+    def test_link_unlk_frame(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.L  #$AABBCCDD,A6
+            LINK    A6,#-8
+            MOVE.W  #42,-4(A6)      ; a local variable
+            MOVE.W  -4(A6),D0
+            UNLK    A6
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 42
+        assert cpu.regs.a[6] == 0xAABB_CCDD  # restored
+        assert cpu.regs.sp == 0x1_F000 - 4 + 4  # back to initial
+
+    def test_pea_timing(self):
+        t = instruction_timing(Instruction("PEA", None, (ind(0),)))
+        assert (t.cycles, t.data_writes) == (12, 2)
+        t = instruction_timing(
+            Instruction("PEA", None, (Operand(Mode.ABS_L, value=0x1000),))
+        )
+        assert t.cycles == 20
+
+    def test_link_unlk_timing(self):
+        link = Instruction("LINK", None, (areg(6), imm(-8)))
+        assert instruction_timing(link).cycles == 16
+        unlk = Instruction("UNLK", None, (areg(6),))
+        assert instruction_timing(unlk).cycles == 12
+
+
+class TestMovem:
+    def test_store_and_reload_roundtrip(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #1,D0
+            MOVE.W  #2,D1
+            MOVE.W  #3,D2
+            MOVEA.W #$4000,A0
+            MOVEM.W D0-D2,-(SP)
+            CLR.W   D0
+            CLR.W   D1
+            CLR.W   D2
+            MOVEM.W (SP)+,D0-D2
+            HALT
+            """
+        )
+        assert [cpu.regs.d[i] & 0xFFFF for i in range(3)] == [1, 2, 3]
+        assert cpu.regs.sp == 0x1_F000  # balanced
+
+    def test_predec_stores_descending(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #$AAAA,D0
+            MOVE.L  #$BBBB,A3
+            LEA     $4008,A1
+            MOVEM.W D0/A3,-(A1)
+            HALT
+            """
+        )
+        # A3 stored first (descending), so memory order is D0 then A3.
+        assert bus.peek(0x4004, 2) == 0xAAAA
+        assert bus.peek(0x4006, 2) == 0xBBBB
+        assert cpu.regs.a[1] == 0x4004
+
+    def test_load_from_static_address(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #7,$4000
+            MOVE.W  #8,$4002
+            MOVEM.W $4000,D5-D6
+            HALT
+            """
+        )
+        assert cpu.regs.d[5] & 0xFFFF == 7
+        assert cpu.regs.d[6] & 0xFFFF == 8
+
+    def test_word_load_sign_extends(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #$8000,$4000
+            MOVEM.W $4000,D4
+            HALT
+            """
+        )
+        assert cpu.regs.d[4] == 0xFFFF_8000
+
+    def test_long_form(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.L  #$12345678,D0
+            MOVE.L  #$9ABCDEF0,D1
+            MOVEM.L D0-D1,-(SP)
+            MOVEM.L (SP)+,D6-D7
+            HALT
+            """
+        )
+        assert cpu.regs.d[6] == 0x1234_5678
+        assert cpu.regs.d[7] == 0x9ABC_DEF0
+
+    def test_movem_timing_word_store(self):
+        instr = assemble(
+            "    MOVEM.W D0-D3,-(SP)"
+        ).instruction_list()[0]
+        t = instruction_timing(instr)
+        assert t.cycles == 8 + 4 * 4
+        assert t.data_writes == 4
+
+    def test_movem_timing_word_load(self):
+        instr = assemble("    MOVEM.W (SP)+,D0-D3").instruction_list()[0]
+        t = instruction_timing(instr)
+        assert t.cycles == 12 + 4 * 4
+        assert t.data_reads == 4
+
+    def test_reg_list_parsing(self):
+        instr = assemble("    MOVEM.W D0-D2/A0/A5-A6,-(SP)").instruction_list()[0]
+        assert instr.reg_list == (
+            ("D", 0), ("D", 1), ("D", 2), ("A", 0), ("A", 5), ("A", 6)
+        )
+        assert instr.movem_store
+
+    def test_bad_reg_lists_rejected(self):
+        from repro.errors import AssemblerError
+
+        with pytest.raises(AssemblerError, match="descending"):
+            assemble("    MOVEM.W D3-D0,-(SP)")
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("    MOVEM.W D0/D0,-(SP)")
+        with pytest.raises(AssemblerError, match="register-list"):
+            assemble("    MOVEM.W D0,D1")
+
+    def test_str_includes_list(self):
+        instr = assemble("    MOVEM.W D0-D1,-(SP)").instruction_list()[0]
+        assert "D0/D1" in str(instr)
+
+
+class TestTas:
+    def test_tas_sets_high_bit_and_flags(self):
+        cpu, bus, _ = run_source(
+            """
+            MOVE.W  #$0000,$4000
+            TAS     $4000       ; tested 0 -> Z set, then bit 7 set
+            SEQ     D1
+            TAS     $4000       ; tested $80 -> N set
+            SMI     D2
+            HALT
+            """
+        )
+        assert bus.peek(0x4000, 1) == 0x80
+        assert cpu.regs.d[1] & 0xFF == 0xFF
+        assert cpu.regs.d[2] & 0xFF == 0xFF

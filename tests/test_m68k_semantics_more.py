@@ -1,0 +1,213 @@
+"""Additional MC68000 semantics coverage: signed division, rotate flags,
+byte-size operations, EXG pairs, and condition-code corners."""
+
+import pytest
+
+from tests.test_m68k_cpu import run_source
+
+
+class TestDivision:
+    def test_divs_signed_quotient_and_remainder(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.L  #-100,D0
+            MOVE.W  #7,D1
+            DIVS    D1,D0
+            HALT
+            """
+        )
+        # -100 / 7 truncates toward zero: q = -14, r = -2.
+        assert cpu.regs.d[0] & 0xFFFF == (-14) & 0xFFFF
+        assert (cpu.regs.d[0] >> 16) & 0xFFFF == (-2) & 0xFFFF
+
+    def test_divu_overflow_sets_v_and_preserves_register(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.L  #$00100000,D0
+            MOVE.W  #1,D1
+            DIVU    D1,D0
+            HALT
+            """
+        )
+        assert cpu.regs.ccr.v
+        assert cpu.regs.d[0] == 0x0010_0000  # unchanged on overflow
+
+    def test_divide_by_zero_raises(self):
+        from repro.errors import IllegalInstructionError
+
+        with pytest.raises(IllegalInstructionError, match="zero"):
+            run_source(
+                "    MOVE.L #10,D0\n    MOVEQ #0,D1\n    DIVU D1,D0\n    HALT"
+            )
+
+
+class TestRotates:
+    def test_rol_wraps_bits(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$8001,D0\n    ROL.W #1,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0x0003
+        assert cpu.regs.ccr.c  # last bit rotated out of the top
+
+    def test_ror_wraps_bits(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$0001,D0\n    ROR.W #1,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0x8000
+        assert cpu.regs.ccr.c
+
+    def test_full_rotation_identity(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$BEEF,D0\n    ROL.W #8,D0\n    ROL.W #8,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0xBEEF
+
+    def test_asr_preserves_sign(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$8000,D0\n    ASR.W #3,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 0xF000
+
+    def test_asl_overflow_flag(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$4000,D0\n    ASL.W #1,D0\n    HALT"
+        )
+        assert cpu.regs.ccr.v  # sign changed during the shift
+
+
+class TestByteOperations:
+    def test_move_b_touches_only_low_byte(self):
+        def setup(cpu, bus):
+            cpu.regs.d[1] = 0x1234_5678
+
+        cpu, _, _ = run_source("    MOVE.B #$FF,D1\n    HALT", setup=setup)
+        assert cpu.regs.d[1] == 0x1234_56FF
+
+    def test_byte_postincrement_steps_by_one(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0] = 0x4000
+            bus.poke(0x4000, 0xAB, 1)
+            bus.poke(0x4001, 0xCD, 1)
+
+        cpu, _, _ = run_source(
+            "    MOVE.B (A0)+,D0\n    MOVE.B (A0)+,D1\n    HALT",
+            setup=setup,
+        )
+        assert cpu.regs.d[0] & 0xFF == 0xAB
+        assert cpu.regs.d[1] & 0xFF == 0xCD
+        assert cpu.regs.a[0] == 0x4002
+
+    def test_byte_flags(self):
+        cpu, _, _ = run_source(
+            "    MOVE.B #$80,D0\n    TST.B D0\n    HALT"
+        )
+        assert cpu.regs.ccr.n and not cpu.regs.ccr.z
+
+    def test_add_b_wraps_at_byte(self):
+        cpu, _, _ = run_source(
+            "    MOVE.B #$FF,D0\n    ADD.B #1,D0\n    HALT"
+        )
+        assert cpu.regs.d[0] & 0xFF == 0
+        assert cpu.regs.ccr.z and cpu.regs.ccr.c
+
+
+class TestExgAndSwap:
+    def test_exg_dd(self):
+        def setup(cpu, bus):
+            cpu.regs.d[0], cpu.regs.d[1] = 0x11111111, 0x22222222
+
+        cpu, _, _ = run_source("    EXG D0,D1\n    HALT", setup=setup)
+        assert cpu.regs.d[0] == 0x22222222
+        assert cpu.regs.d[1] == 0x11111111
+
+    def test_exg_aa(self):
+        def setup(cpu, bus):
+            cpu.regs.a[0], cpu.regs.a[1] = 0xAAAA, 0xBBBB
+
+        cpu, _, _ = run_source("    EXG A0,A1\n    HALT", setup=setup)
+        assert cpu.regs.a[0] == 0xBBBB and cpu.regs.a[1] == 0xAAAA
+
+    def test_swap_sets_flags_from_long(self):
+        def setup(cpu, bus):
+            cpu.regs.d[0] = 0x0000_8000
+
+        cpu, _, _ = run_source("    SWAP D0\n    HALT", setup=setup)
+        assert cpu.regs.ccr.n  # 0x80000000 is negative as a long
+
+
+class TestConditionCorners:
+    def test_signed_vs_unsigned_comparison(self):
+        """0x8000 is below 0x7FFF signed but above it unsigned."""
+        cpu, _, _ = run_source(
+            """
+            MOVE.W  #$8000,D0
+            CMP.W   #$7FFF,D0
+            SLT     D1          ; signed less-than -> true
+            SHI     D2          ; unsigned higher -> true
+            SGE     D3          ; signed >= -> false
+            HALT
+            """
+        )
+        assert cpu.regs.d[1] & 0xFF == 0xFF
+        assert cpu.regs.d[2] & 0xFF == 0xFF
+        assert cpu.regs.d[3] & 0xFF == 0x00
+
+    def test_dbcc_all_conditions_consistent_with_scc(self):
+        """DBcc exits when cc is true; Scc records the same cc."""
+        cpu, _, _ = run_source(
+            """
+            MOVEQ   #0,D0
+            MOVE.W  #50,D1
+    loop:   ADDQ.W  #1,D0
+            CMP.W   #7,D0
+            DBEQ    D1,loop     ; exit when D0 == 7
+            SEQ     D2
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFFFF == 7
+        assert cpu.regs.d[2] & 0xFF == 0xFF
+
+    def test_moveq_range(self):
+        cpu, _, _ = run_source("    MOVEQ #-128,D0\n    HALT")
+        assert cpu.regs.d[0] == 0xFFFF_FF80
+
+    def test_not_affects_nz_only(self):
+        cpu, _, _ = run_source(
+            "    MOVE.W #$FFFF,D0\n    NOT.W D0\n    HALT"
+        )
+        assert cpu.regs.ccr.z and not cpu.regs.ccr.c
+
+
+class TestAddressRegisterRules:
+    def test_word_arithmetic_on_areg_uses_full_width(self):
+        cpu, _, _ = run_source(
+            """
+            MOVEA.W #$7FFF,A0
+            ADDA.W  #2,A0
+            HALT
+            """
+        )
+        # Word source sign-extends; arithmetic is 32-bit: 0x7FFF+2.
+        assert cpu.regs.a[0] == 0x8001
+
+    def test_suba_negative_word(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.L  #$10000,A0
+            SUBA.W  #1,A0
+            HALT
+            """
+        )
+        assert cpu.regs.a[0] == 0xFFFF
+
+    def test_cmpa_sets_flags_from_full_width(self):
+        cpu, _, _ = run_source(
+            """
+            MOVE.L  #$10000,A0
+            CMPA.W  #0,A0
+            SNE     D0
+            HALT
+            """
+        )
+        assert cpu.regs.d[0] & 0xFF == 0xFF  # 0x10000 != 0 at 32 bits

@@ -1,0 +1,339 @@
+"""Timing-table tests: values cross-checked against the M68000 user's manual.
+
+Each case states the manual's total ``cycles(reads/writes)``; our model must
+match the total cycles and split reads into instruction-stream words vs
+operand reads such that ``stream + data_reads == manual reads``.
+"""
+
+import pytest
+
+from repro.m68k.addressing import Mode, Operand, absl, areg, dreg, imm
+from repro.m68k.instructions import Instruction, Size
+from repro.m68k.timing import (
+    TimingInfo,
+    instruction_timing,
+    muls_cycles,
+    mulu_cycles,
+)
+
+
+def ind(n):
+    return Operand(Mode.IND, reg=n)
+
+
+def postinc(n):
+    return Operand(Mode.POSTINC, reg=n)
+
+
+def predec(n):
+    return Operand(Mode.PREDEC, reg=n)
+
+
+def disp(d, n):
+    return Operand(Mode.DISP, reg=n, disp=d)
+
+
+def check(t: TimingInfo, cycles: int, reads: int, writes: int):
+    assert t.cycles == cycles, f"cycles {t.cycles} != {cycles}"
+    assert t.stream_words + t.data_reads == reads, (
+        f"reads {t.stream_words}+{t.data_reads} != {reads}"
+    )
+    assert t.data_writes == writes
+    assert t.internal_cycles >= 0
+
+
+# ----------------------------------------------------------------- MOVE
+@pytest.mark.parametrize(
+    "src,dst,cycles,reads,writes",
+    [
+        (dreg(0), dreg(1), 4, 1, 0),  # MOVE.W Dn,Dn = 4(1/0)
+        (dreg(0), ind(1), 8, 1, 1),  # MOVE.W Dn,(An) = 8(1/1)
+        (dreg(0), postinc(1), 8, 1, 1),
+        (dreg(0), predec(1), 8, 1, 1),
+        (dreg(0), disp(4, 1), 12, 2, 1),  # MOVE.W Dn,d(An) = 12(2/1)
+        (dreg(0), Operand(Mode.ABS_L, value=0x1000), 16, 3, 1),
+        (ind(0), dreg(1), 8, 2, 0),  # MOVE.W (An),Dn = 8(2/0)
+        (postinc(0), dreg(1), 8, 2, 0),
+        (predec(0), dreg(1), 10, 2, 0),
+        (disp(4, 0), dreg(1), 12, 3, 0),
+        (imm(5), dreg(1), 8, 2, 0),  # MOVE.W #,Dn = 8(2/0)
+        (postinc(0), postinc(1), 12, 2, 1),  # (An)+ → (An)+ = 12(2/1)
+        (disp(2, 0), disp(4, 1), 20, 4, 1),  # d(An) → d(An) = 20(4/1)
+    ],
+)
+def test_move_word_timing(src, dst, cycles, reads, writes):
+    t = instruction_timing(Instruction("MOVE", Size.WORD, (src, dst)))
+    check(t, cycles, reads, writes)
+
+
+@pytest.mark.parametrize(
+    "src,dst,cycles,reads,writes",
+    [
+        (dreg(0), dreg(1), 4, 1, 0),  # MOVE.L Dn,Dn = 4(1/0)
+        (dreg(0), ind(1), 12, 1, 2),  # MOVE.L Dn,(An) = 12(1/2)
+        (ind(0), dreg(1), 12, 3, 0),  # MOVE.L (An),Dn = 12(3/0)
+        (imm(5), dreg(1), 12, 3, 0),  # MOVE.L #,Dn = 12(3/0)
+        (dreg(0), Operand(Mode.ABS_L, value=0x1000), 20, 3, 2),
+    ],
+)
+def test_move_long_timing(src, dst, cycles, reads, writes):
+    t = instruction_timing(Instruction("MOVE", Size.LONG, (src, dst)))
+    check(t, cycles, reads, writes)
+
+
+# ----------------------------------------------------------------- ALU
+def test_add_word_register_dest():
+    t = instruction_timing(Instruction("ADD", Size.WORD, (dreg(0), dreg(1))))
+    check(t, 4, 1, 0)
+
+
+def test_add_word_memory_source():
+    t = instruction_timing(Instruction("ADD", Size.WORD, (postinc(0), dreg(1))))
+    check(t, 8, 2, 0)
+
+
+def test_add_word_memory_dest():
+    # ADD.W Dn,(An)+ = 8(1/1) + ea 4(1/0) = 12(2/1)
+    t = instruction_timing(Instruction("ADD", Size.WORD, (dreg(0), postinc(1))))
+    check(t, 12, 2, 1)
+
+
+def test_add_long_register_source():
+    # ADD.L Dn,Dn = 8(1/0)
+    t = instruction_timing(Instruction("ADD", Size.LONG, (dreg(0), dreg(1))))
+    check(t, 8, 1, 0)
+
+
+def test_add_long_memory_source():
+    # ADD.L (An),Dn = 6(1/0) + 8(2/0) = 14(3/0)
+    t = instruction_timing(Instruction("ADD", Size.LONG, (ind(0), dreg(1))))
+    check(t, 14, 3, 0)
+
+
+def test_cmp_word():
+    t = instruction_timing(Instruction("CMP", Size.WORD, (postinc(0), dreg(1))))
+    check(t, 8, 2, 0)
+
+
+def test_cmp_immediate_to_dreg():
+    t = instruction_timing(Instruction("CMPI", Size.WORD, (imm(7), dreg(1))))
+    check(t, 8, 2, 0)
+
+
+def test_addq_to_dreg():
+    t = instruction_timing(Instruction("ADDQ", Size.WORD, (imm(1), dreg(1))))
+    check(t, 4, 1, 0)
+
+
+def test_addq_to_areg():
+    t = instruction_timing(Instruction("ADDQ", Size.WORD, (imm(2), areg(1))))
+    check(t, 8, 1, 0)
+
+
+def test_addq_to_memory():
+    t = instruction_timing(Instruction("ADDQ", Size.WORD, (imm(2), ind(1))))
+    check(t, 12, 2, 1)
+
+
+def test_adda_word():
+    # ADDA.W Dn,An = 8(1/0)
+    t = instruction_timing(Instruction("ADDA", Size.WORD, (dreg(0), areg(1))))
+    check(t, 8, 1, 0)
+
+
+def test_moveq():
+    t = instruction_timing(Instruction("MOVEQ", None, (imm(3), dreg(1))))
+    check(t, 4, 1, 0)
+
+
+def test_clr_dreg():
+    t = instruction_timing(Instruction("CLR", Size.WORD, (dreg(0),)))
+    check(t, 4, 1, 0)
+
+
+def test_clr_memory():
+    # CLR.W (An) = 8(1/1) + ea 4(1/0) = 12(2/1)
+    t = instruction_timing(Instruction("CLR", Size.WORD, (ind(0),)))
+    check(t, 12, 2, 1)
+
+
+def test_tst_memory():
+    t = instruction_timing(Instruction("TST", Size.WORD, (ind(0),)))
+    check(t, 8, 2, 0)
+
+
+# ----------------------------------------------------------------- MUL
+def test_mulu_best_case():
+    t = instruction_timing(
+        Instruction("MULU", Size.WORD, (dreg(0), dreg(1))), src_value=0
+    )
+    check(t, 38, 1, 0)
+
+
+def test_mulu_worst_case():
+    t = instruction_timing(
+        Instruction("MULU", Size.WORD, (dreg(0), dreg(1))), src_value=0xFFFF
+    )
+    check(t, 38 + 32, 1, 0)
+
+
+def test_mulu_formula_examples():
+    assert mulu_cycles(0) == 38
+    assert mulu_cycles(1) == 40
+    assert mulu_cycles(0b1010_1010) == 38 + 8
+    assert mulu_cycles(0xFFFF) == 70
+
+
+def test_muls_formula_examples():
+    # 0xFFFF<<1 has exactly one 01/10 boundary → 40 cycles.
+    assert muls_cycles(0xFFFF) == 40
+    assert muls_cycles(0) == 38
+    # alternating bits: maximal transitions = 16
+    assert muls_cycles(0b0101010101010101) == 38 + 2 * 16
+
+
+def test_mulu_with_memory_source():
+    t = instruction_timing(
+        Instruction("MULU", Size.WORD, (postinc(0), dreg(1))), src_value=0xF
+    )
+    check(t, 38 + 8 + 4, 2, 0)
+
+
+def test_mulu_requires_src_value():
+    with pytest.raises(Exception):
+        instruction_timing(Instruction("MULU", Size.WORD, (dreg(0), dreg(1))))
+
+
+# ----------------------------------------------------------------- shifts
+def test_lsl_immediate():
+    t = instruction_timing(
+        Instruction("LSL", Size.WORD, (imm(8), dreg(1))), shift_count=8
+    )
+    check(t, 6 + 16, 1, 0)
+
+
+def test_lsr_register_count():
+    t = instruction_timing(
+        Instruction("LSR", Size.WORD, (dreg(0), dreg(1))), shift_count=3
+    )
+    check(t, 12, 1, 0)
+
+
+def test_shift_count_from_immediate_operand():
+    t = instruction_timing(Instruction("LSL", Size.WORD, (imm(2), dreg(1))))
+    assert t.cycles == 10
+
+
+# ----------------------------------------------------------------- control
+def test_bra():
+    t = instruction_timing(Instruction("BRA", None, (), target=0x100))
+    check(t, 10, 2, 0)
+
+
+def test_bcc_taken():
+    t = instruction_timing(
+        Instruction("BNE", None, (), target=0x100), branch_taken=True
+    )
+    check(t, 10, 2, 0)
+
+
+def test_bcc_not_taken():
+    t = instruction_timing(
+        Instruction("BNE", None, (), target=0x100), branch_taken=False
+    )
+    check(t, 12, 2, 0)
+
+
+def test_dbra_loop_back():
+    t = instruction_timing(
+        Instruction("DBRA", None, (dreg(0),), target=0x100), branch_taken=True
+    )
+    check(t, 10, 2, 0)
+
+
+def test_dbra_expired():
+    t = instruction_timing(
+        Instruction("DBRA", None, (dreg(0),), target=0x100),
+        branch_taken=False,
+        dbcc_expired=True,
+    )
+    check(t, 14, 3, 0)
+
+
+def test_dbcc_condition_true():
+    t = instruction_timing(
+        Instruction("DBEQ", None, (dreg(0),), target=0x100), branch_taken=False
+    )
+    check(t, 12, 2, 0)
+
+
+def test_jmp_indirect():
+    t = instruction_timing(Instruction("JMP", None, (ind(0),)))
+    check(t, 8, 2, 0)
+
+
+def test_jmp_absolute_long():
+    t = instruction_timing(Instruction("JMP", None, (absl(0x1000),)))
+    check(t, 12, 3, 0)
+
+
+def test_jsr_absolute_long():
+    t = instruction_timing(Instruction("JSR", None, (absl(0x1000),)))
+    check(t, 20, 3, 2)
+
+
+def test_rts():
+    t = instruction_timing(Instruction("RTS"))
+    check(t, 16, 4, 0)
+
+
+def test_bsr():
+    t = instruction_timing(Instruction("BSR", None, (), target=0x10))
+    check(t, 18, 2, 2)
+
+
+# ----------------------------------------------------------------- misc
+def test_lea_displacement():
+    t = instruction_timing(Instruction("LEA", None, (disp(8, 0), areg(1))))
+    check(t, 8, 2, 0)
+
+
+def test_nop():
+    check(instruction_timing(Instruction("NOP")), 4, 1, 0)
+
+
+def test_swap():
+    check(instruction_timing(Instruction("SWAP", None, (dreg(0),))), 4, 1, 0)
+
+
+def test_exg():
+    check(instruction_timing(Instruction("EXG", None, (dreg(0), areg(0)))), 6, 1, 0)
+
+
+def test_internal_cycles_nonnegative_across_table():
+    """Structural invariant: no timing entry claims fewer cycles than its
+    bus accesses require."""
+    cases = [
+        Instruction("MOVE", Size.WORD, (disp(2, 0), disp(4, 1))),
+        Instruction("MOVE", Size.LONG, (postinc(0), predec(1))),
+        Instruction("ADD", Size.LONG, (dreg(0), ind(1))),
+        Instruction("SUBI", Size.WORD, (imm(1), ind(0))),
+        Instruction("ANDI", Size.LONG, (imm(1), dreg(0))),
+        Instruction("NEG", Size.WORD, (ind(0),)),
+        Instruction("RTS"),
+    ]
+    for instr in cases:
+        t = instruction_timing(instr)
+        assert t.internal_cycles >= 0, str(instr)
+
+
+def test_timing_info_with_wait_states():
+    t = TimingInfo(cycles=12, stream_words=2, data_reads=1, data_writes=0)
+    assert t.with_wait_states(1, 1) == 15
+    assert t.with_wait_states(0, 2) == 14
+    assert t.accesses == 3
+
+
+def test_timing_info_addition():
+    a = TimingInfo(4, 1) + TimingInfo(8, 1, 1, 0)
+    assert a == TimingInfo(12, 2, 1, 0)

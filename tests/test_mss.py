@@ -1,0 +1,118 @@
+"""Tests for the Memory Storage System and double-buffered PE memories."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.m68k.assembler import assemble
+from repro.machine import PASMMachine, PrototypeConfig
+from repro.mss import FrameRequest, MemoryStorageSystem
+from repro.sim import AllOf
+
+CFG = PrototypeConfig()
+
+
+def frame(lp, addr, values):
+    return FrameRequest(lp, addr, np.asarray(values, dtype=np.uint16))
+
+
+class TestFrameLoads:
+    def test_load_lands_in_spare_not_active(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        mss = MemoryStorageSystem(machine)
+        machine.pe(0).memory.write(0x4000, 0xAAAA, 2)
+        done = mss.load_into_spares([frame(0, 0x4000, [0x1234])])
+        machine.env.run(until=done)
+        assert machine.pe(0).memory.read(0x4000, 2) == 0xAAAA  # untouched
+        assert mss.spare(0).read(0x4000, 2) == 0x1234
+
+    def test_swap_exposes_loaded_data(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        mss = MemoryStorageSystem(machine)
+        done = mss.load_into_spares([frame(2, 0x100, [7, 8, 9])])
+        machine.env.run(until=done)
+        mss.swap_bank(2)
+        assert machine.pe(2).memory.read_words(0x100, 3).tolist() == [7, 8, 9]
+        # Swapping back restores the original bank.
+        mss.swap_bank(2)
+        assert mss.spare(2).read_words(0x100, 3).tolist() == [7, 8, 9]
+        assert mss.swaps == 2
+
+    def test_units_run_in_parallel_pes_sequentially(self):
+        """PEs of one group serialize on their unit; groups overlap."""
+        machine = PASMMachine(CFG, partition_size=8)  # 2 MC groups
+        mss = MemoryStorageSystem(machine, seek_cycles=100,
+                                  cycles_per_word=1)
+        words = [0] * 50
+        # two PEs in group 0 (logical 0,1) and two in group 1 (logical 4,5)
+        done = mss.load_into_spares(
+            [frame(0, 0, words), frame(1, 0, words),
+             frame(4, 0, words), frame(5, 0, words)]
+        )
+        t = machine.env.run(until=done)
+        # Each unit: 2 sequential transfers of (100 + 50); parallel groups.
+        assert t == pytest.approx(2 * 150)
+
+    def test_transfer_time_scales_with_words(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        mss = MemoryStorageSystem(machine, seek_cycles=10, cycles_per_word=3)
+        done = mss.load_into_spares([frame(0, 0, [1] * 20)])
+        t = machine.env.run(until=done)
+        assert t == pytest.approx(10 + 3 * 20)
+        assert mss.units[0].words_transferred == 20
+
+    def test_unknown_pe_rejected(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        mss = MemoryStorageSystem(machine)
+        with pytest.raises(ConfigurationError):
+            mss.load_into_spares([frame(9, 0, [1])])
+
+
+class TestDoubleBufferedPipeline:
+    def test_io_overlaps_compute(self):
+        """The design point: loading batch k+1 while computing batch k
+        costs max(io, compute), not their sum."""
+        machine = PASMMachine(CFG, partition_size=4)
+        mss = MemoryStorageSystem(machine, seek_cycles=500,
+                                  cycles_per_word=2)
+        env = machine.env
+
+        # A compute program: sum 64 words from 0x4000 into $6000.
+        program = assemble(
+            """
+            LEA     $4000,A0
+            MOVEQ   #0,D0
+            MOVE.W  #63,D2
+    loop:   ADD.W   (A0)+,D0
+            DBRA    D2,loop
+            MOVE.W  D0,$6000
+            HALT
+            """
+        )
+        batch0 = np.arange(64, dtype=np.uint16)
+        batch1 = np.arange(64, 128, dtype=np.uint16)
+        for lp in range(4):
+            machine.pe(lp).memory.write_words(0x4000, batch0)
+
+        # Arm compute on batch 0 and the load of batch 1 simultaneously.
+        io_done = mss.load_into_spares(
+            [frame(lp, 0x4000, batch1) for lp in range(4)]
+        )
+        compute_done = machine.start_mimd([program] * 4)
+        env.run(until=AllOf(env, [io_done, compute_done]))
+        overlap_time = env.now
+
+        compute_time = max(
+            sum(machine.pe(lp).cpu.category_cycles.values())
+            for lp in range(4)
+        )
+        io_time = 4 * (500 + 2 * 64)  # 4 PEs sequential on one unit
+        assert overlap_time == pytest.approx(max(compute_time, io_time),
+                                             rel=0.01)
+        assert overlap_time < compute_time + io_time
+
+        # Verify batch 0's result, then swap and verify batch 1 is ready.
+        assert machine.pe(0).memory.read(0x6000, 2) == int(batch0.sum())
+        mss.swap_all()
+        got = machine.pe(0).memory.read_words(0x4000, 64)
+        assert np.array_equal(got, batch1)

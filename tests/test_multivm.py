@@ -1,0 +1,144 @@
+"""Tests for partitioned operation: independent virtual machines sharing
+the physical machine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.machine import (
+    ExecutionMode,
+    PASMMachine,
+    PartitionedMachine,
+    PrototypeConfig,
+)
+from repro.programs import build_matmul, expected_product, generate_matrices
+from repro.programs.data import load_pe_matrices, read_pe_result, assemble_result
+
+CFG = PrototypeConfig()
+
+
+def arm_matmul(pm, vm, mode, n, a, b):
+    """Load a matmul workload onto a VM and arm it."""
+    bundle = build_matmul(
+        mode, n, vm.p, device_symbols=CFG.device_symbols()
+    )
+    layout = bundle.layout
+    for logical in range(vm.p):
+        load_pe_matrices(vm.pe(logical).memory, layout, logical, a, b)
+    vm.connect_shift_circuit()
+    if mode is ExecutionMode.SIMD:
+        pm.start(vm, mode, bundle.simd.mc_program, bundle.simd.blocks,
+                 bundle.simd.data_programs)
+    elif mode is ExecutionMode.SMIMD:
+        pm.start(vm, mode, bundle.programs, bundle.sync_words)
+    else:
+        pm.start(vm, mode, bundle.programs)
+    return bundle
+
+
+def extract(vm, bundle):
+    return assemble_result(
+        [read_pe_result(vm.pe(i).memory, bundle.layout) for i in range(vm.p)]
+    )
+
+
+class TestPartitionedMachine:
+    def test_two_vms_disjoint_mcs(self):
+        pm = PartitionedMachine(CFG)
+        vm_a = pm.new_vm(4, first_mc=0)
+        vm_b = pm.new_vm(4, first_mc=1)
+        assert vm_a.partition.mcs == [0]
+        assert vm_b.partition.mcs == [1]
+        assert not (
+            {pe.physical_id for pe in vm_a.pes}
+            & {pe.physical_id for pe in vm_b.pes}
+        )
+
+    def test_overlapping_vm_rejected(self):
+        pm = PartitionedMachine(CFG)
+        pm.new_vm(8, first_mc=0)  # MCs 0,1
+        with pytest.raises(PartitionError, match="already belong"):
+            pm.new_vm(4, first_mc=1)
+
+    def test_concurrent_matmuls_both_correct(self):
+        """Two VMs multiply different matrices concurrently; both exact."""
+        pm = PartitionedMachine(CFG)
+        vm_a = pm.new_vm(4, first_mc=0)
+        vm_b = pm.new_vm(4, first_mc=1)
+        a1, b1 = generate_matrices(8, seed=1)
+        a2, b2 = generate_matrices(8, seed=2)
+        bun_a = arm_matmul(pm, vm_a, ExecutionMode.SMIMD, 8, a1, b1)
+        bun_b = arm_matmul(pm, vm_b, ExecutionMode.MIMD, 8, a2, b2)
+        results = pm.run_all()
+        assert np.array_equal(extract(vm_a, bun_a), expected_product(a1, b1))
+        assert np.array_equal(extract(vm_b, bun_b), expected_product(a2, b2))
+        assert results[0].mode is ExecutionMode.SMIMD
+        assert results[1].mode is ExecutionMode.MIMD
+
+    def test_coresidency_does_not_change_timing(self):
+        """A VM's timing is identical whether it runs alone or alongside
+        another VM — the architectural independence claim."""
+        n = 8
+        a, b = generate_matrices(n, seed=5)
+
+        # Alone.
+        alone = PASMMachine(CFG, partition_size=4, first_mc=0)
+        bundle = build_matmul(
+            ExecutionMode.SMIMD, n, 4, device_symbols=CFG.device_symbols()
+        )
+        for logical in range(4):
+            load_pe_matrices(
+                alone.pe(logical).memory, bundle.layout, logical, a, b
+            )
+        alone.connect_shift_circuit()
+        alone_result = alone.run_smimd(bundle.programs, bundle.sync_words)
+
+        # Co-resident with a busy neighbour VM.
+        pm = PartitionedMachine(CFG)
+        vm = pm.new_vm(4, first_mc=0)
+        other = pm.new_vm(4, first_mc=2)
+        bun = arm_matmul(pm, vm, ExecutionMode.SMIMD, n, a, b)
+        a2, b2 = generate_matrices(16, seed=9)
+        arm_matmul(pm, other, ExecutionMode.MIMD, 16, a2, b2)
+        results = pm.run_all()
+
+        assert results[0].cycles == pytest.approx(alone_result.cycles)
+
+    def test_simd_and_mimd_vms_coexist(self):
+        pm = PartitionedMachine(CFG)
+        vm_a = pm.new_vm(4, first_mc=0)
+        vm_b = pm.new_vm(4, first_mc=3)
+        a1, b1 = generate_matrices(8, seed=3)
+        bun_a = arm_matmul(pm, vm_a, ExecutionMode.SIMD, 8, a1, b1)
+        a2, b2 = generate_matrices(8, seed=4)
+        bun_b = arm_matmul(pm, vm_b, ExecutionMode.SMIMD, 8, a2, b2)
+        pm.run_all()
+        assert np.array_equal(extract(vm_a, bun_a), expected_product(a1, b1))
+        assert np.array_equal(extract(vm_b, bun_b), expected_product(a2, b2))
+
+    def test_run_all_without_start_rejected(self):
+        pm = PartitionedMachine(CFG)
+        pm.new_vm(4, first_mc=0)
+        with pytest.raises(PartitionError, match="no workloads"):
+            pm.run_all()
+
+    def test_foreign_vm_rejected(self):
+        pm = PartitionedMachine(CFG)
+        stranger = PASMMachine(CFG, partition_size=4)
+        with pytest.raises(PartitionError, match="does not belong"):
+            pm.start(stranger, ExecutionMode.MIMD, [])
+
+    def test_four_serial_vms(self):
+        """Four size-1 VMs: the machine as a throughput processor farm."""
+        from repro.m68k.assembler import assemble
+
+        pm = PartitionedMachine(CFG)
+        vms = [pm.new_vm(1, first_mc=mc) for mc in range(4)]
+        for i, vm in enumerate(vms):
+            prog = assemble(
+                f"    MOVE.W #{i * 11},D0\n    MOVE.W D0,$4000\n    HALT"
+            )
+            pm.start(vm, ExecutionMode.SERIAL, prog)
+        pm.run_all()
+        for i, vm in enumerate(vms):
+            assert vm.pe(0).memory.read(0x4000, 2) == i * 11

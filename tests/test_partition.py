@@ -1,0 +1,104 @@
+"""Partitioning tests: logical/physical maps and network admissibility."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.machine import Partition, PrototypeConfig
+from repro.network import CircuitSwitchedNetwork, ExtraStageCubeTopology
+
+
+CFG = PrototypeConfig()
+
+
+class TestMapping:
+    def test_p4_uses_one_mc(self):
+        part = Partition(CFG, 4)
+        assert part.mcs == [0]
+        assert [part.physical_pe(i) for i in range(4)] == [0, 4, 8, 12]
+
+    def test_p8_uses_two_mcs(self):
+        part = Partition(CFG, 8)
+        assert part.mcs == [0, 1]
+        # logical 0..3 on MC0, 4..7 on MC1 (blocked mapping)
+        assert [part.physical_pe(i) for i in range(8)] == [
+            0, 4, 8, 12, 1, 5, 9, 13
+        ]
+
+    def test_p16_uses_all_mcs(self):
+        part = Partition(CFG, 16)
+        assert part.mcs == [0, 1, 2, 3]
+        phys = [part.physical_pe(i) for i in range(16)]
+        assert sorted(phys) == list(range(16))
+
+    def test_roundtrip_logical_physical(self):
+        for size in (4, 8, 16):
+            part = Partition(CFG, size)
+            for logical in range(size):
+                assert part.logical_pe(part.physical_pe(logical)) == logical
+
+    def test_mc_of_logical_matches_config_rule(self):
+        part = Partition(CFG, 8)
+        for logical in range(8):
+            phys = part.physical_pe(logical)
+            assert part.mc_of_logical(logical) == phys % CFG.n_mcs
+
+    def test_logical_pes_of_mc_are_blocked(self):
+        part = Partition(CFG, 8)
+        assert part.logical_pes_of_mc(0) == [0, 1, 2, 3]
+        assert part.logical_pes_of_mc(1) == [4, 5, 6, 7]
+
+    def test_second_partition_offset(self):
+        part = Partition(CFG, 4, first_mc=2)
+        assert part.mcs == [2]
+        assert [part.physical_pe(i) for i in range(4)] == [2, 6, 10, 14]
+
+    def test_serial_partition(self):
+        part = Partition(CFG, 1)
+        assert part.physical_pe(0) == 0
+
+    def test_physical_not_in_partition_rejected(self):
+        part = Partition(CFG, 4)
+        with pytest.raises(PartitionError):
+            part.logical_pe(1)  # PE 1 belongs to MC1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(PartitionError):
+            Partition(CFG, 3)
+        with pytest.raises(PartitionError):
+            Partition(CFG, 32)
+        with pytest.raises(PartitionError):
+            Partition(CFG, 2)  # smaller than an MC group
+        with pytest.raises(PartitionError):
+            Partition(CFG, 16, first_mc=1)  # doesn't fit
+
+
+class TestShiftAdmissibility:
+    """The algorithm holds one circuit setting for its entire run; that
+    setting must be conflict-free for every experimental configuration."""
+
+    @pytest.mark.parametrize("size", [4, 8, 16])
+    def test_shift_routes_in_one_setting(self, size):
+        part = Partition(CFG, size)
+        net = CircuitSwitchedNetwork(ExtraStageCubeTopology(CFG.n_pes))
+        assert net.is_admissible(part.shift_permutation())
+
+    @pytest.mark.parametrize("first_mc", [0, 1, 2, 3])
+    def test_shift_admissible_in_any_mc_slot(self, first_mc):
+        part = Partition(CFG, 4, first_mc=first_mc)
+        net = CircuitSwitchedNetwork(ExtraStageCubeTopology(CFG.n_pes))
+        assert net.is_admissible(part.shift_permutation())
+
+    def test_two_partitions_coexist(self):
+        """Independent virtual machines share the network fabric."""
+        part_a = Partition(CFG, 4, first_mc=0)
+        part_b = Partition(CFG, 4, first_mc=1)
+        net = CircuitSwitchedNetwork(ExtraStageCubeTopology(CFG.n_pes))
+        both = dict(part_a.shift_permutation())
+        both.update(part_b.shift_permutation())
+        assert net.is_admissible(both)
+
+    def test_shift_permutation_shape(self):
+        part = Partition(CFG, 4)
+        perm = part.shift_permutation()
+        # logical i -> i-1: physical 0->12, 4->0, 8->4, 12->8
+        assert perm == {0: 12, 4: 0, 8: 4, 12: 8}

@@ -1,0 +1,112 @@
+"""Tests for the permutation families and admissibility analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.network.permutations import (
+    FAMILIES,
+    admissibility_survey,
+    analyze_permutation,
+    bit_reversal,
+    butterfly,
+    exchange,
+    identity,
+    matrix_transpose,
+    perfect_shuffle,
+    shift,
+)
+from repro.network.topology import ExtraStageCubeTopology
+
+TOPO = ExtraStageCubeTopology(16)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_every_family_is_a_permutation(self, name):
+        mapping = FAMILIES[name](16)
+        assert sorted(mapping) == list(range(16))
+        assert sorted(mapping.values()) == list(range(16))
+
+    def test_shift_wraps(self):
+        assert shift(8, 1)[7] == 0
+        assert shift(8, -1)[0] == 7
+
+    def test_exchange(self):
+        assert exchange(16, 2)[0] == 4
+        with pytest.raises(NetworkError):
+            exchange(16, 4)
+
+    def test_bit_reversal_involution(self):
+        m = bit_reversal(16)
+        assert all(m[m[i]] == i for i in range(16))
+        assert m[0b0001] == 0b1000
+
+    def test_perfect_shuffle(self):
+        m = perfect_shuffle(16)
+        assert m[0b0110] == 0b1100
+        assert m[0b1000] == 0b0001
+
+    def test_butterfly_swaps_end_bits(self):
+        m = butterfly(16)
+        assert m[0b1000] == 0b0001
+        assert m[0b1001] == 0b1001  # symmetric endpoints fixed
+
+    def test_transpose(self):
+        m = matrix_transpose(16)
+        assert m[0b0111] == 0b1101  # (row=01,col=11) -> (row=11,col=01)
+        with pytest.raises(NetworkError):
+            matrix_transpose(8)  # odd number of address bits
+
+
+class TestAnalyzer:
+    def test_identity_admissible(self):
+        report = analyze_permutation(TOPO, identity(16))
+        assert report.admissible and report.n_circuits == 16
+        assert "admissible" in str(report)
+
+    def test_all_shifts_admissible(self):
+        """Uniform shifts — the algorithm's communication pattern — pass
+        the cube in one setting for every amount."""
+        for amount in range(16):
+            report = analyze_permutation(TOPO, shift(16, amount))
+            assert report.admissible, f"shift {amount}"
+
+    def test_exchange_admissible(self):
+        for bit in range(4):
+            assert analyze_permutation(TOPO, exchange(16, bit)).admissible
+
+    def test_blocked_permutation_reports_conflict(self):
+        """Some permutation must block the plain cube (it realizes far
+        fewer than 16! permutations); the report names the hot link."""
+        survey = admissibility_survey(16)
+        blocked = [r for r in survey.values() if not r.admissible]
+        assert blocked, "expected at least one blocked family"
+        report = blocked[0]
+        assert report.first_conflict is not None
+        assert report.conflicting_pair is not None
+        assert "blocked" in str(report)
+
+    def test_extra_stage_strictly_helps(self):
+        """Enabling the extra stage never hurts and rescues some families."""
+        plain = admissibility_survey(16, extra_stage_enabled=False)
+        esc = admissibility_survey(16, extra_stage_enabled=True)
+        for name, plain_report in plain.items():
+            if plain_report.admissible:
+                assert esc[name].admissible, name
+        rescued = [
+            name for name in plain
+            if not plain[name].admissible and esc[name].admissible
+        ]
+        # The ESC's second path rescues at least one classic family here.
+        assert rescued
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=16, deadline=None)
+    def test_shift_conflict_free_property(self, amount):
+        assert analyze_permutation(TOPO, shift(16, amount)).admissible
+
+    def test_survey_covers_families(self):
+        survey = admissibility_survey(16)
+        assert set(survey) == set(FAMILIES)

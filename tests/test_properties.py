@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) across the stack.
+
+* random straight-line register programs: the CPU interpreter against a
+  plain-Python oracle (values and the Z/N flags);
+* assembler round-trips through the listing;
+* fetch-unit release rule under random arrival orders;
+* network routing under random fault sets;
+* timing monotonicity in wait states.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkFaultError
+from repro.m68k.assembler import assemble
+from repro.m68k.bus import SimpleBus
+from repro.m68k.cpu import CPU
+from repro.m68k.instructions import Instruction, Size
+from repro.m68k.timing import instruction_timing
+from repro.m68k.addressing import dreg, imm
+from repro.network import ExtraStageCubeTopology, Fault, FaultKind, route
+from repro.sim import Environment
+from repro.fetch_unit import FetchUnitQueue, QueueItem
+
+
+# ---------------------------------------------------------------------------
+# CPU vs oracle
+_REG_OPS = ("ADD", "SUB", "AND", "OR", "EOR", "MOVE")
+
+
+@st.composite
+def straightline_program(draw):
+    """A random straight-line register program and its oracle trace."""
+    n_instr = draw(st.integers(1, 12))
+    lines = []
+    ops = []
+    for _ in range(n_instr):
+        op = draw(st.sampled_from(_REG_OPS))
+        src = draw(st.integers(0, 7))
+        dst = draw(st.integers(0, 7))
+        use_imm = draw(st.booleans())
+        value = draw(st.integers(0, 0xFFFF))
+        if use_imm:
+            lines.append(f"    {op}.W  #{value},D{dst}")
+            ops.append((op, ("imm", value), dst))
+        else:
+            lines.append(f"    {op}.W  D{src},D{dst}")
+            ops.append((op, ("reg", src), dst))
+    return "\n".join(lines) + "\n    HALT", ops
+
+
+def oracle(ops):
+    """Evaluate the program over 16-bit registers in plain Python."""
+    regs = [0] * 8
+    z = n = None
+    for op, (kind, value), dst in ops:
+        src_val = value if kind == "imm" else regs[value]
+        if op == "MOVE":
+            result = src_val
+        elif op == "ADD":
+            result = (regs[dst] + src_val) & 0xFFFF
+        elif op == "SUB":
+            result = (regs[dst] - src_val) & 0xFFFF
+        elif op == "AND":
+            result = regs[dst] & src_val
+        elif op == "OR":
+            result = regs[dst] | src_val
+        else:
+            result = regs[dst] ^ src_val
+        regs[dst] = result
+        z = result == 0
+        n = bool(result & 0x8000)
+    return regs, z, n
+
+
+@given(straightline_program())
+@settings(max_examples=150, deadline=None)
+def test_cpu_matches_oracle(case):
+    source, ops = case
+    env = Environment()
+    bus = SimpleBus(env)
+    prog = assemble(source)
+    bus.load_program(prog)
+    cpu = CPU(env, bus)
+    cpu.reset(pc=prog.entry, sp=0x1F000)
+    env.run(until=env.process(cpu.run()))
+
+    want_regs, want_z, want_n = oracle(ops)
+    got = [cpu.regs.read_d(i, 2) for i in range(8)]
+    assert got == want_regs
+    if want_z is not None:
+        assert cpu.regs.ccr.z == want_z
+        assert cpu.regs.ccr.n == want_n
+
+
+@given(straightline_program())
+@settings(max_examples=50, deadline=None)
+def test_elapsed_time_at_least_manual_time(case):
+    """Wait states and refresh can only stretch execution."""
+    source, _ = case
+    env = Environment()
+    bus = SimpleBus(env, ws_stream=1, ws_data=1)
+    prog = assemble(source)
+    bus.load_program(prog)
+    cpu = CPU(env, bus)
+    cpu.reset(pc=prog.entry, sp=0x1F000)
+    cpu.trace = True
+    env.run(until=env.process(cpu.run()))
+    for rec in cpu.trace_records:
+        assert rec.elapsed >= rec.timing.cycles
+
+
+# ---------------------------------------------------------------------------
+# assembler round-trip
+@given(straightline_program())
+@settings(max_examples=50, deadline=None)
+def test_assembler_listing_roundtrip(case):
+    """Reassembling a program's own listing reproduces the layout."""
+    source, _ = case
+    prog = assemble(source)
+    relisted = "\n".join(
+        f"    {instr}" for instr in prog.instruction_list()
+    )
+    prog2 = assemble(relisted)
+    assert [str(i) for i in prog.instruction_list()] == [
+        str(i) for i in prog2.instruction_list()
+    ]
+    assert [i.encoded_words() for i in prog.instruction_list()] == [
+        i.encoded_words() for i in prog2.instruction_list()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fetch unit release rule
+@given(
+    st.permutations(list(range(4))),
+    st.lists(st.integers(0, 50), min_size=4, max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_queue_release_at_last_arrival(order, delays):
+    """Whatever the arrival order/timing, everyone is released at the
+    latest arrival time (the instruction-broadcast rendezvous)."""
+    env = Environment()
+    queue = FetchUnitQueue(env, 16)
+    queue.try_enqueue(
+        QueueItem(Instruction("NOP"), 1, frozenset(range(4)))
+    )
+    release_times = {}
+
+    def pe(slot, delay):
+        yield env.timeout(delay)
+        yield from queue.request(slot)
+        release_times[slot] = env.now
+
+    for slot, delay in zip(order, delays):
+        env.process(pe(slot, delay))
+    env.run()
+    assert set(release_times) == set(range(4))
+    assert set(release_times.values()) == {max(delays)}
+
+
+# ---------------------------------------------------------------------------
+# network routing under faults
+@given(
+    st.integers(0, 15),
+    st.integers(0, 15),
+    st.sets(
+        st.tuples(st.integers(1, 3), st.integers(0, 15)), max_size=1
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_esc_single_fault_tolerance(src, dst, fault_specs):
+    """Any single interior box fault leaves every pair routable with the
+    extra stage enabled, and the resulting path never touches the fault."""
+    topo = ExtraStageCubeTopology(16)
+    faults = {
+        Fault(FaultKind.BOX, *topo.box_of(stage, line))
+        for stage, line in fault_specs
+    }
+    path = route(topo, src, dst, faults=faults, extra_stage_enabled=True)
+    assert path.lines[0] == src and path.lines[-1] == dst
+    used = {topo.box_of(s, path.lines[s]) for s in range(topo.n_stages)}
+    for fault in faults:
+        assert (fault.stage, fault.line) not in used
+
+
+@given(
+    st.integers(0, 15),
+    st.integers(0, 15),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 15)), max_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_route_never_returns_faulty_path(src, dst, link_specs):
+    """route() either finds a clean path or raises — never a dirty one."""
+    topo = ExtraStageCubeTopology(16)
+    faults = {Fault(FaultKind.LINK, s, l) for s, l in link_specs}
+    try:
+        path = route(topo, src, dst, faults=faults, extra_stage_enabled=True)
+    except NetworkFaultError:
+        return
+    for link in path.output_links():
+        assert Fault(FaultKind.LINK, *link) not in faults
+
+
+# ---------------------------------------------------------------------------
+# timing monotonicity
+@given(st.integers(0, 4), st.integers(0, 4), st.integers(0, 0xFFFF))
+@settings(max_examples=80, deadline=None)
+def test_wait_states_monotone(ws_a, ws_b, multiplier):
+    instr = Instruction("MULU", Size.WORD, (dreg(0), dreg(1)))
+    t = instruction_timing(instr, src_value=multiplier)
+    if ws_a <= ws_b:
+        assert t.with_wait_states(ws_a, ws_a) <= t.with_wait_states(ws_b, ws_b)
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+@settings(max_examples=80, deadline=None)
+def test_mulu_cycles_bounds_and_monotone_in_popcount(a, b):
+    from repro.m68k.timing import mulu_cycles
+
+    ca, cb = mulu_cycles(a), mulu_cycles(b)
+    assert 38 <= ca <= 70 and 38 <= cb <= 70
+    if bin(a).count("1") <= bin(b).count("1"):
+        assert ca <= cb

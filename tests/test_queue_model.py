@@ -1,0 +1,99 @@
+"""The queue-feed model against the micro engine's measured stalls."""
+
+import pytest
+
+from repro.analysis.queue_model import predict_queue_feed
+from repro.m68k.assembler import assemble
+from repro.machine import PASMMachine, PrototypeConfig
+from repro.mc import EnqueueBlock, Loop
+
+CFG = PrototypeConfig()
+ITERS = 200
+
+
+def run_block_loop(block_source: str, data_value: int | None = None):
+    """Broadcast one block ITERS times; return (machine, result)."""
+    machine = PASMMachine(CFG, partition_size=4)
+    blocks = {
+        "body": assemble(block_source).instruction_list(),
+        "fini": assemble("    HALT").instruction_list(),
+    }
+    program = [Loop(ITERS, (EnqueueBlock("body"),)), EnqueueBlock("fini")]
+    data_programs = None
+    if data_value is not None:
+        data = assemble(
+            f"    HALT\n    .data\n    .org $4000\nv: .dc.w {data_value}"
+        )
+        blocks["init"] = assemble("    MOVE.W $4000,D1").instruction_list()
+        program = [EnqueueBlock("init")] + program
+        data_programs = [data] * 4
+    result = machine.run_simd(program, blocks, data_programs=data_programs)
+    return machine, result
+
+
+class TestPredictions:
+    def test_multiply_block_is_pe_bound(self):
+        block = assemble("    MULU D1,D2").instruction_list()
+        pred = predict_queue_feed(CFG, block, mul_ones=8)
+        assert pred.bottleneck == "pe"
+        assert pred.queue_stays_nonempty
+        assert pred.pe_stall_per_block == 0.0
+
+    def test_tiny_block_is_mc_bound(self):
+        block = assemble("    ADDQ.W #1,D0").instruction_list()
+        pred = predict_queue_feed(CFG, block)
+        assert pred.bottleneck == "mc"
+        assert not pred.queue_stays_nonempty
+        assert pred.pe_stall_per_block > 0
+
+    def test_slow_controller_binds(self):
+        slow = CFG.with_overrides(controller_cycles_per_word=100)
+        block = assemble("    MULU D1,D2").instruction_list()
+        pred = predict_queue_feed(slow, block, mul_ones=8)
+        assert pred.bottleneck == "controller"
+
+
+class TestAgainstMicroEngine:
+    def test_pe_bound_block_runs_stall_free(self):
+        """Slow PE body ⇒ the queue never runs dry after start-up."""
+        machine, result = run_block_loop("    MULU D1,D2",
+                                         data_value=0xFFFF)
+        stalls = result.queue_stats[0]["empty_stall_cycles"]
+        assert stalls < 100  # startup only
+        block = assemble("    MULU D1,D2").instruction_list()
+        pred = predict_queue_feed(CFG, block, mul_ones=16)
+        # Effective period matches the measured per-iteration time.
+        measured = result.cycles / (ITERS + 1)
+        assert pred.effective_period == pytest.approx(measured, rel=0.05)
+
+    def test_mc_bound_block_stalls_as_predicted(self):
+        """Tiny PE body ⇒ PEs outrun the MC and stall every iteration."""
+        machine, result = run_block_loop("    ADDQ.W #1,D0")
+        block = assemble("    ADDQ.W #1,D0").instruction_list()
+        pred = predict_queue_feed(CFG, block)
+        stalls = result.queue_stats[0]["empty_stall_cycles"]
+        predicted_total = pred.pe_stall_per_block * ITERS
+        assert stalls == pytest.approx(predicted_total, rel=0.25)
+        measured = result.cycles / (ITERS + 1)
+        assert pred.effective_period == pytest.approx(measured, rel=0.1)
+
+    def test_control_hiding_follows_the_precondition(self):
+        """The superlinearity mechanism switches off exactly where the
+        model says: PE-bound blocks hide the MC loop entirely, MC-bound
+        blocks run at the MC's pace."""
+        _, heavy = run_block_loop("    MULU D1,D2", data_value=0xFFFF)
+        _, light = run_block_loop("    ADDQ.W #1,D0")
+        heavy_block = assemble("    MULU D1,D2").instruction_list()
+        light_block = assemble("    ADDQ.W #1,D0").instruction_list()
+        heavy_pred = predict_queue_feed(CFG, heavy_block, mul_ones=16)
+        light_pred = predict_queue_feed(CFG, light_block)
+        assert heavy_pred.queue_stays_nonempty
+        assert not light_pred.queue_stays_nonempty
+        # Heavy block: per-iteration time == PE time (control hidden).
+        assert heavy.cycles / (ITERS + 1) == pytest.approx(
+            heavy_pred.pe_cycles, rel=0.05
+        )
+        # Light block: per-iteration time == MC time (control exposed).
+        assert light.cycles / (ITERS + 1) == pytest.approx(
+            light_pred.mc_cycles, rel=0.1
+        )

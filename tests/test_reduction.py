@@ -1,0 +1,76 @@
+"""Tests for staged runs and the recursive-doubling reduction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine import PASMMachine, PrototypeConfig
+from repro.network.permutations import analyze_permutation, exchange
+from repro.network.topology import ExtraStageCubeTopology
+from repro.programs.reduction import run_reduction
+from repro.utils.rng import make_rng
+
+CFG = PrototypeConfig()
+
+
+def machine(p=4):
+    m = PASMMachine(CFG, partition_size=p)
+    return m
+
+
+class TestReduction:
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_all_pes_hold_the_sum(self, p):
+        rng = make_rng(p, "reduction")
+        values = rng.integers(0, 1 << 12, size=p, dtype=np.uint16)
+        _, totals = run_reduction(machine(p), values)
+        want = int(values.astype(np.uint32).sum()) & 0xFFFF
+        assert totals.tolist() == [want] * p
+
+    def test_sum_wraps_16bit(self):
+        values = np.array([0xFFFF, 0xFFFF, 2, 1], dtype=np.uint16)
+        _, totals = run_reduction(machine(4), values)
+        want = (0xFFFF + 0xFFFF + 2 + 1) & 0xFFFF
+        assert set(totals.tolist()) == {want}
+
+    def test_setup_cost_is_visible(self):
+        """Charging circuit set-up per stage lengthens the run by exactly
+        log2(p) * setup_cycles — the cost matmul's design avoided."""
+        values = np.arange(4, dtype=np.uint16)
+        charged, _ = run_reduction(machine(4), values, charge_setup=True)
+        free, _ = run_reduction(machine(4), values, charge_setup=False)
+        stages = 2  # log2(4)
+        assert charged.cycles - free.cycles == pytest.approx(
+            stages * CFG.net_setup_cycles
+        )
+        assert charged.net_setup_cycles == stages * CFG.net_setup_cycles
+
+    def test_setup_dominates_tiny_messages(self):
+        """For one-word exchanges the set-up cost dominates the run — the
+        quantitative form of the paper's 'time consuming' remark."""
+        values = np.arange(16, dtype=np.uint16)
+        result, _ = run_reduction(machine(16), values, charge_setup=True)
+        assert result.net_setup_cycles > 0.4 * result.cycles
+
+    def test_exchange_permutations_admissible(self):
+        """Every stage's permutation is a cube exchange: one-pass routable."""
+        topo = ExtraStageCubeTopology(16)
+        for k in range(4):
+            report = analyze_permutation(topo, exchange(16, k))
+            assert report.admissible
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_reduction(machine(4), np.zeros(3, dtype=np.uint16))
+
+    def test_log_p_scaling(self):
+        """Stage count is log2(p): time grows logarithmically, not
+        linearly, in p (per-stage work is constant)."""
+        t = {}
+        for p in (4, 16):
+            values = np.ones(p, dtype=np.uint16)
+            result, _ = run_reduction(machine(p), values,
+                                      charge_setup=False)
+            t[p] = result.cycles
+        # 16 PEs = 4 stages vs 4 PEs = 2 stages: about 2x, nowhere near 4x.
+        assert t[16] / t[4] == pytest.approx(2.0, rel=0.2)

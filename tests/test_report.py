@@ -1,0 +1,57 @@
+"""Tests for the full reproduction report generator."""
+
+import pytest
+
+from repro.core import DecouplingStudy
+from repro.core.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    # Two seeds and no extensions keep the test fast while exercising
+    # every code path.
+    return full_report(
+        DecouplingStudy(), seeds=(1, 19880815), include_extensions=False
+    )
+
+
+def test_report_sections_present(report_text):
+    assert "machine configuration" in report_text
+    assert "cross-engine spot check" in report_text
+    assert "headline result replication" in report_text
+    for exhibit in ("table1", "fig6", "fig7", "fig8", "fig11", "fig12"):
+        assert exhibit in report_text
+
+
+def test_report_excludes_extensions_when_asked(report_text):
+    assert "ext-dma" not in report_text
+
+
+def test_report_quotes_the_paper_number(report_text):
+    assert "(paper: approximately 14)" in report_text
+
+
+def test_engine_errors_are_small(report_text):
+    """The spot-check table's every error entry stays within ±2%."""
+    in_table = False
+    errors = []
+    for line in report_text.splitlines():
+        if line.startswith("mode "):
+            in_table = True
+            continue
+        if in_table:
+            if "%" not in line:
+                break
+            errors.append(abs(float(line.split()[-1].rstrip("%"))))
+    assert errors and all(e <= 2.0 for e in errors)
+
+
+def test_runner_report_flag(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    target = tmp_path / "report.txt"
+    rc = main(["--report", str(target)])
+    assert rc == 0
+    text = target.read_text()
+    assert "Reproduction report" in text
+    assert "crossover" in text

@@ -1,0 +1,411 @@
+"""Unit tests for the discrete-event kernel (repro.sim)."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Gate, Rendezvous, Store
+
+
+def test_timeout_advances_time():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+        assert env.now == 10
+        yield env.timeout(2.5)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == 12.5
+    assert env.now == 12.5
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_value_delivery():
+    env = Environment()
+
+    def proc():
+        got = yield env.timeout(1, value="hello")
+        return got
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "hello"
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child():
+        yield env.timeout(7)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return result, env.now
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == (42, 7)
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    log = []
+
+    def worker(name, delay):
+        yield env.timeout(delay)
+        log.append((env.now, name))
+
+    env.process(worker("b", 5))
+    env.process(worker("a", 3))
+    env.process(worker("c", 9))
+    env.run()
+    assert log == [(3, "a"), (5, "b"), (9, "c")]
+
+
+def test_event_succeed_resumes_waiter():
+    env = Environment()
+    ev = env.event()
+    out = []
+
+    def waiter():
+        val = yield ev
+        out.append((env.now, val))
+
+    def trigger():
+        yield env.timeout(4)
+        ev.succeed("ok")
+
+    env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert out == [(4, "ok")]
+
+
+def test_event_double_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("v")
+    env.run()  # process the event so callbacks is None
+
+    def proc():
+        val = yield ev
+        return val
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "v"
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return str(exc)
+
+    def trigger():
+        yield env.timeout(1)
+        ev.fail(RuntimeError("boom"))
+
+    p = env.process(waiter())
+    env.process(trigger())
+    env.run()
+    assert p.value == "boom"
+
+
+def test_unwatched_process_failure_propagates():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("exploded")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="exploded"):
+        env.run()
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(3)
+        return "done"
+
+    p = env.process(proc())
+    assert env.run(until=p) == "done"
+
+
+def test_run_until_timeout_event_advances_time():
+    """A Timeout carries its value from creation but *occurs* at its
+    scheduled time; run(until=timeout) must wait for the occurrence."""
+    env = Environment()
+    env.run(until=env.timeout(2000))
+    assert env.now == 2000
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield env.timeout(10)
+            log.append(env.now)
+
+    env.process(proc())
+    env.run(until=35)
+    assert log == [10, 20, 30]
+    assert env.now == 35
+
+
+def test_deadlock_detection():
+    env = Environment()
+    ev = env.event()
+
+    def waiter():
+        yield ev
+
+    p = env.process(waiter())
+    with pytest.raises(DeadlockError):
+        env.run(until=p)
+
+
+def test_yielding_non_event_is_error():
+    env = Environment()
+
+    def proc():
+        yield 17
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_allof_collects_values():
+    env = Environment()
+
+    def proc():
+        vals = yield AllOf(env, [env.timeout(5, "a"), env.timeout(2, "b")])
+        return vals, env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == (["a", "b"], 5)
+
+
+def test_anyof_returns_first():
+    env = Environment()
+
+    def proc():
+        val = yield AnyOf(env, [env.timeout(5, "slow"), env.timeout(2, "fast")])
+        return val, env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == ("fast", 2)
+
+
+def test_allof_empty_is_immediate():
+    env = Environment()
+
+    def proc():
+        vals = yield AllOf(env, [])
+        return vals
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == []
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_capacity_blocks_putter(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("x")
+            t0 = env.now
+            yield store.put("y")  # must wait for consumer
+            times.append((t0, env.now))
+
+        def consumer():
+            yield env.timeout(10)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert times == [(0, 10)]
+
+    def test_getter_blocks_until_item(self):
+        env = Environment()
+        store = Store(env)
+        out = []
+
+        def consumer():
+            item = yield store.get()
+            out.append((env.now, item))
+
+        def producer():
+            yield env.timeout(6)
+            yield store.put("z")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert out == [(6, "z")]
+
+    def test_try_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        assert store.try_put(1) is True
+        env.run()
+        assert store.try_put(2) is False
+        assert list(store.items) == [1]
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestGate:
+    def test_wait_blocks_until_open(self):
+        env = Environment()
+        gate = Gate(env)
+        out = []
+
+        def waiter():
+            yield gate.wait()
+            out.append(env.now)
+
+        def opener():
+            yield env.timeout(8)
+            gate.open()
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert out == [8]
+
+    def test_open_gate_passes_immediately(self):
+        env = Environment()
+        gate = Gate(env, is_open=True)
+
+        def waiter():
+            yield gate.wait()
+            return env.now
+
+        p = env.process(waiter())
+        env.run()
+        assert p.value == 0
+
+    def test_close_reblocks(self):
+        env = Environment()
+        gate = Gate(env, is_open=True)
+        gate.close()
+        assert not gate.is_open
+
+
+class TestRendezvous:
+    def test_barrier_releases_all_at_last_arrival(self):
+        env = Environment()
+        bar = Rendezvous(env, parties=3)
+        releases = []
+
+        def party(delay):
+            yield env.timeout(delay)
+            gen = yield bar.arrive()
+            releases.append((env.now, gen))
+
+        for d in (1, 5, 9):
+            env.process(party(d))
+        env.run()
+        assert releases == [(9, 0), (9, 0), (9, 0)]
+
+    def test_auto_reset_generations(self):
+        env = Environment()
+        bar = Rendezvous(env, parties=2)
+        gens = []
+
+        def party():
+            for _ in range(3):
+                gen = yield bar.arrive()
+                gens.append(gen)
+                yield env.timeout(1)
+
+        env.process(party())
+        env.process(party())
+        env.run()
+        assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+    def test_single_party_never_blocks(self):
+        env = Environment()
+        bar = Rendezvous(env, parties=1)
+
+        def party():
+            yield bar.arrive()
+            return env.now
+
+        p = env.process(party())
+        env.run()
+        assert p.value == 0
+
+    def test_invalid_parties(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Rendezvous(env, parties=0)
+
+    def test_cannot_shrink_below_arrived(self):
+        env = Environment()
+        bar = Rendezvous(env, parties=3)
+
+        def party():
+            yield bar.arrive()
+
+        env.process(party())
+        env.process(party())
+        env.run(until=1)
+        with pytest.raises(SimulationError):
+            bar.parties = 2

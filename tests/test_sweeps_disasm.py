@@ -1,0 +1,125 @@
+"""Tests for the sweep utilities and the disassembler."""
+
+import pytest
+
+from repro.core import DecouplingStudy
+from repro.experiments.sweeps import (
+    CrossoverConfidence,
+    crossover_confidence,
+    sweep,
+    sweep_to_csv,
+)
+from repro.m68k.assembler import assemble
+from repro.m68k.disasm import disassemble, static_timing_note
+from repro.machine import ExecutionMode, PrototypeConfig
+
+CFG = PrototypeConfig()
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def records(self):
+        study = DecouplingStudy()
+        return sweep(
+            study,
+            modes=(ExecutionMode.SIMD, ExecutionMode.MIMD),
+            sizes=(16, 64),
+            processor_counts=(4, 8),
+            added_multiplies=(0, 5),
+        )
+
+    def test_cell_count(self, records):
+        # 2 modes x 2 sizes x 2 p x 2 m, all feasible.
+        assert len(records) == 16
+
+    def test_infeasible_cells_skipped(self):
+        study = DecouplingStudy()
+        records = sweep(
+            study, modes=(ExecutionMode.SIMD,), sizes=(4,),
+            processor_counts=(8,),
+        )
+        assert records == []  # n=4 < p=8
+
+    def test_records_have_breakdowns(self, records):
+        for r in records:
+            assert r.cycles > 0
+            assert sum(r.breakdown.values()) == pytest.approx(r.cycles)
+
+    def test_csv_format(self, records):
+        csv = sweep_to_csv(records)
+        lines = csv.strip().splitlines()
+        assert len(lines) == len(records) + 1
+        assert lines[0].startswith("mode,n,p,")
+        assert "cycles_mult" in lines[0]
+
+    def test_added_multiplies_increase_cycles(self, records):
+        base = {(r.mode, r.n, r.p): r.cycles for r in records
+                if r.added_multiplies == 0}
+        for r in records:
+            if r.added_multiplies == 5:
+                assert r.cycles > base[(r.mode, r.n, r.p)]
+
+
+class TestCrossoverConfidence:
+    @pytest.fixture(scope="class")
+    def conf(self):
+        return crossover_confidence(CFG, seeds=(1, 2, 3))
+
+    def test_all_seeds_in_paper_band(self, conf):
+        lo, hi = conf.spread
+        assert 11 <= lo <= hi <= 17
+
+    def test_statistics(self, conf):
+        assert len(conf.values) == 3
+        assert lo_le_mean_le_hi(conf)
+        assert conf.std < 2.0  # the crossover is a stable property
+
+    def test_str(self, conf):
+        text = str(conf)
+        assert "added multiplies" in text and "seeds" in text
+
+
+def lo_le_mean_le_hi(conf: CrossoverConfidence) -> bool:
+    lo, hi = conf.spread
+    return lo <= conf.mean <= hi
+
+
+class TestDisassembler:
+    def test_listing_with_symbols_and_timing(self):
+        prog = assemble(
+            """
+    start:  MOVE.W  #3,D0
+    loop:   MULU    D0,D1
+            MOVE.B  D0,NETTX
+            DBRA    D2,loop
+            BEQ     start
+            HALT
+            """,
+            predefined=CFG.device_symbols(),
+        )
+        text = disassemble(prog, device_symbols=CFG.device_symbols())
+        assert "NETTX" in text  # device address symbolized
+        assert "data-dependent" in text  # MULU range annotation
+        assert "loop/exit" in text  # DBRA outcomes
+        assert "taken/not" in text  # Bcc outcomes
+        assert "start:" in text and "loop" in text
+
+    def test_branch_targets_symbolized(self):
+        prog = assemble("top:  NOP\n    BRA top\n    HALT")
+        text = disassemble(prog)
+        assert "BRA top" in text
+
+    def test_timing_note_plain_instruction(self):
+        prog = assemble("    MOVE.W D0,D1\n    HALT")
+        note = static_timing_note(prog.instruction_list()[0])
+        assert note.startswith("4 cyc")
+
+    def test_without_timing(self):
+        prog = assemble("    NOP\n    HALT")
+        text = disassemble(prog, with_timing=False)
+        assert ";" not in text
+
+    def test_mulu_note_bounds(self):
+        prog = assemble("    MULU D0,D1\n    HALT")
+        note = static_timing_note(prog.instruction_list()[0])
+        assert "38-70" in note

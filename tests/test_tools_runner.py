@@ -1,0 +1,137 @@
+"""Tests for the pasm-run program runner."""
+
+import pytest
+
+from repro.tools.runner import ProgramRunError, main, run_program_file
+
+
+SERIAL_SRC = """
+        MOVEQ   #0,D0
+        MOVE.W  #9,D1
+loop:   ADDQ.W  #1,D0
+        DBRA    D1,loop
+        MOVE.W  D0,$4000
+        HALT
+"""
+
+PEID_SRC = """
+        MOVE.W  #PEID,D0
+        ADD.W   #100,D0
+        MOVE.W  D0,$4000
+        HALT
+"""
+
+RING_SRC = """
+        MOVE.W  #PEID,D0
+        MOVE.W  SIMDSPACE,D7    ; barrier
+        MOVE.B  D0,NETTX
+        LSR.W   #8,D0
+        MOVE.B  D0,NETTX
+        MOVE.B  NETRX,D3
+        MOVE.B  NETRX,D4
+        LSL.W   #8,D4
+        MOVE.B  D3,D4
+        MOVE.W  D4,$4000
+        HALT
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    def write(source):
+        path = tmp_path / "prog.s"
+        path.write_text(source)
+        return path
+
+    return write
+
+
+def test_serial_run_and_dump(program):
+    outcome = run_program_file(program(SERIAL_SRC), dump=["0x4000:1"])
+    assert outcome.dumps[0][0x4000] == [10]
+    assert outcome.result.cycles > 0
+
+
+def test_peid_symbol_differs_per_pe(program):
+    outcome = run_program_file(
+        program(PEID_SRC), mode="mimd", p=4, dump=["0x4000:1"]
+    )
+    assert [outcome.dumps[lp][0x4000][0] for lp in range(4)] == [
+        100, 101, 102, 103
+    ]
+
+
+def test_smimd_ring_exchange(program):
+    outcome = run_program_file(
+        program(RING_SRC), mode="smimd", p=4, sync_words=1,
+        dump=["0x4000:1"],
+    )
+    for lp in range(4):
+        assert outcome.dumps[lp][0x4000][0] == (lp + 1) % 4
+
+
+def test_registers_snapshot(program):
+    outcome = run_program_file(program(SERIAL_SRC), show_registers=True)
+    assert outcome.registers[0]["D0"] & 0xFFFF == 10
+
+
+def test_max_cycles_budget(program):
+    with pytest.raises(ProgramRunError, match="over the"):
+        run_program_file(program(SERIAL_SRC), max_cycles=10)
+
+
+def test_simd_mode_rejected(program):
+    with pytest.raises(ProgramRunError, match="SIMD"):
+        run_program_file(program(SERIAL_SRC), mode="simd")
+
+
+def test_unknown_mode_rejected(program):
+    with pytest.raises(ProgramRunError, match="unknown mode"):
+        run_program_file(program(SERIAL_SRC), mode="warp")
+
+
+def test_serial_with_p_rejected(program):
+    with pytest.raises(ProgramRunError, match="one PE"):
+        run_program_file(program(SERIAL_SRC), p=4)
+
+
+def test_bad_dump_spec(program):
+    with pytest.raises(ProgramRunError, match="dump"):
+        run_program_file(program(SERIAL_SRC), dump=["zzz"])
+
+
+def test_cli_main(program, capsys):
+    path = program(SERIAL_SRC)
+    rc = main([str(path), "--dump", "0x4000:1", "--registers"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "PE0 @0x4000: 000A" in out
+    assert "cycles=" in out
+
+
+def test_cli_error_reporting(program, capsys):
+    path = program(SERIAL_SRC)
+    rc = main([str(path), "--max-cycles", "5"])
+    assert rc == 1
+    assert "pasm-run:" in capsys.readouterr().err
+
+
+def test_render_contains_breakdown(program):
+    outcome = run_program_file(program(SERIAL_SRC))
+    text = outcome.render()
+    assert "breakdown" in text and "mode=serial" in text
+
+
+def test_cli_listing_flag(program, capsys):
+    path = program(RING_SRC)
+    rc = main([str(path), "--listing"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "NETTX" in out and "cyc" in out
+
+
+def test_cli_listing_reports_assembly_errors(program, capsys):
+    path = program("    FROB D0")
+    rc = main([str(path), "--listing"])
+    assert rc == 1
+    assert "pasm-run:" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Tests for tracing and instrumentation."""
+
+import pytest
+
+from repro.machine import PASMMachine, PrototypeConfig
+from repro.m68k.assembler import assemble
+from repro.mc import EnqueueBlock, Loop
+from repro.trace import activity_gantt, format_trace, queue_occupancy
+
+CFG = PrototypeConfig()
+
+
+def traced_serial_run(source):
+    machine = PASMMachine(CFG, partition_size=1)
+    program = assemble(source, predefined=CFG.device_symbols())
+    machine.pe(0).cpu.trace = True
+    machine.run_serial(program)
+    return machine
+
+
+class TestFormatTrace:
+    def test_listing_contents(self):
+        machine = traced_serial_run(
+            """
+            .timecat mult
+            MOVE.W  #$FF,D0
+            MULU    D0,D1
+            .timecat control
+            HALT
+            """
+        )
+        records = machine.pe(0).cpu.trace_records
+        text = format_trace(records)
+        assert "MULU" in text and "mult" in text
+        # The MULU with an 8-ones multiplier: 54 manual cycles.
+        assert "54" in text
+
+    def test_limit_truncates(self):
+        machine = traced_serial_run("    NOP\n" * 30 + "    HALT")
+        text = format_trace(machine.pe(0).cpu.trace_records, limit=5)
+        assert "more records" in text
+        assert text.count("NOP") == 5
+
+    def test_elapsed_reflects_wait_states(self):
+        machine = traced_serial_run("    NOP\n    HALT")
+        rec = machine.pe(0).cpu.trace_records[0]
+        # NOP: 4 manual cycles + 1 main-memory wait state (+refresh).
+        assert rec.elapsed >= rec.timing.cycles + CFG.ws_main
+
+
+class TestActivityGantt:
+    def test_rows_and_legend(self):
+        machine = traced_serial_run(
+            """
+            .timecat mult
+            MOVE.W  #$FFFF,D0
+            MULU    D0,D1
+            MULU    D0,D2
+            MULU    D0,D3
+            HALT
+            """
+        )
+        chart = activity_gantt({"PE0": machine.pe(0).cpu.trace_records})
+        assert "PE0 |" in chart
+        assert "M" in chart  # multiply-dominated buckets
+        assert "M=mult" in chart
+
+    def test_empty(self):
+        assert "(no traces)" in activity_gantt({})
+
+
+class TestQueueOccupancy:
+    def test_simd_run_records_samples(self):
+        machine = PASMMachine(CFG, partition_size=4)
+        blocks = {
+            "body": assemble("    MULU D1,D2").instruction_list(),
+            "fini": assemble("    HALT").instruction_list(),
+        }
+        machine.run_simd(
+            [Loop(20, (EnqueueBlock("body"),)), EnqueueBlock("fini")], blocks
+        )
+        queue = machine.queues[0]
+        stats = queue_occupancy(
+            queue.occupancy_samples, CFG.queue_capacity_words
+        )
+        assert stats.max_words >= 1
+        assert 0 <= stats.fraction_empty <= 1
+        assert len(stats.sparkline) == 60
+
+    def test_queue_stays_nonfull_when_pe_bound(self):
+        """The paper's superlinearity precondition: with a slow PE body the
+        queue neither empties (after startup) nor fills."""
+        machine = PASMMachine(CFG, partition_size=4)
+        data = assemble(
+            "    HALT\n    .data\n    .org $4000\nv: .dc.w $FFFF"
+        )
+        blocks = {
+            "init": assemble("    MOVE.W $4000,D1",
+                             predefined=CFG.device_symbols()).instruction_list(),
+            "body": assemble("    MULU D1,D2").instruction_list(),
+            "fini": assemble("    HALT").instruction_list(),
+        }
+        machine.run_simd(
+            [EnqueueBlock("init"), Loop(50, (EnqueueBlock("body"),)),
+             EnqueueBlock("fini")],
+            blocks,
+            data_programs=[data] * 4,
+        )
+        stats = queue_occupancy(
+            machine.queues[0].occupancy_samples, CFG.queue_capacity_words
+        )
+        assert stats.fraction_full == 0.0
+        assert stats.fraction_empty < 0.25  # startup only
+
+    def test_empty_samples(self):
+        stats = queue_occupancy([], 16)
+        assert stats.mean_words == 0.0 and stats.fraction_empty == 1.0
+
+    def test_str_rendering(self):
+        stats = queue_occupancy([(0.0, 0), (10.0, 4), (20.0, 0)], 8,
+                                end=30.0)
+        text = str(stats)
+        assert "mean" in text and "empty" in text
+        assert stats.mean_words == pytest.approx((10 * 0 + 10 * 4 + 10 * 0) / 30)
