@@ -3,17 +3,30 @@
 Every benchmark regenerates one of the paper's exhibits and prints the
 same rows/series the paper reports (run with ``-s`` or check
 ``bench_output.txt``).  A single study instance is shared so the serial
-baselines are computed once.
+baselines are computed once; it routes through a session-scoped
+execution-engine handle, so ``REPRO_JOBS=4 pytest benchmarks/`` fans the
+simulation jobs out across worker processes.
 """
 
 import pytest
 
 from repro.core import DecouplingStudy
+from repro.exec import ExecutionEngine
 
 
 @pytest.fixture(scope="session")
-def study():
-    return DecouplingStudy()
+def exec_engine():
+    """Execution-engine handle shared by every benchmark.
+
+    Honors ``$REPRO_JOBS`` (default 1: the serial in-process path, which
+    keeps the benchmark numbers comparable with the seed's).
+    """
+    return ExecutionEngine()
+
+
+@pytest.fixture(scope="session")
+def study(exec_engine):
+    return DecouplingStudy(exec_engine=exec_engine)
 
 
 def report(result) -> None:

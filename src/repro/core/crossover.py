@@ -57,6 +57,14 @@ def find_crossover(
     attached for plotting (the paper's Figure 7).
     """
     first, second = modes
+    # Declare the full sweep up front: on a pooled/cached engine every
+    # cell computes concurrently; on the default lazy engine this no-ops
+    # and cells are computed on demand as before.
+    study.prefetch(
+        (mode, n, p, m, engine)
+        for m in range(max_multiplies + 1)
+        for mode in (first, second)
+    )
     sweep = []
     crossover = float("nan")
     prev_diff = None

@@ -35,6 +35,10 @@ def _engine_check_section(study: DecouplingStudy) -> str:
     out.write("-" * 44 + "\n")
     out.write(f"{'mode':8s} {'micro (cyc)':>12s} {'macro (cyc)':>12s} "
               f"{'error':>8s}\n")
+    study.prefetch(
+        (mode, 16, 1 if mode is ExecutionMode.SERIAL else 4, 0, engine)
+        for mode in ExecutionMode for engine in ("micro", "macro")
+    )
     for mode in ExecutionMode:
         p = 1 if mode is ExecutionMode.SERIAL else 4
         micro = study.run(mode, 16, p, engine="micro")
@@ -71,7 +75,8 @@ def full_report(
     out.write(_engine_check_section(study))
     out.write("\n")
 
-    conf = crossover_confidence(study.config, seeds=seeds)
+    conf = crossover_confidence(study.config, seeds=seeds,
+                                exec_engine=study.exec_engine)
     out.write("headline result replication\n")
     out.write("-" * 44 + "\n")
     out.write(f"  {conf}\n  (paper: approximately 14)\n\n")

@@ -13,23 +13,35 @@ go?"  Engines:
 
 Results are memoised per configuration, so sweeps that revisit the serial
 baseline (every efficiency point does) pay for it once.
+
+Every uncached run is delegated to the execution engine
+(:mod:`repro.exec`): by default a serial in-process handle that behaves
+exactly like the historical single-process path, but a pooled and/or
+disk-cached :class:`~repro.exec.ExecutionEngine` can be passed in
+(``exec_engine=``) to fan independent runs out across cores and reuse
+results between invocations.  :meth:`DecouplingStudy.prefetch` is the
+batch entry point exhibits use to declare their whole cell set up front.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.exec import ExecutionEngine, matmul_spec
+from repro.machine import ExecutionMode, PrototypeConfig
 from repro.m68k.timing import CYCLE_SECONDS
 from repro.core.metrics import efficiency as _efficiency
 from repro.core.metrics import speedup as _speedup
-from repro.programs import build_matmul, expected_product, generate_matrices
-from repro.programs.loader import run_matmul
-from repro.timing_model import predict_matmul
+from repro.programs import generate_matrices
 from repro.utils.rng import DEFAULT_SEED
+
+#: Cells accepted by :meth:`DecouplingStudy.prefetch`:
+#: ``(mode, n, p[, added_multiplies[, engine]])``.
+PrefetchCell = tuple
 
 
 @dataclass(frozen=True)
@@ -64,6 +76,10 @@ class DecouplingStudy:
         default).
     micro_threshold:
         Largest n the ``auto`` engine runs on the micro simulator.
+    exec_engine:
+        Execution-engine handle uncached runs are scheduled through.
+        ``None`` (the default) uses a private serial in-process engine —
+        bit-identical to the historical single-process behaviour.
     """
 
     def __init__(
@@ -73,12 +89,23 @@ class DecouplingStudy:
         seed: int = DEFAULT_SEED,
         b_max: int | None = None,
         micro_threshold: int = 16,
+        exec_engine: ExecutionEngine | None = None,
     ) -> None:
         self.config = config or PrototypeConfig.calibrated()
         self.seed = seed
         self.b_max = b_max
         self.micro_threshold = micro_threshold
+        self.exec_engine = exec_engine
+        self._fallback_engine: ExecutionEngine | None = None
         self._cache: dict[tuple, StudyResult] = {}
+
+    @property
+    def _engine(self) -> ExecutionEngine:
+        if self.exec_engine is not None:
+            return self.exec_engine
+        if self._fallback_engine is None:
+            self._fallback_engine = ExecutionEngine(jobs=1)
+        return self._fallback_engine
 
     # ------------------------------------------------------------------
     def matrices(self, n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -99,10 +126,7 @@ class DecouplingStudy:
         """Time one configuration (cached)."""
         if mode is ExecutionMode.SERIAL and p != 1:
             raise ConfigurationError("serial mode requires p == 1")
-        if engine not in ("auto", "micro", "macro"):
-            raise ConfigurationError(f"unknown engine {engine!r}")
-        if engine == "auto":
-            engine = "micro" if n <= self.micro_threshold else "macro"
+        engine = self._resolve_engine(n, engine)
         key = (mode, n, p, added_multiplies, engine)
         if key not in self._cache:
             self._cache[key] = self._run_uncached(
@@ -110,31 +134,64 @@ class DecouplingStudy:
             )
         return self._cache[key]
 
-    def _run_uncached(self, mode, n, p, m, engine) -> StudyResult:
-        a, b = self.matrices(n)
-        if engine == "macro":
-            pred = predict_matmul(
-                mode, self.config, n, p, added_multiplies=m, b=b
-            )
-            return StudyResult(
-                mode, n, p, m, pred.cycles, dict(pred.breakdown),
-                engine="macro", verified=False,
-            )
-        machine = PASMMachine(self.config, partition_size=p)
-        bundle = build_matmul(
-            mode, n, p, added_multiplies=m,
-            device_symbols=self.config.device_symbols(),
+    def _resolve_engine(self, n: int, engine: str) -> str:
+        if engine not in ("auto", "micro", "macro"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
+        if engine == "auto":
+            engine = "micro" if n <= self.micro_threshold else "macro"
+        return engine
+
+    def _spec(self, mode, n, p, m, engine):
+        return matmul_spec(
+            mode, n, p, added_multiplies=m, engine=engine,
+            seed=self.seed, b_max=self.b_max, config=self.config,
         )
-        run = run_matmul(machine, bundle, a, b)
-        verified = bool(np.array_equal(run.product, expected_product(a, b)))
-        if not verified:
-            raise ConfigurationError(
-                f"micro run {mode.value} n={n} p={p} produced a wrong product"
-            )
+
+    @staticmethod
+    def _payload_result(mode, n, p, m, payload: dict) -> StudyResult:
         return StudyResult(
-            mode, n, p, m, run.result.cycles, run.result.breakdown(),
-            engine="micro", verified=True,
+            mode, n, p, m, payload["cycles"], dict(payload["breakdown"]),
+            engine=payload["engine"], verified=payload["verified"],
         )
+
+    def _run_uncached(self, mode, n, p, m, engine) -> StudyResult:
+        payload = self._engine.run([self._spec(mode, n, p, m, engine)])[0]
+        return self._payload_result(mode, n, p, m, payload)
+
+    # ------------------------------------------------------------------
+    def prefetch(self, cells: Iterable[PrefetchCell]) -> int:
+        """Batch-compute a set of cells through the execution engine.
+
+        ``cells`` are ``(mode, n, p[, added_multiplies[, engine]])``
+        tuples; results land in the study's memo so subsequent
+        :meth:`run` calls are free.  On a lazy engine (serial, no cache)
+        this is a no-op — on-demand computation is then strictly cheaper,
+        and behaviour stays identical to the historical path.  Returns
+        the number of jobs submitted to the engine.
+        """
+        if not self._engine.eager:
+            return 0
+        ordered: list[tuple[tuple, object]] = []
+        seen: set[tuple] = set()
+        for cell in cells:
+            mode, n, p, *rest = cell
+            m = rest[0] if rest else 0
+            engine = rest[1] if len(rest) > 1 else "auto"
+            if mode is ExecutionMode.SERIAL and p != 1:
+                raise ConfigurationError("serial mode requires p == 1")
+            engine = self._resolve_engine(n, engine)
+            key = (mode, n, p, m, engine)
+            if key in self._cache or key in seen:
+                continue
+            seen.add(key)
+            ordered.append((key, self._spec(mode, n, p, m, engine)))
+        if not ordered:
+            return 0
+        payloads = self._engine.run([spec for _, spec in ordered])
+        for (key, _), payload in zip(ordered, payloads):
+            mode, n, p, m, _engine_name = key
+            self._cache[key] = self._payload_result(mode, n, p, m, payload)
+        return len(ordered)
 
     # ------------------------------------------------------------------
     def serial_baseline(self, n: int, *, added_multiplies: int = 0,

@@ -75,3 +75,32 @@ class ProgramError(ReproError):
 
 class CalibrationError(ReproError):
     """Raised when calibration cannot satisfy its fitting targets."""
+
+
+class ExecError(ReproError):
+    """Raised when the execution engine cannot complete a job.
+
+    Attributes
+    ----------
+    job:
+        Canonical dictionary form of the failing :class:`~repro.exec.SimJobSpec`
+        (``spec.to_dict()``), or ``None`` when no spec is attached.
+    attempts:
+        How many times the job was submitted before giving up (crashed
+        workers are resubmitted once).
+    cause:
+        The underlying exception from the last attempt, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        job: dict | None = None,
+        attempts: int = 1,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.job = job
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(message)

@@ -1,0 +1,88 @@
+"""On-disk result cache keyed by job content hash + package version.
+
+Entries live under ``<root>/<version>/<content_hash>.json`` so a package
+version bump invalidates every cached result at once (the directory is
+simply never consulted again).  The root defaults to ``.repro_cache/`` in
+the working directory, overridable with the ``REPRO_CACHE_DIR``
+environment variable.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or
+interrupted run never leaves a truncated entry; corrupt or foreign files
+are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+from repro.exec.spec import SimJobSpec
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def _package_version() -> str:
+    # Deferred import: repro/__init__ imports repro.core -> repro.exec,
+    # so pulling __version__ at module-import time would be circular.
+    from repro import __version__
+
+    return __version__
+
+
+class ResultCache:
+    """Content-addressed JSON store for job result payloads."""
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 version: str | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+        self.version = str(version) if version is not None else _package_version()
+
+    @property
+    def dir(self) -> Path:
+        """The directory holding this version's entries."""
+        return self.root / self.version
+
+    def entry_path(self, spec: SimJobSpec) -> Path:
+        return self.dir / f"{spec.content_hash}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, spec: SimJobSpec) -> dict | None:
+        """Return the cached payload for a spec, or None on any miss."""
+        try:
+            entry = json.loads(self.entry_path(spec).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != self.version:
+            return None
+        return entry.get("payload")
+
+    def store(self, spec: SimJobSpec, payload: dict) -> Path:
+        """Atomically persist a payload under the spec's content hash."""
+        path = self.entry_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": self.version,
+            "spec": spec.to_dict(),
+            "payload": payload,
+        }
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries stored for this version."""
+        try:
+            return sum(1 for _ in self.dir.glob("*.json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        """Drop every entry of this version."""
+        shutil.rmtree(self.dir, ignore_errors=True)

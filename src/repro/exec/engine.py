@@ -1,0 +1,160 @@
+"""The execution engine facade: cache lookup, fan-out, instrumentation.
+
+:class:`ExecutionEngine` is the handle the experiment layer routes
+through.  ``run(specs)`` answers a batch of job specs in order:
+
+1. every spec is looked up in the on-disk result cache (if configured);
+2. the misses are computed — across a process pool when ``jobs > 1``,
+   in-process otherwise — by the *same* :func:`repro.exec.jobs.execute_job`
+   either way, so results are identical no matter the schedule;
+3. fresh results are written back to the cache, and per-job wall time
+   plus hit/miss counters accumulate in :class:`ExecStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import timed_execute
+from repro.exec.pool import resolve_jobs, run_parallel
+from repro.exec.spec import SimJobSpec
+from repro.utils.tables import format_table
+
+
+@dataclass
+class _ProgramStats:
+    """Counters for one (program, engine) bucket."""
+
+    jobs: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+    max_wall: float = 0.0
+
+
+@dataclass
+class ExecStats:
+    """Engine instrumentation: cache counters and per-job wall time."""
+
+    by_bucket: dict[str, _ProgramStats] = field(default_factory=dict)
+
+    def _bucket(self, spec: SimJobSpec) -> _ProgramStats:
+        key = f"{spec.program}/{spec.engine}"
+        return self.by_bucket.setdefault(key, _ProgramStats())
+
+    def record_hit(self, spec: SimJobSpec) -> None:
+        bucket = self._bucket(spec)
+        bucket.jobs += 1
+        bucket.cache_hits += 1
+
+    def record_run(self, spec: SimJobSpec, wall_seconds: float) -> None:
+        bucket = self._bucket(spec)
+        bucket.jobs += 1
+        bucket.computed += 1
+        bucket.wall_seconds += wall_seconds
+        bucket.max_wall = max(bucket.max_wall, wall_seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> int:
+        """Total specs processed (cache hits + computed)."""
+        return sum(b.jobs for b in self.by_bucket.values())
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(b.cache_hits for b in self.by_bucket.values())
+
+    @property
+    def computed(self) -> int:
+        return sum(b.computed for b in self.by_bucket.values())
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(b.wall_seconds for b in self.by_bucket.values())
+
+    def summary_table(self, *, title: str = "execution engine stats") -> str:
+        """The ``--stats`` summary, rendered via repro.utils.tables."""
+        headers = ["program", "jobs", "computed", "cache hits",
+                   "wall (s)", "mean (ms)", "max (ms)"]
+        rows: list[tuple] = []
+        for key in sorted(self.by_bucket):
+            b = self.by_bucket[key]
+            mean_ms = 1e3 * b.wall_seconds / b.computed if b.computed else 0.0
+            rows.append((key, b.jobs, b.computed, b.cache_hits,
+                         round(b.wall_seconds, 3), round(mean_ms, 2),
+                         round(1e3 * b.max_wall, 2)))
+        total_mean = 1e3 * self.wall_seconds / self.computed if self.computed else 0.0
+        rows.append(("TOTAL", self.jobs, self.computed, self.cache_hits,
+                     round(self.wall_seconds, 3), round(total_mean, 2),
+                     round(1e3 * max((b.max_wall for b in
+                                      self.by_bucket.values()), default=0.0),
+                           2)))
+        return format_table(headers, rows, title=title)
+
+
+class ExecutionEngine:
+    """Scheduler + cache + stats behind one handle.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for batch execution; ``None`` consults
+        ``$REPRO_JOBS`` (default 1), ``0``/``"auto"`` means all cores.
+        ``jobs=1`` executes in-process — the default-equivalent path.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables disk caching.
+    stats:
+        Optional shared :class:`ExecStats` to accumulate into.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | str | None = None,
+        cache: ResultCache | None = None,
+        stats: ExecStats | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.stats = stats or ExecStats()
+
+    @property
+    def eager(self) -> bool:
+        """Whether prefetching batches through this engine pays off.
+
+        True when the engine can fan out (``jobs > 1``) or persists
+        results (a cache is configured).  A serial cache-less engine is
+        lazy: callers should just compute on demand, exactly like the
+        original single-process path.
+        """
+        return self.jobs > 1 or self.cache is not None
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Iterable[SimJobSpec] | Sequence[SimJobSpec]) -> list[dict]:
+        """Execute a batch of specs; payloads come back in spec order."""
+        specs = list(specs)
+        payloads: list[dict | None] = [None] * len(specs)
+        pending: list[tuple[int, SimJobSpec]] = []
+        for i, spec in enumerate(specs):
+            if self.cache is not None:
+                hit = self.cache.load(spec)
+                if hit is not None:
+                    payloads[i] = hit
+                    self.stats.record_hit(spec)
+                    continue
+            pending.append((i, spec))
+        if pending:
+            if self.jobs > 1:
+                outcomes = run_parallel(
+                    [spec for _, spec in pending], jobs=self.jobs
+                )
+            else:
+                outcomes = [timed_execute(spec) for _, spec in pending]
+            for (i, spec), (payload, wall) in zip(pending, outcomes):
+                payloads[i] = payload
+                self.stats.record_run(spec, wall)
+                if self.cache is not None:
+                    self.cache.store(spec, payload)
+        return payloads  # type: ignore[return-value]

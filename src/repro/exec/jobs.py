@@ -1,0 +1,234 @@
+"""Program implementations behind the execution engine.
+
+:func:`execute_job` is the single entry point: it is what pool workers
+run *and* what the serial (``--jobs 1``) path calls in-process, so a job
+produces bit-identical payloads no matter how it is scheduled.  Payloads
+are plain JSON-able dictionaries (no numpy scalars), which makes them
+safe to ship across process boundaries and to round-trip through the
+on-disk cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExecError
+from repro.exec.spec import (
+    PROGRAM_MATMUL,
+    PROGRAM_MIPS,
+    SimJobSpec,
+)
+from repro.m68k.assembler import assemble
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.mc import EnqueueBlock, Loop
+from repro.programs import build_matmul, expected_product, generate_matrices
+from repro.programs.loader import run_matmul
+from repro.timing_model import predict_matmul
+from repro.utils.rng import DEFAULT_SEED
+
+#: Table 1 measurement geometry: straight-line repetitions per block and
+#: blocks per run ("large enough to make the loop control overlap
+#: insignificant").
+BLOCK_REPEATS = 64
+BLOCKS = 8
+
+
+def _num(x):
+    """Collapse numpy scalars to plain Python numbers (JSON-safe)."""
+    if isinstance(x, (bool, np.bool_)):
+        return bool(x)
+    if isinstance(x, (int, np.integer)):
+        return int(x)
+    return float(x)
+
+
+# ---------------------------------------------------------------------------
+# Spec constructors
+# ---------------------------------------------------------------------------
+def matmul_spec(
+    mode,
+    n: int,
+    p: int,
+    *,
+    added_multiplies: int = 0,
+    engine: str = "macro",
+    seed: int = DEFAULT_SEED,
+    b_max: int | None = None,
+    config: PrototypeConfig | None = None,
+) -> SimJobSpec:
+    """Spec for one timed matrix-multiplication configuration."""
+    mode_value = mode.value if isinstance(mode, ExecutionMode) else str(mode)
+    return SimJobSpec(
+        program=PROGRAM_MATMUL,
+        mode=mode_value,
+        n=n,
+        p=p,
+        added_multiplies=added_multiplies,
+        engine=engine,
+        seed=seed,
+        b_max=b_max,
+        config=config or PrototypeConfig.calibrated(),
+    )
+
+
+def mips_spec(
+    variant: str,
+    source: str,
+    *,
+    config: PrototypeConfig | None = None,
+) -> SimJobSpec:
+    """Spec for one Table 1 instruction-rate measurement.
+
+    ``variant`` is ``"simd"`` (broadcast from the Fetch Unit Queue) or
+    ``"mimd"`` (fetched from PE main memory).
+    """
+    config = config or PrototypeConfig.calibrated()
+    return SimJobSpec(
+        program=PROGRAM_MIPS,
+        mode=variant,
+        n=BLOCK_REPEATS,
+        p=config.n_pes,
+        engine="micro",
+        config=config,
+        params=(("blocks", BLOCKS), ("source", source)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Program implementations
+# ---------------------------------------------------------------------------
+def _execute_matmul(spec: SimJobSpec) -> dict:
+    """Time one (mode, n, p, m) matmul configuration on either substrate."""
+    mode = ExecutionMode(spec.mode)
+    if mode is ExecutionMode.SERIAL and spec.p != 1:
+        raise ConfigurationError("serial mode requires p == 1")
+    kwargs = {"seed": spec.seed}
+    if spec.b_max is not None:
+        kwargs["b_max"] = spec.b_max
+    a, b = generate_matrices(spec.n, **kwargs)
+    if spec.engine == "macro":
+        pred = predict_matmul(
+            mode, spec.config, spec.n, spec.p,
+            added_multiplies=spec.added_multiplies, b=b,
+        )
+        return {
+            "cycles": _num(pred.cycles),
+            "breakdown": {k: _num(v) for k, v in dict(pred.breakdown).items()},
+            "engine": "macro",
+            "verified": False,
+        }
+    machine = PASMMachine(spec.config, partition_size=spec.p)
+    bundle = build_matmul(
+        mode, spec.n, spec.p, added_multiplies=spec.added_multiplies,
+        device_symbols=spec.config.device_symbols(),
+    )
+    run = run_matmul(machine, bundle, a, b)
+    verified = bool(np.array_equal(run.product, expected_product(a, b)))
+    if not verified:
+        raise ConfigurationError(
+            f"micro run {mode.value} n={spec.n} p={spec.p} produced a "
+            "wrong product"
+        )
+    return {
+        "cycles": _num(run.result.cycles),
+        "breakdown": {k: _num(v) for k, v in run.result.breakdown().items()},
+        "engine": "micro",
+        "verified": True,
+    }
+
+
+def _mips_simd(config: PrototypeConfig, source: str, repeats: int,
+               blocks: int) -> float:
+    """Instructions per second across all PEs, SIMD broadcast."""
+    machine = PASMMachine(config, partition_size=config.n_pes)
+    block = assemble(source * 1, predefined=config.device_symbols())
+    instrs = block.instruction_list() * repeats
+    program_blocks = {
+        "meas": instrs,
+        "fini": assemble("        HALT").instruction_list(),
+    }
+    result = machine.run_simd(
+        [Loop(blocks, (EnqueueBlock("meas"),)), EnqueueBlock("fini")],
+        program_blocks,
+    )
+    executed = repeats * blocks * config.n_pes
+    return executed / result.seconds
+
+
+def _mips_mimd(config: PrototypeConfig, source: str, repeats: int,
+               blocks: int) -> float:
+    """Instructions per second across all PEs, MIMD from main memory."""
+    machine = PASMMachine(config, partition_size=config.n_pes)
+    body = (source + "\n") * (repeats * blocks)
+    program = assemble(
+        body + "        HALT", predefined=config.device_symbols()
+    )
+    result = machine.run_mimd([program] * config.n_pes)
+    # Exclude the HALT from the count, as the paper's loop control was.
+    executed = repeats * blocks * config.n_pes
+    halt_share = 1 / (repeats * blocks + 1)
+    return executed / (result.seconds * (1 - halt_share))
+
+
+def _execute_mips(spec: SimJobSpec) -> dict:
+    params = dict(spec.params)
+    source = params["source"]
+    repeats, blocks = spec.n, params.get("blocks", BLOCKS)
+    measure = _mips_simd if spec.mode == "simd" else _mips_mimd
+    return {"ips": float(measure(spec.config, source, repeats, blocks))}
+
+
+def _execute_test(spec: SimJobSpec) -> dict:
+    """Test-support program (``program="_test"``): controlled failures.
+
+    Actions (via ``params``): ``echo`` returns its value; ``crash``
+    hard-kills the worker process; ``flaky`` crashes on the first
+    execution (before a sentinel file exists) and succeeds on resubmit.
+    Only ever scheduled by the engine's own test suite.
+    """
+    params = dict(spec.params)
+    action = params.get("action")
+    if action == "echo":
+        return {"value": params.get("value")}
+    if action == "crash":
+        os._exit(3)
+    if action == "flaky":
+        sentinel = params["sentinel"]
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w") as fh:
+                fh.write("attempted\n")
+            os._exit(3)
+        return {"value": "recovered"}
+    raise ExecError(
+        f"unknown _test action {action!r}", job=spec.to_dict()
+    )
+
+
+_PROGRAMS = {
+    PROGRAM_MATMUL: _execute_matmul,
+    PROGRAM_MIPS: _execute_mips,
+    "_test": _execute_test,
+}
+
+
+# ---------------------------------------------------------------------------
+def execute_job(spec: SimJobSpec) -> dict:
+    """Execute one job and return its JSON-able result payload."""
+    handler = _PROGRAMS.get(spec.program)
+    if handler is None:
+        raise ExecError(
+            f"unknown program {spec.program!r}; choose from "
+            f"{sorted(_PROGRAMS)}",
+            job=spec.to_dict(),
+        )
+    return handler(spec)
+
+
+def timed_execute(spec: SimJobSpec) -> tuple[dict, float]:
+    """Execute one job, returning ``(payload, wall_seconds)``."""
+    start = time.perf_counter()
+    payload = execute_job(spec)
+    return payload, time.perf_counter() - start

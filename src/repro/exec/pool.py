@@ -1,0 +1,93 @@
+"""Process-pool scheduler: fan independent jobs out across cores.
+
+Results come back in submission order regardless of completion order, so
+pooled execution is a drop-in for the serial loop.  A worker crash (e.g.
+a killed process taking the whole pool down) fails every in-flight
+future; crashed/failed jobs are resubmitted once to a fresh pool, and a
+second failure surfaces as a structured :class:`~repro.errors.ExecError`.
+
+The worker entry point runs :func:`repro.exec.jobs.timed_execute` — the
+same function the serial path calls — so scheduling never changes
+results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.errors import ConfigurationError, ExecError
+from repro.exec.jobs import timed_execute
+from repro.exec.spec import SimJobSpec
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a ``--jobs`` value: explicit > $REPRO_JOBS > 1.
+
+    ``0`` or ``"auto"`` means one job per available core.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        jobs = env if env else 1
+    if jobs in (0, "0", "auto"):
+        jobs = os.cpu_count() or 1
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"invalid job count {jobs!r}") from None
+    if jobs < 1:
+        raise ConfigurationError(f"job count must be >= 1, got {jobs}")
+    return jobs
+
+
+def _worker(spec: SimJobSpec) -> tuple[dict, float]:
+    """Pool worker entry point (top-level so it pickles)."""
+    return timed_execute(spec)
+
+
+def run_parallel(
+    specs: Sequence[SimJobSpec],
+    *,
+    jobs: int,
+    retries: int = 1,
+) -> list[tuple[dict, float]]:
+    """Execute specs across a process pool; deterministic result order.
+
+    Returns ``[(payload, wall_seconds), ...]`` aligned with ``specs``.
+    Failed jobs (worker crashes included) are resubmitted ``retries``
+    times to a fresh pool before a structured ExecError is raised.
+    """
+    specs = list(specs)
+    results: list[tuple[dict, float] | None] = [None] * len(specs)
+    pending = list(enumerate(specs))
+    failures: list[tuple[int, SimJobSpec, BaseException]] = []
+    for _attempt in range(retries + 1):
+        failures = []
+        executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        try:
+            futures = [
+                (i, spec, executor.submit(_worker, spec))
+                for i, spec in pending
+            ]
+            for i, spec, future in futures:
+                try:
+                    results[i] = future.result()
+                except Exception as exc:  # incl. BrokenProcessPool
+                    failures.append((i, spec, exc))
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        if not failures:
+            return results  # type: ignore[return-value]
+        pending = [(i, spec) for i, spec, _ in failures]
+    index, spec, exc = failures[0]
+    raise ExecError(
+        f"{len(failures)} job(s) failed after {retries + 1} attempts; "
+        f"first: {spec.label()} ({spec.content_hash[:12]}): {exc!r}",
+        job=spec.to_dict(),
+        attempts=retries + 1,
+        cause=exc,
+    )

@@ -1,0 +1,166 @@
+"""Job specifications: the unit of work the execution engine schedules.
+
+A :class:`SimJobSpec` is a complete, self-contained description of one
+simulation run — machine configuration, execution mode, problem size,
+processor count and program identity.  Two properties make the engine's
+process-pool fan-out and on-disk caching safe:
+
+* a spec is **deterministic**: executing the same spec always produces
+  the same result payload, byte for byte (all stochastic inputs are
+  seeded from fields of the spec);
+* a spec has a **stable content hash**: the SHA-256 of its canonical
+  JSON form (keys sorted at every nesting level), identical across
+  processes, Python versions and dict insertion orders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.machine.config import PrototypeConfig
+from repro.memory.dram import RefreshModel
+from repro.utils.rng import DEFAULT_SEED, derive_seed
+
+#: Program identifiers understood by :func:`repro.exec.jobs.execute_job`.
+PROGRAM_MATMUL = "matmul"
+PROGRAM_MIPS = "mips"
+
+#: Execution-mode values a spec may carry (ExecutionMode.value strings).
+_MODES = ("serial", "simd", "mimd", "smimd")
+#: Substrate engines a spec may target ("auto" must be resolved first).
+_ENGINES = ("micro", "macro")
+
+
+def canonical_json(obj) -> str:
+    """Serialize a JSON-able object with sorted keys and no whitespace.
+
+    The canonical form is what gets hashed, so it must be invariant under
+    dict key ordering — ``sort_keys=True`` applies recursively.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash_of(obj) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJobSpec:
+    """One independently schedulable simulation job.
+
+    Attributes
+    ----------
+    program:
+        Program identity: ``"matmul"`` (the paper's matrix multiply,
+        timed on either substrate) or ``"mips"`` (Table 1's straight-line
+        instruction-rate measurement).
+    mode:
+        Execution-mode value (``"serial"``/``"simd"``/``"mimd"``/``"smimd"``).
+    n, p:
+        Problem size and processor count.
+    added_multiplies:
+        Extra inner-loop multiplies (the Figure 7 knob).
+    engine:
+        Resolved substrate, ``"micro"`` or ``"macro"`` (never ``"auto"``:
+        resolution depends on a study's threshold, not on the job).
+    seed:
+        Data-set seed; the per-job RNG seed is derived from it and the
+        content hash (:attr:`job_seed`).
+    b_max:
+        Exclusive upper bound of the uniform B values (None = calibrated
+        default).
+    config:
+        Machine parameters.
+    params:
+        Extra program-specific parameters as a sorted ``(key, value)``
+        tuple (kept sorted so equal parameter sets hash equally no matter
+        the insertion order).
+    """
+
+    program: str
+    mode: str
+    n: int
+    p: int
+    added_multiplies: int = 0
+    engine: str = "macro"
+    seed: int = DEFAULT_SEED
+    b_max: int | None = None
+    config: PrototypeConfig = field(default_factory=PrototypeConfig.calibrated)
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; choose from {_MODES}"
+            )
+        if self.engine not in _ENGINES:
+            raise ConfigurationError(
+                f"spec engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.n < 1 or self.p < 1 or self.added_multiplies < 0:
+            raise ConfigurationError(
+                f"invalid job geometry n={self.n} p={self.p} "
+                f"m={self.added_multiplies}"
+            )
+        # Normalise params so construction order never changes the hash.
+        object.__setattr__(self, "params", tuple(sorted(self.params)))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical dictionary form (JSON-able, nested plain dicts)."""
+        return {
+            "program": self.program,
+            "mode": self.mode,
+            "n": self.n,
+            "p": self.p,
+            "added_multiplies": self.added_multiplies,
+            "engine": self.engine,
+            "seed": self.seed,
+            "b_max": self.b_max,
+            "config": asdict(self.config),
+            "params": {k: v for k, v in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimJobSpec":
+        """Rebuild a spec from :meth:`to_dict` output (any key order)."""
+        cfg = dict(d["config"])
+        cfg["refresh"] = RefreshModel(**cfg["refresh"])
+        return cls(
+            program=d["program"],
+            mode=d["mode"],
+            n=d["n"],
+            p=d["p"],
+            added_multiplies=d.get("added_multiplies", 0),
+            engine=d.get("engine", "macro"),
+            seed=d.get("seed", DEFAULT_SEED),
+            b_max=d.get("b_max"),
+            config=PrototypeConfig(**cfg),
+            params=tuple(sorted(d.get("params", {}).items())),
+        )
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-256 over the canonical JSON form of the spec."""
+        return content_hash_of(self.to_dict())
+
+    @property
+    def job_seed(self) -> int:
+        """Per-job RNG seed, derived from the data seed and the job hash.
+
+        Programs needing randomness beyond their input data seed their
+        :mod:`repro.utils.rng` generators from this, so a job draws the
+        same stream whether it runs in-process or in a pool worker.
+        """
+        return derive_seed(self.seed, self.program, self.content_hash)
+
+    def label(self) -> str:
+        """Short human-readable identity for stats and error messages."""
+        return (
+            f"{self.program}/{self.engine} {self.mode} n={self.n} "
+            f"p={self.p} m={self.added_multiplies}"
+        )

@@ -48,9 +48,12 @@ def run_ext_superlinear(
     study = study or DecouplingStudy()
     base_cfg = study.config
 
-    def efficiency(cfg) -> float:
-        s = DecouplingStudy(cfg, seed=study.seed, b_max=study.b_max)
-        return s.efficiency(ExecutionMode.SIMD, n, p, engine="macro")
+    def efficiency(cfg, mode=ExecutionMode.SIMD) -> float:
+        s = DecouplingStudy(cfg, seed=study.seed, b_max=study.b_max,
+                            exec_engine=study.exec_engine)
+        s.prefetch([(ExecutionMode.SERIAL, n, 1, 0, "macro"),
+                    (mode, n, p, 0, "macro")])
+        return s.efficiency(mode, n, p, engine="macro")
 
     full = efficiency(base_cfg)
     no_fetch = efficiency(
@@ -60,8 +63,7 @@ def run_ext_superlinear(
     # With the fetch advantage intact but control exposed, SIMD behaves
     # like S/MIMD plus the queue fetch saving; S/MIMD itself is the
     # no-overlap bound.
-    smimd = DecouplingStudy(base_cfg, seed=study.seed, b_max=study.b_max) \
-        .efficiency(ExecutionMode.SMIMD, n, p, engine="macro")
+    smimd = efficiency(base_cfg, ExecutionMode.SMIMD)
 
     rows = [
         ("full SIMD (both mechanisms)", round(full, 3)),
@@ -126,6 +128,9 @@ def run_ext_dma(
     """Quantify what DMA block transfers would have bought each mode."""
     study = study or DecouplingStudy()
     dma = dma or DMAModel()
+    study.prefetch(
+        (mode, n, p, 0, "macro") for n in (16, 64, 256) for mode in MODES
+    )
     rows = []
     for n in (16, 64, 256):
         row: list[object] = [n]
@@ -160,7 +165,14 @@ def run_ext_design_scale(
 ) -> ExperimentResult:
     """Project Figure 12 to the designed N=1024, Q=32 machine."""
     config = PrototypeConfig(n_pes=1024, n_mcs=32)
-    study = DecouplingStudy(config)
+    study = DecouplingStudy(
+        config, exec_engine=study.exec_engine if study is not None else None
+    )
+    study.prefetch(
+        [(ExecutionMode.SERIAL, n, 1, 0, "macro")]
+        + [(mode, n, p, 0, "macro")
+           for p in (32, 128, 512, 1024) for mode in MODES]
+    )
     rows = []
     series: dict[str, list[tuple[float, float]]] = {m.label: [] for m in MODES}
     for p in (32, 128, 512, 1024):

@@ -25,6 +25,12 @@ def run_fig11(
     engine: str = "macro",
 ) -> ExperimentResult:
     study = study or DecouplingStudy()
+    study.prefetch(
+        cell
+        for n in SIZES if n >= p
+        for cell in ([(ExecutionMode.SERIAL, n, 1, 0, engine)]
+                     + [(mode, n, p, 0, engine) for mode in MODES])
+    )
     rows = []
     series: dict[str, list[tuple[float, float]]] = {m.label: [] for m in MODES}
     for n in SIZES:

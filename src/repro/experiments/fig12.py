@@ -23,6 +23,11 @@ def run_fig12(
     engine: str = "macro",
 ) -> ExperimentResult:
     study = study or DecouplingStudy()
+    study.prefetch(
+        [(ExecutionMode.SERIAL, n, 1, 0, engine)]
+        + [(mode, n, p, 0, engine)
+           for p in PROCESSOR_COUNTS for mode in MODES]
+    )
     rows = []
     series: dict[str, list[tuple[float, float]]] = {m.label: [] for m in MODES}
     for p in PROCESSOR_COUNTS:

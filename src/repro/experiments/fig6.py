@@ -30,6 +30,10 @@ def run_fig6(
     engine: str = "macro",
 ) -> ExperimentResult:
     study = study or DecouplingStudy()
+    study.prefetch(
+        (mode, n, 1 if mode is ExecutionMode.SERIAL else p, 0, engine)
+        for n in SIZES for mode in MODES
+    )
     series: dict[str, list[tuple[float, float]]] = {m.label: [] for m in MODES}
     rows = []
     for n in SIZES:

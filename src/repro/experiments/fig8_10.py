@@ -63,6 +63,9 @@ def run_breakdown_figure(
         raise ValueError(f"unknown breakdown figure {figure!r}")
     m = points[figure]
     study = study or DecouplingStudy()
+    study.prefetch(
+        (mode, n, p, m, engine) for n in SIZES for mode in MODES
+    )
 
     rows = []
     series: dict[str, list[tuple[float, float]]] = {}

@@ -5,8 +5,17 @@ Usage::
     python -m repro.experiments.runner            # everything, to stdout
     python -m repro.experiments.runner fig7 fig11 # a subset
     python -m repro.experiments.runner --out results/   # also write files
+    python -m repro.experiments.runner --jobs 4 --stats # pooled + summary
 
 Also installed as the ``pasm-experiments`` console script.
+
+Execution is routed through :mod:`repro.exec`: independent simulation
+runs fan out across ``--jobs N`` worker processes (default
+``$REPRO_JOBS`` or 1; ``0``/``auto`` = all cores), and results are
+memoised on disk under ``.repro_cache/`` (``$REPRO_CACHE_DIR``,
+``--cache-dir``, disable with ``--no-cache``) keyed by job content hash
+and package version — a warm re-run recomputes nothing.  ``--stats``
+appends the engine's cache-hit/wall-time summary table.
 """
 
 from __future__ import annotations
@@ -16,6 +25,8 @@ import sys
 from pathlib import Path
 
 from repro.core import DecouplingStudy
+from repro.errors import ConfigurationError
+from repro.exec import ExecutionEngine, ResultCache, resolve_jobs
 from repro.experiments.extensions import (
     run_ext_design_scale,
     run_ext_dma,
@@ -31,7 +42,8 @@ from repro.experiments.table1 import run_table1
 
 #: Registry of every exhibit, in paper order, plus the extension studies.
 EXPERIMENTS = {
-    "table1": lambda study: run_table1(study.config),
+    "table1": lambda study: run_table1(study.config,
+                                       exec_engine=study.exec_engine),
     "fig6": run_fig6,
     "fig7": run_fig7,
     "fig8": lambda study: run_breakdown_figure("fig8", study),
@@ -46,21 +58,37 @@ EXPERIMENTS = {
 }
 
 
+def _make_study(seed: int | None,
+                engine: ExecutionEngine | None) -> DecouplingStudy:
+    kwargs = {} if seed is None else {"seed": seed}
+    return DecouplingStudy(exec_engine=engine, **kwargs)
+
+
 def run_experiments(
     names: list[str] | None = None,
     *,
     out_dir: Path | None = None,
     seed: int | None = None,
-    stream=sys.stdout,
+    stream=None,
+    jobs: int | str | None = None,
+    cache: ResultCache | None = None,
+    stats: bool = False,
 ):
-    """Run the named experiments (all by default); return the results."""
+    """Run the named experiments (all by default); return the results.
+
+    ``jobs``/``cache`` configure the execution engine (defaults: serial,
+    no disk cache — the historical behaviour); ``stats=True`` appends the
+    engine's summary table to ``stream``.
+    """
+    stream = stream if stream is not None else sys.stdout
     names = names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise SystemExit(
             f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}"
         )
-    study = DecouplingStudy() if seed is None else DecouplingStudy(seed=seed)
+    engine = ExecutionEngine(jobs=jobs, cache=cache)
+    study = _make_study(seed, engine)
     results = []
     for name in names:
         result = EXPERIMENTS[name](study)
@@ -72,6 +100,12 @@ def run_experiments(
             (out_dir / f"{name}.txt").write_text(result.render())
             (out_dir / f"{name}.csv").write_text(result.to_csv())
             (out_dir / f"{name}.json").write_text(result.to_json())
+    if stats:
+        stream.write(engine.stats.summary_table(
+            title=f"execution engine stats (jobs={engine.jobs}, "
+                  f"cache={'on' if engine.cache is not None else 'off'})"
+        ))
+        stream.write("\n")
     return results
 
 
@@ -96,22 +130,48 @@ def main(argv: list[str] | None = None) -> int:
         help="data-set seed (default: the library's fixed seed)",
     )
     parser.add_argument(
+        "--jobs", default=None, metavar="N",
+        help="worker processes for independent simulation jobs "
+             "(default: $REPRO_JOBS or 1; 0 or 'auto' = all cores)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the execution engine's per-job wall-time and "
+             "cache hit/miss summary after the exhibits",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+             "./.repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
         "--report", type=Path, default=None, metavar="FILE",
         help="write the full reproduction report (config + engine check + "
              "crossover confidence + every exhibit) to FILE and exit",
     )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        try:
+            resolve_jobs(args.jobs)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     if args.report is not None:
         from repro.core.report import full_report
-        from repro.core import DecouplingStudy
 
-        study = (DecouplingStudy() if args.seed is None
-                 else DecouplingStudy(seed=args.seed))
+        engine = ExecutionEngine(jobs=args.jobs, cache=cache)
+        study = _make_study(args.seed, engine)
         args.report.write_text(full_report(study))
         print(f"report written to {args.report}")
         return 0
-    run_experiments(args.experiments or None, out_dir=args.out,
-                    seed=args.seed)
+    run_experiments(
+        args.experiments or None, out_dir=args.out, seed=args.seed,
+        jobs=args.jobs, cache=cache, stats=args.stats,
+    )
     return 0
 
 

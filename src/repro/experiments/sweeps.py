@@ -46,12 +46,18 @@ def sweep(
     engine: str = "macro",
 ) -> list[SweepRecord]:
     """Run every (mode, n, p, m) combination; skip infeasible cells."""
-    records: list[SweepRecord] = []
+    cells = []
     for mode, n, p, m in product(modes, sizes, processor_counts,
                                  added_multiplies):
         pp = 1 if mode is ExecutionMode.SERIAL else p
         if n < pp or n % pp:
             continue
+        cells.append((mode, n, pp, m))
+    # One batch through the execution engine: the whole cartesian product
+    # fans out across cores when the study carries a pooled handle.
+    study.prefetch((mode, n, pp, m, engine) for mode, n, pp, m in cells)
+    records: list[SweepRecord] = []
+    for mode, n, pp, m in cells:
         res = study.run(mode, n, pp, added_multiplies=m, engine=engine)
         records.append(
             SweepRecord(
@@ -113,12 +119,13 @@ def crossover_confidence(
     p: int = 4,
     seeds: tuple[int, ...] = (1, 2, 3, 4, 19880815),
     max_multiplies: int = 60,
+    exec_engine=None,
 ) -> CrossoverConfidence:
     """Replicate the Figure 7 crossover over independent B data sets."""
     config = config or PrototypeConfig.calibrated()
     values = []
     for seed in seeds:
-        study = DecouplingStudy(config, seed=seed)
+        study = DecouplingStudy(config, seed=seed, exec_engine=exec_engine)
         result = find_crossover(study, n=n, p=p,
                                 max_multiplies=max_multiplies)
         if result.found:

@@ -11,15 +11,21 @@ The published table's absolute numbers are not recoverable from the text
 (the table is an image in surviving copies); the reproduced *shape* — SIMD
 faster than MIMD for both instruction types, by more for memory-touching
 instructions in relative fetch terms — is what EXPERIMENTS.md records.
+
+The four measurements are independent micro-engine runs, so they are
+scheduled as :class:`~repro.exec.SimJobSpec` jobs through the execution
+engine (program ``"mips"``, implemented in :mod:`repro.exec.jobs`): a
+pooled handle runs them concurrently and a cached handle skips them on
+re-runs.
 """
 
 from __future__ import annotations
 
+from repro.exec import ExecutionEngine, mips_spec
+from repro.exec.jobs import BLOCK_REPEATS, BLOCKS  # noqa: F401  (re-export)
 from repro.experiments.results import ExperimentResult
-from repro.m68k.assembler import assemble
 from repro.m68k.timing import CLOCK_HZ
-from repro.machine import PASMMachine, PrototypeConfig
-from repro.mc import EnqueueBlock, Loop
+from repro.machine import PrototypeConfig
 
 #: Instruction types measured (label, one-instruction source).
 INSTRUCTION_TYPES = (
@@ -27,49 +33,25 @@ INSTRUCTION_TYPES = (
     ("MOVE.W d(An),Dn (memory)", "        MOVE.W 2(A0),D2"),
 )
 
-#: Straight-line repetitions per measurement block.
-BLOCK_REPEATS = 64
-#: Blocks issued per run.
-BLOCKS = 8
 
-
-def _measure_simd(config: PrototypeConfig, source: str) -> float:
-    """Instructions per second across all PEs, SIMD broadcast."""
-    machine = PASMMachine(config, partition_size=config.n_pes)
-    block = assemble(source * 1, predefined=config.device_symbols())
-    instrs = block.instruction_list() * BLOCK_REPEATS
-    blocks = {
-        "meas": instrs,
-        "fini": assemble("        HALT").instruction_list(),
-    }
-    result = machine.run_simd(
-        [Loop(BLOCKS, (EnqueueBlock("meas"),)), EnqueueBlock("fini")], blocks
-    )
-    executed = BLOCK_REPEATS * BLOCKS * config.n_pes
-    return executed / result.seconds
-
-
-def _measure_mimd(config: PrototypeConfig, source: str) -> float:
-    """Instructions per second across all PEs, MIMD from main memory."""
-    machine = PASMMachine(config, partition_size=config.n_pes)
-    body = (source + "\n") * (BLOCK_REPEATS * BLOCKS)
-    program = assemble(
-        body + "        HALT", predefined=config.device_symbols()
-    )
-    result = machine.run_mimd([program] * config.n_pes)
-    # Exclude the HALT from the count, as the paper's loop control was.
-    executed = BLOCK_REPEATS * BLOCKS * config.n_pes
-    halt_share = 1 / (BLOCK_REPEATS * BLOCKS + 1)
-    return executed / (result.seconds * (1 - halt_share))
-
-
-def run_table1(config: PrototypeConfig | None = None) -> ExperimentResult:
+def run_table1(
+    config: PrototypeConfig | None = None,
+    *,
+    exec_engine: ExecutionEngine | None = None,
+) -> ExperimentResult:
     """Reproduce Table 1 (MIPS = millions of instructions per second)."""
     config = config or PrototypeConfig.calibrated()
+    engine = exec_engine or ExecutionEngine(jobs=1)
+    specs = [
+        mips_spec(variant, source, config=config)
+        for _, source in INSTRUCTION_TYPES
+        for variant in ("simd", "mimd")
+    ]
+    payloads = engine.run(specs)
     rows = []
-    for label, source in INSTRUCTION_TYPES:
-        simd_mips = _measure_simd(config, source) / 1e6
-        mimd_mips = _measure_mimd(config, source) / 1e6
+    for i, (label, _) in enumerate(INSTRUCTION_TYPES):
+        simd_mips = payloads[2 * i]["ips"] / 1e6
+        mimd_mips = payloads[2 * i + 1]["ips"] / 1e6
         rows.append(
             (label, round(simd_mips, 2), round(mimd_mips, 2),
              round(simd_mips / mimd_mips, 3))

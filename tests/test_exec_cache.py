@@ -1,0 +1,148 @@
+"""Property-based tests for the on-disk result cache and spec hashing.
+
+Hypothesis drives three invariants the cache's correctness rests on:
+random specs round-trip ``store -> load`` unchanged, the content hash is
+invariant under dictionary key ordering, and a package-version bump
+invalidates every entry.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.exec import ResultCache, SimJobSpec, canonical_json, matmul_spec
+from repro.machine import ExecutionMode, PrototypeConfig
+
+MODES = (ExecutionMode.SERIAL, ExecutionMode.SIMD, ExecutionMode.SMIMD,
+         ExecutionMode.MIMD)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def specs(draw):
+    mode = draw(st.sampled_from(MODES))
+    p = 1 if mode is ExecutionMode.SERIAL else draw(st.sampled_from((1, 2, 4)))
+    n = p * draw(st.sampled_from((1, 2, 4, 16)))
+    return matmul_spec(
+        mode, n, p,
+        added_multiplies=draw(st.integers(min_value=0, max_value=16)),
+        engine=draw(st.sampled_from(("micro", "macro"))),
+        seed=draw(st.integers(min_value=0, max_value=2 ** 31 - 1)),
+        b_max=draw(st.sampled_from((None, 16, 256))),
+    )
+
+
+json_scalars = (st.integers(min_value=-2 ** 53, max_value=2 ** 53)
+                | st.floats(allow_nan=False, allow_infinity=False)
+                | st.booleans()
+                | st.text(max_size=20))
+
+payloads = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    json_scalars | st.lists(json_scalars, max_size=4)
+    | st.dictionaries(st.text(min_size=1, max_size=10), json_scalars,
+                      max_size=4),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _scramble(obj):
+    """Rebuild nested dicts with reversed key insertion order."""
+    if isinstance(obj, dict):
+        return {k: _scramble(obj[k]) for k in reversed(list(obj))}
+    if isinstance(obj, list):
+        return [_scramble(x) for x in obj]
+    return obj
+
+
+@SETTINGS
+@given(spec=specs(), payload=payloads)
+def test_store_load_round_trip(tmp_path, spec, payload):
+    cache = ResultCache(tmp_path, version="1.0")
+    cache.store(spec, payload)
+    assert cache.load(spec) == payload
+
+
+@SETTINGS
+@given(spec=specs())
+def test_content_hash_invariant_under_key_ordering(spec):
+    scrambled = SimJobSpec.from_dict(_scramble(spec.to_dict()))
+    assert scrambled.content_hash == spec.content_hash
+    assert canonical_json(spec.to_dict()) == canonical_json(
+        _scramble(spec.to_dict()))
+
+
+@SETTINGS
+@given(spec=specs(), payload=payloads)
+def test_version_bump_invalidates(tmp_path, spec, payload):
+    old = ResultCache(tmp_path, version="1.0")
+    old.store(spec, payload)
+    bumped = ResultCache(tmp_path, version="2.0")
+    assert bumped.load(spec) is None
+    # and the old generation is still intact
+    assert old.load(spec) == payload
+
+
+def test_default_version_is_package_version(tmp_path):
+    from repro import __version__
+
+    cache = ResultCache(tmp_path)
+    assert cache.version == __version__
+    assert cache.dir == tmp_path / __version__
+
+
+def test_corrupt_entry_is_a_miss_then_repaired(tmp_path):
+    spec = matmul_spec(ExecutionMode.SIMD, 16, 4)
+    cache = ResultCache(tmp_path, version="1.0")
+    cache.store(spec, {"cycles": 1.0})
+    path = cache.entry_path(spec)
+    path.write_text("{not json")
+    assert cache.load(spec) is None
+    cache.store(spec, {"cycles": 2.0})
+    assert cache.load(spec) == {"cycles": 2.0}
+
+
+def test_entry_with_wrong_version_field_is_a_miss(tmp_path):
+    spec = matmul_spec(ExecutionMode.SIMD, 16, 4)
+    cache = ResultCache(tmp_path, version="1.0")
+    cache.store(spec, {"cycles": 1.0})
+    path = cache.entry_path(spec)
+    entry = json.loads(path.read_text())
+    entry["version"] = "0.9"
+    path.write_text(json.dumps(entry))
+    assert cache.load(spec) is None
+
+
+def test_len_and_clear(tmp_path):
+    cache = ResultCache(tmp_path, version="1.0")
+    assert len(cache) == 0
+    for m in range(3):
+        cache.store(matmul_spec(ExecutionMode.SIMD, 16, 4,
+                                added_multiplies=m), {"m": m})
+    assert len(cache) == 3
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.load(matmul_spec(ExecutionMode.SIMD, 16, 4)) is None
+
+
+def test_env_var_sets_default_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    cache = ResultCache(version="1.0")
+    cache.store(matmul_spec(ExecutionMode.SIMD, 16, 4), {"x": 1})
+    assert (tmp_path / "alt").exists()
+
+
+def test_stored_entry_records_spec_for_inspection(tmp_path):
+    spec = matmul_spec(ExecutionMode.MIMD, 64, 4, added_multiplies=9)
+    cache = ResultCache(tmp_path, version="1.0")
+    cache.store(spec, {"cycles": 5.0})
+    entry = json.loads(cache.entry_path(spec).read_text())
+    assert entry["spec"] == spec.to_dict()
+    assert SimJobSpec.from_dict(entry["spec"]) == spec
