@@ -2,13 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report examples clean all
+.PHONY: install test test-slow coverage bench experiments report examples clean all
 
 install:
 	pip install -e .[test]
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow --override-ini "addopts="
+
+coverage:  # needs pytest-cov (pip install -e .[cov])
+	$(PYTHON) -m pytest tests/ --cov=repro.network --cov=repro.faults \
+		--cov-report=term-missing --cov-fail-under=85
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -12,7 +12,8 @@ import io
 from dataclasses import asdict
 
 from repro.core.study import DecouplingStudy
-from repro.machine import ExecutionMode, PrototypeConfig
+from repro.errors import PEFailStopError
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
 
 
 def _config_section(config: PrototypeConfig) -> str:
@@ -52,6 +53,40 @@ def _engine_check_section(study: DecouplingStudy) -> str:
     return out.getvalue()
 
 
+def _fault_section(study: DecouplingStudy) -> str:
+    """Demonstrate fail-stop detection: a dead PE must not hang the run.
+
+    Runs the n=16, p=4 S/MIMD matmul with one partition PE fail-stopped
+    at cycle 0 and shows the structured error the barrier raises instead
+    of deadlocking.  (The network side of fault tolerance — the ESC's
+    single-fault guarantee — is exercised exhaustively by the ext-faults
+    exhibit below.)
+    """
+    from repro.faults import FaultPlan, PEFailStop
+    from repro.machine.partition import Partition
+    from repro.programs import build_matmul, generate_matrices
+    from repro.programs.loader import run_matmul
+
+    out = io.StringIO()
+    out.write("fail-stop detection check (n=16, p=4, PE dead at t=0)\n")
+    out.write("-" * 44 + "\n")
+    victim = Partition(study.config, 4).physical_pe(1)
+    plan = FaultPlan(failstops=(PEFailStop(pe=victim, at=0.0),),
+                     failstop_timeout=30_000.0)
+    machine = PASMMachine(study.config, partition_size=4, fault_plan=plan)
+    bundle = build_matmul(ExecutionMode.SMIMD, 16, 4,
+                          device_symbols=study.config.device_symbols())
+    a, b = generate_matrices(16, seed=study.seed)
+    try:
+        run_matmul(machine, bundle, a, b)
+        out.write("  UNEXPECTED: run completed despite the dead PE\n")
+    except PEFailStopError as exc:
+        out.write(f"  detected fail-stopped PE(s) {list(exc.pes)} at "
+                  f"cycle {exc.detected_at:.0f} (timeout {exc.timeout:.0f})\n")
+        out.write("  run terminated with a structured error, not a hang\n")
+    return out.getvalue()
+
+
 def full_report(
     study: DecouplingStudy | None = None,
     *,
@@ -73,6 +108,8 @@ def full_report(
     out.write(_config_section(study.config))
     out.write("\n")
     out.write(_engine_check_section(study))
+    out.write("\n")
+    out.write(_fault_section(study))
     out.write("\n")
 
     conf = crossover_confidence(study.config, seeds=seeds,

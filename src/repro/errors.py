@@ -50,7 +50,28 @@ class RoutingConflictError(NetworkError):
 
 
 class NetworkFaultError(NetworkError):
-    """Raised when no fault-free route exists for a requested circuit."""
+    """Raised when no fault-free route exists for a requested circuit.
+
+    Attributes
+    ----------
+    faults:
+        The active fault set when routing failed (tuple of
+        :class:`~repro.network.topology.Fault`, possibly empty).
+    candidates:
+        The candidate paths that were examined and rejected, as tuples of
+        occupied line numbers (one tuple per candidate).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        faults: tuple = (),
+        candidates: tuple = (),
+    ) -> None:
+        self.faults = tuple(faults)
+        self.candidates = tuple(candidates)
+        super().__init__(message)
 
 
 class PartitionError(ReproError):
@@ -67,6 +88,39 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """Raised when the event queue empties while processes are still blocked."""
+
+
+class PEFailStopError(SimulationError):
+    """Raised when a fail-stopped PE prevents a run from completing.
+
+    The machine detects the dead PE at the next synchronization point it
+    poisons — a SIMD broadcast, an S/MIMD barrier, a blocking network
+    transfer — via a bounded wait (:attr:`timeout` cycles past the last
+    strike), so the simulation terminates with this structured error
+    instead of hanging.
+
+    Attributes
+    ----------
+    pes:
+        Physical numbers of the PEs that had fail-stopped by detection.
+    detected_at:
+        Simulated time (cycles) at which the run was declared dead.
+    timeout:
+        The bounded wait that was applied after the last strike.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pes: tuple[int, ...] = (),
+        detected_at: float = 0.0,
+        timeout: float = 0.0,
+    ) -> None:
+        self.pes = tuple(pes)
+        self.detected_at = detected_at
+        self.timeout = timeout
+        super().__init__(message)
 
 
 class ProgramError(ReproError):

@@ -20,7 +20,13 @@ routes through it) and above the substrates (:mod:`repro.machine`,
 from repro.errors import ExecError
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.engine import ExecStats, ExecutionEngine
-from repro.exec.jobs import execute_job, matmul_spec, mips_spec, timed_execute
+from repro.exec.jobs import (
+    execute_job,
+    faultsweep_spec,
+    matmul_spec,
+    mips_spec,
+    timed_execute,
+)
 from repro.exec.pool import JOBS_ENV, resolve_jobs, run_parallel
 from repro.exec.spec import SimJobSpec, canonical_json, content_hash_of
 
@@ -35,6 +41,7 @@ __all__ = [
     "canonical_json",
     "content_hash_of",
     "execute_job",
+    "faultsweep_spec",
     "matmul_spec",
     "mips_spec",
     "resolve_jobs",

@@ -18,7 +18,8 @@ import os
 import shutil
 from pathlib import Path
 
-from repro.exec.spec import SimJobSpec
+from repro.exec.spec import SimJobSpec, content_hash_of
+from repro.faults.chaos import maybe_corrupt_entry
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -52,14 +53,23 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def load(self, spec: SimJobSpec) -> dict | None:
-        """Return the cached payload for a spec, or None on any miss."""
+        """Return the cached payload for a spec, or None on any miss.
+
+        An entry carrying a ``payload_sha256`` that does not match its
+        payload (bit rot, a truncated write that still parses, chaos
+        injection) is a miss too — never an error, never stale data.
+        """
         try:
             entry = json.loads(self.entry_path(spec).read_text())
         except (OSError, ValueError):
             return None
         if not isinstance(entry, dict) or entry.get("version") != self.version:
             return None
-        return entry.get("payload")
+        payload = entry.get("payload")
+        digest = entry.get("payload_sha256")
+        if digest is not None and digest != content_hash_of(payload):
+            return None
+        return payload
 
     def store(self, spec: SimJobSpec, payload: dict) -> Path:
         """Atomically persist a payload under the spec's content hash."""
@@ -69,10 +79,12 @@ class ResultCache:
             "version": self.version,
             "spec": spec.to_dict(),
             "payload": payload,
+            "payload_sha256": content_hash_of(payload),
         }
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
         os.replace(tmp, path)
+        maybe_corrupt_entry(spec.content_hash, path)  # $REPRO_CHAOS only
         return path
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ class _ProgramStats:
     cache_hits: int = 0
     wall_seconds: float = 0.0
     max_wall: float = 0.0
+    resubmits: int = 0
 
 
 @dataclass
@@ -56,6 +57,10 @@ class ExecStats:
         bucket.wall_seconds += wall_seconds
         bucket.max_wall = max(bucket.max_wall, wall_seconds)
 
+    def record_resubmit(self, spec: SimJobSpec) -> None:
+        """Count one crashed-and-resubmitted pool job."""
+        self._bucket(spec).resubmits += 1
+
     # ------------------------------------------------------------------
     @property
     def jobs(self) -> int:
@@ -74,23 +79,32 @@ class ExecStats:
     def wall_seconds(self) -> float:
         return sum(b.wall_seconds for b in self.by_bucket.values())
 
+    @property
+    def resubmits(self) -> int:
+        """Total crashed-and-resubmitted pool jobs."""
+        return sum(b.resubmits for b in self.by_bucket.values())
+
     def summary_table(self, *, title: str = "execution engine stats") -> str:
-        """The ``--stats`` summary, rendered via repro.utils.tables."""
+        """The ``--stats`` summary, rendered via repro.utils.tables.
+
+        The ``resubmits`` column is deliberately last: downstream tooling
+        (the CI cache-smoke job) parses earlier columns by position.
+        """
         headers = ["program", "jobs", "computed", "cache hits",
-                   "wall (s)", "mean (ms)", "max (ms)"]
+                   "wall (s)", "mean (ms)", "max (ms)", "resubmits"]
         rows: list[tuple] = []
         for key in sorted(self.by_bucket):
             b = self.by_bucket[key]
             mean_ms = 1e3 * b.wall_seconds / b.computed if b.computed else 0.0
             rows.append((key, b.jobs, b.computed, b.cache_hits,
                          round(b.wall_seconds, 3), round(mean_ms, 2),
-                         round(1e3 * b.max_wall, 2)))
+                         round(1e3 * b.max_wall, 2), b.resubmits))
         total_mean = 1e3 * self.wall_seconds / self.computed if self.computed else 0.0
         rows.append(("TOTAL", self.jobs, self.computed, self.cache_hits,
                      round(self.wall_seconds, 3), round(total_mean, 2),
                      round(1e3 * max((b.max_wall for b in
                                       self.by_bucket.values()), default=0.0),
-                           2)))
+                           2), self.resubmits))
         return format_table(headers, rows, title=title)
 
 
@@ -148,7 +162,10 @@ class ExecutionEngine:
         if pending:
             if self.jobs > 1:
                 outcomes = run_parallel(
-                    [spec for _, spec in pending], jobs=self.jobs
+                    [spec for _, spec in pending], jobs=self.jobs,
+                    on_retry=lambda retried: [
+                        self.stats.record_resubmit(s) for s in retried
+                    ],
                 )
             else:
                 outcomes = [timed_execute(spec) for _, spec in pending]

@@ -15,15 +15,20 @@ import time
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ExecError
+from repro.errors import ConfigurationError, ExecError, NetworkFaultError
 from repro.exec.spec import (
+    PROGRAM_FAULTSWEEP,
     PROGRAM_MATMUL,
     PROGRAM_MIPS,
     SimJobSpec,
 )
+from repro.faults.campaign import double_fault_sweep, single_fault_sweep
+from repro.faults.plan import FaultPlan
 from repro.m68k.assembler import assemble
 from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.machine.partition import Partition
 from repro.mc import EnqueueBlock, Loop
+from repro.network import CircuitSwitchedNetwork, ExtraStageCubeTopology
 from repro.programs import build_matmul, expected_product, generate_matrices
 from repro.programs.loader import run_matmul
 from repro.timing_model import predict_matmul
@@ -58,6 +63,7 @@ def matmul_spec(
     seed: int = DEFAULT_SEED,
     b_max: int | None = None,
     config: PrototypeConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SimJobSpec:
     """Spec for one timed matrix-multiplication configuration."""
     mode_value = mode.value if isinstance(mode, ExecutionMode) else str(mode)
@@ -71,6 +77,7 @@ def matmul_spec(
         seed=seed,
         b_max=b_max,
         config=config or PrototypeConfig.calibrated(),
+        fault_plan=fault_plan,
     )
 
 
@@ -97,30 +104,101 @@ def mips_spec(
     )
 
 
+def faultsweep_spec(
+    n_terminals: int,
+    *,
+    double_samples: int = 500,
+    seed: int = DEFAULT_SEED,
+    config: PrototypeConfig | None = None,
+) -> SimJobSpec:
+    """Spec for one fault-tolerance sweep of an N-terminal ESC network.
+
+    The job exhaustively checks every single box/link fault for full
+    routability with the extra stage enabled, plus a double-fault
+    survival campaign (exhaustive when small, seeded sampling otherwise
+    — ``double_samples`` bounds the sample size).
+    """
+    return SimJobSpec(
+        program=PROGRAM_FAULTSWEEP,
+        mode="serial",
+        n=n_terminals,
+        p=1,
+        engine="micro",
+        seed=seed,
+        config=config or PrototypeConfig.calibrated(),
+        params=(("double_samples", double_samples),),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Program implementations
 # ---------------------------------------------------------------------------
+def _check_macro_routability(spec: SimJobSpec, plan: FaultPlan) -> None:
+    """Macro jobs cannot route bytes, but they must still refuse a plan
+    under which the algorithm's shift permutation has no circuit setting
+    (the micro engine would raise at :meth:`connect_shift_circuit`)."""
+    if spec.p <= 1:
+        return
+    partition = Partition(spec.config, spec.p)
+    topo = ExtraStageCubeTopology(spec.config.n_pes)
+    network = CircuitSwitchedNetwork(
+        topo,
+        extra_stage_enabled=plan.extra_stage_enabled,
+        faults=set(plan.network_faults()),
+    )
+    mapping = partition.shift_permutation()
+    if not network.is_admissible(mapping):
+        raise NetworkFaultError(
+            f"shift permutation {mapping} has no circuit setting under "
+            f"{plan.describe()}",
+            faults=tuple(sorted(
+                plan.network_faults(),
+                key=lambda f: (f.kind.value, f.stage, f.line),
+            )),
+        )
+
+
 def _execute_matmul(spec: SimJobSpec) -> dict:
     """Time one (mode, n, p, m) matmul configuration on either substrate."""
     mode = ExecutionMode(spec.mode)
     if mode is ExecutionMode.SERIAL and spec.p != 1:
         raise ConfigurationError("serial mode requires p == 1")
+    plan = spec.fault_plan
     kwargs = {"seed": spec.seed}
     if spec.b_max is not None:
         kwargs["b_max"] = spec.b_max
     a, b = generate_matrices(spec.n, **kwargs)
     if spec.engine == "macro":
+        if plan is not None and plan.failstops:
+            raise ConfigurationError(
+                "fail-stop simulation needs the micro engine; the macro "
+                "timing model has no notion of a silent PE"
+            )
+        config = spec.config
+        if plan is not None:
+            _check_macro_routability(spec, plan)
+            if plan.extra_stage_enabled:
+                # Degraded operation: every byte crosses one more active
+                # interchange box — charge it on the transport latency.
+                config = config.with_overrides(
+                    net_byte_latency=config.net_byte_latency
+                    + config.net_extra_stage_cycles
+                )
         pred = predict_matmul(
-            mode, spec.config, spec.n, spec.p,
+            mode, config, spec.n, spec.p,
             added_multiplies=spec.added_multiplies, b=b,
         )
-        return {
+        payload = {
             "cycles": _num(pred.cycles),
             "breakdown": {k: _num(v) for k, v in dict(pred.breakdown).items()},
             "engine": "macro",
             "verified": False,
         }
-    machine = PASMMachine(spec.config, partition_size=spec.p)
+        if plan is not None:
+            payload["degraded"] = plan.extra_stage_enabled
+        return payload
+    machine = PASMMachine(spec.config, partition_size=spec.p,
+                          fault_plan=plan)
     bundle = build_matmul(
         mode, spec.n, spec.p, added_multiplies=spec.added_multiplies,
         device_symbols=spec.config.device_symbols(),
@@ -132,12 +210,16 @@ def _execute_matmul(spec: SimJobSpec) -> dict:
             f"micro run {mode.value} n={spec.n} p={spec.p} produced a "
             "wrong product"
         )
-    return {
+    payload = {
         "cycles": _num(run.result.cycles),
         "breakdown": {k: _num(v) for k, v in run.result.breakdown().items()},
         "engine": "micro",
         "verified": True,
     }
+    if plan is not None:
+        payload["degraded"] = plan.extra_stage_enabled
+        payload["rerouted_circuits"] = machine.rerouted_circuits
+    return payload
 
 
 def _mips_simd(config: PrototypeConfig, source: str, repeats: int,
@@ -181,6 +263,18 @@ def _execute_mips(spec: SimJobSpec) -> dict:
     return {"ips": float(measure(spec.config, source, repeats, blocks))}
 
 
+def _execute_faultsweep(spec: SimJobSpec) -> dict:
+    """Fault-tolerance campaign over an N-terminal Extra-Stage Cube."""
+    params = dict(spec.params)
+    single = single_fault_sweep(spec.n)
+    double = double_fault_sweep(
+        spec.n,
+        samples=params.get("double_samples", 500),
+        seed=spec.seed,
+    )
+    return {"single": single.to_dict(), "double": double.to_dict()}
+
+
 def _execute_test(spec: SimJobSpec) -> dict:
     """Test-support program (``program="_test"``): controlled failures.
 
@@ -210,6 +304,7 @@ def _execute_test(spec: SimJobSpec) -> dict:
 _PROGRAMS = {
     PROGRAM_MATMUL: _execute_matmul,
     PROGRAM_MIPS: _execute_mips,
+    PROGRAM_FAULTSWEEP: _execute_faultsweep,
     "_test": _execute_test,
 }
 

@@ -3,8 +3,9 @@
 Results come back in submission order regardless of completion order, so
 pooled execution is a drop-in for the serial loop.  A worker crash (e.g.
 a killed process taking the whole pool down) fails every in-flight
-future; crashed/failed jobs are resubmitted once to a fresh pool, and a
-second failure surfaces as a structured :class:`~repro.errors.ExecError`.
+future; crashed/failed jobs are resubmitted to a fresh pool for as long
+as attempts keep completing *something*, and only consecutive stalled
+attempts surface as a structured :class:`~repro.errors.ExecError`.
 
 The worker entry point runs :func:`repro.exec.jobs.timed_execute` — the
 same function the serial path calls — so scheduling never changes
@@ -15,11 +16,12 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, ExecError
 from repro.exec.jobs import timed_execute
 from repro.exec.spec import SimJobSpec
+from repro.faults.chaos import maybe_crash_worker
 
 #: Environment variable consulted when no explicit job count is given.
 JOBS_ENV = "REPRO_JOBS"
@@ -46,6 +48,7 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
 
 def _worker(spec: SimJobSpec) -> tuple[dict, float]:
     """Pool worker entry point (top-level so it pickles)."""
+    maybe_crash_worker(spec.content_hash)  # no-op unless $REPRO_CHAOS armed
     return timed_execute(spec)
 
 
@@ -54,19 +57,30 @@ def run_parallel(
     *,
     jobs: int,
     retries: int = 1,
+    on_retry: Callable[[Sequence[SimJobSpec]], None] | None = None,
 ) -> list[tuple[dict, float]]:
     """Execute specs across a process pool; deterministic result order.
 
     Returns ``[(payload, wall_seconds), ...]`` aligned with ``specs``.
-    Failed jobs (worker crashes included) are resubmitted ``retries``
-    times to a fresh pool before a structured ExecError is raised.
+    Failed jobs (worker crashes included) are resubmitted to a fresh
+    pool as long as each attempt makes *progress* (completes at least
+    one job) — one crashed worker breaks the whole pool and fails every
+    pending future, so a fixed retry count would starve batches larger
+    than the pool.  Only after ``retries`` consecutive stalled attempts
+    (no job completed) does a structured ExecError surface.  ``on_retry``
+    is called with the specs of each resubmitted batch (for the engine's
+    instrumentation).
     """
     specs = list(specs)
     results: list[tuple[dict, float] | None] = [None] * len(specs)
     pending = list(enumerate(specs))
-    failures: list[tuple[int, SimJobSpec, BaseException]] = []
-    for _attempt in range(retries + 1):
-        failures = []
+    attempt = 0
+    stalled = 0  # consecutive attempts that completed nothing
+    while pending:
+        attempt += 1
+        if attempt > 1 and on_retry is not None:
+            on_retry([spec for _, spec in pending])
+        failures: list[tuple[int, SimJobSpec, BaseException]] = []
         executor = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
         try:
             futures = [
@@ -80,14 +94,16 @@ def run_parallel(
                     failures.append((i, spec, exc))
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
-        if not failures:
-            return results  # type: ignore[return-value]
+        stalled = stalled + 1 if len(failures) == len(pending) else 0
         pending = [(i, spec) for i, spec, _ in failures]
-    index, spec, exc = failures[0]
-    raise ExecError(
-        f"{len(failures)} job(s) failed after {retries + 1} attempts; "
-        f"first: {spec.label()} ({spec.content_hash[:12]}): {exc!r}",
-        job=spec.to_dict(),
-        attempts=retries + 1,
-        cause=exc,
-    )
+        if pending and stalled > retries:
+            index, spec, exc = failures[0]
+            raise ExecError(
+                f"{len(failures)} job(s) failed with no progress over "
+                f"{stalled} consecutive attempts ({attempt} total); "
+                f"first: {spec.label()} ({spec.content_hash[:12]}): {exc!r}",
+                job=spec.to_dict(),
+                attempts=attempt,
+                cause=exc,
+            )
+    return results  # type: ignore[return-value]

@@ -20,6 +20,7 @@ import json
 from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.machine.config import PrototypeConfig
 from repro.memory.dram import RefreshModel
 from repro.utils.rng import DEFAULT_SEED, derive_seed
@@ -27,6 +28,7 @@ from repro.utils.rng import DEFAULT_SEED, derive_seed
 #: Program identifiers understood by :func:`repro.exec.jobs.execute_job`.
 PROGRAM_MATMUL = "matmul"
 PROGRAM_MIPS = "mips"
+PROGRAM_FAULTSWEEP = "faultsweep"
 
 #: Execution-mode values a spec may carry (ExecutionMode.value strings).
 _MODES = ("serial", "simd", "mimd", "smimd")
@@ -79,6 +81,12 @@ class SimJobSpec:
         Extra program-specific parameters as a sorted ``(key, value)``
         tuple (kept sorted so equal parameter sets hash equally no matter
         the insertion order).
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` the job runs under
+        (network faults, extra-stage setting, fail-stopped PEs).  ``None``
+        — the overwhelmingly common case — is omitted from the canonical
+        dictionary form entirely, so fault-free specs hash exactly as
+        they did before the field existed.
     """
 
     program: str
@@ -91,6 +99,7 @@ class SimJobSpec:
     b_max: int | None = None
     config: PrototypeConfig = field(default_factory=PrototypeConfig.calibrated)
     params: tuple[tuple[str, object], ...] = ()
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
@@ -112,7 +121,7 @@ class SimJobSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """Canonical dictionary form (JSON-able, nested plain dicts)."""
-        return {
+        d = {
             "program": self.program,
             "mode": self.mode,
             "n": self.n,
@@ -124,6 +133,9 @@ class SimJobSpec:
             "config": asdict(self.config),
             "params": {k: v for k, v in self.params},
         }
+        if self.fault_plan is not None:
+            d["fault_plan"] = self.fault_plan.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SimJobSpec":
@@ -141,6 +153,8 @@ class SimJobSpec:
             b_max=d.get("b_max"),
             config=PrototypeConfig(**cfg),
             params=tuple(sorted(d.get("params", {}).items())),
+            fault_plan=(FaultPlan.from_dict(d["fault_plan"])
+                        if d.get("fault_plan") else None),
         )
 
     @property

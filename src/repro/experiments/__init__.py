@@ -25,6 +25,7 @@ micro engine by the cross-engine test suite); Table 1 runs the micro
 engine directly.
 """
 
+from repro.experiments.faults_exhibit import run_ext_faults
 from repro.experiments.results import ExperimentResult
 from repro.experiments.sweeps import (
     crossover_confidence,
@@ -44,6 +45,7 @@ __all__ = [
     "run_fig6",
     "run_fig7",
     "run_breakdown_figure",
+    "run_ext_faults",
     "run_fig11",
     "run_fig12",
     "sweep",

@@ -1,0 +1,159 @@
+"""ext-faults: the Extra-Stage Cube's fault tolerance, end to end.
+
+The PASM prototype's interconnection network is an Extra-Stage Cube
+precisely because board-level faults were expected; Adams & Siegel's
+design claim is that *any* single interchange-box or inter-stage-link
+fault leaves every (source, destination) pair routable once the extra
+stage is enabled.  This exhibit puts the claim under exhaustive test at
+three network sizes and then measures what fault-routing operation costs:
+
+* **single-fault sweep** — every box fault (all stages, the extra stage
+  included) and every inter-stage link fault, injected one at a time;
+  full N×N routability must survive all of them (the 100% column);
+* **shift setting** — how often the matmul's one circuit setting
+  (PE i → PE i−1 mod N) still goes up in a *single* conflict-free pass,
+  a stronger property than the per-pair guarantee (reported, not
+  promised by the design);
+* **double faults** — survival beyond the guarantee, exhaustive where
+  the pair count allows and deterministically sampled above that;
+* **degraded matmul** — the paper's n=64 S/MIMD multiplication timed
+  fault-free and under a representative single fault with the extra
+  stage enabled (every byte crosses one more active box).
+
+All heavy work is scheduled through the execution engine as
+content-hashed jobs, so the exhibit caches and fans out like the rest
+of the suite and is bit-identical at any ``--jobs`` setting.
+"""
+
+from __future__ import annotations
+
+from repro.core import DecouplingStudy
+from repro.exec import ExecutionEngine, faultsweep_spec, matmul_spec
+from repro.experiments.results import ExperimentResult
+from repro.faults import representative_fault_plan
+from repro.machine import ExecutionMode
+from repro.machine.partition import Partition
+from repro.network import ExtraStageCubeTopology
+
+#: Network sizes the sweeps run at (the prototype's N=16 and the two
+#: smaller ESCs its partitions emulate).
+SWEEP_SIZES = (4, 8, 16)
+
+#: Problem size of the degraded-mode matmul comparison.
+DEGRADED_N = 64
+
+#: Double-fault sample size for networks too large to sweep exhaustively.
+DOUBLE_SAMPLES = 500
+
+
+def run_ext_faults(study: DecouplingStudy | None = None) -> ExperimentResult:
+    """Run the fault campaign; see the module docstring for the design."""
+    study = study or DecouplingStudy()
+    engine = study.exec_engine or ExecutionEngine(jobs=1)
+    config = study.config
+
+    # One representative degraded plan per partition size: the first
+    # single fault that disturbs the shift setting's straight routes yet
+    # leaves the whole ring allocatable with the extra stage enabled.
+    topo = ExtraStageCubeTopology(config.n_pes)
+    plans = {
+        p: representative_fault_plan(
+            topo, Partition(config, p).shift_permutation()
+        )
+        for p in SWEEP_SIZES
+    }
+
+    # Batch every job through the engine in one submission so ``--jobs N``
+    # genuinely overlaps the sweeps with the matmul runs.
+    sweep_specs = {
+        p: faultsweep_spec(p, double_samples=DOUBLE_SAMPLES, seed=study.seed,
+                           config=config)
+        for p in SWEEP_SIZES
+    }
+    clean_specs = {
+        p: matmul_spec(ExecutionMode.SMIMD, DEGRADED_N, p, engine="macro",
+                       seed=study.seed, b_max=study.b_max, config=config)
+        for p in SWEEP_SIZES
+    }
+    degraded_specs = {
+        p: matmul_spec(ExecutionMode.SMIMD, DEGRADED_N, p, engine="macro",
+                       seed=study.seed, b_max=study.b_max, config=config,
+                       fault_plan=plans[p])
+        for p in SWEEP_SIZES
+    }
+    # Micro-engine witness: a small degraded run whose product is checked
+    # element for element and whose circuits provably rerouted.
+    micro_spec = matmul_spec(ExecutionMode.SMIMD, 16, 4, engine="micro",
+                             seed=study.seed, b_max=study.b_max,
+                             config=config, fault_plan=plans[4])
+
+    ordered = (
+        [sweep_specs[p] for p in SWEEP_SIZES]
+        + [clean_specs[p] for p in SWEEP_SIZES]
+        + [degraded_specs[p] for p in SWEEP_SIZES]
+        + [micro_spec]
+    )
+    payloads = dict(zip(
+        [spec.content_hash for spec in ordered], engine.run(ordered)
+    ))
+
+    rows = []
+    total_faults = 0
+    worst_routability = 100.0
+    for p in SWEEP_SIZES:
+        sweep = payloads[sweep_specs[p].content_hash]
+        single, double = sweep["single"], sweep["double"]
+        clean = payloads[clean_specs[p].content_hash]["cycles"]
+        degraded = payloads[degraded_specs[p].content_hash]["cycles"]
+        total_faults += single["combos"]
+        worst_routability = min(worst_routability, single["routability_pct"])
+        rows.append((
+            p,
+            single["combos"],
+            single["routability_pct"],
+            single["shift_pct"],
+            double["combos"],
+            "yes" if double["exhaustive"] else f"no ({DOUBLE_SAMPLES})",
+            double["survival_pct"],
+            round(clean, 1),
+            round(degraded, 1),
+            round(degraded / clean, 4),
+        ))
+
+    micro = payloads[micro_spec.content_hash]
+    d16 = payloads[sweep_specs[16].content_hash]["double"]
+    return ExperimentResult(
+        experiment_id="ext-faults",
+        title="Extra-Stage Cube fault campaign "
+              f"(single faults exhaustive at N={list(SWEEP_SIZES)})",
+        headers=["p", "faults", "routable %", "1-setting shift %",
+                 "2-fault combos", "exhaustive", "2-fault survive %",
+                 f"clean n={DEGRADED_N} (cyc)", "degraded (cyc)", "slowdown"],
+        rows=rows,
+        series={
+            "double-fault survival %": [
+                (float(p), payloads[sweep_specs[p].content_hash]
+                 ["double"]["survival_pct"])
+                for p in SWEEP_SIZES
+            ],
+        },
+        paper_says=(
+            "the prototype's Extra-Stage Cube was chosen for fault "
+            "tolerance: one extra cube_0 stage makes the network "
+            "single-fault tolerant (Adams & Siegel), at the price of one "
+            "more box on every path when the extra stage is enabled"
+        ),
+        we_measure=(
+            f"all {total_faults} single box/inter-stage-link faults across "
+            f"N={list(SWEEP_SIZES)} leave every pair routable "
+            f"({worst_routability:.0f}% — the guarantee holds exhaustively); "
+            f"double faults survive in {d16['survival_pct']:.1f}% of sampled "
+            f"pairs at N=16; the degraded-mode matmul pays no measurable "
+            f"time (slowdown {rows[-1][-1]:.4f}) because the extra box's "
+            f"transit adds {config.net_extra_stage_cycles} cycles/byte while "
+            f"each element costs >100 cycles of software overhead — a "
+            f"micro-engine witness run verified its product with "
+            f"{micro['rerouted_circuits']} circuit(s) rerouted through the "
+            f"exchanged extra stage"
+        ),
+    )

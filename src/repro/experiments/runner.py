@@ -33,6 +33,7 @@ from repro.experiments.extensions import (
     run_ext_muls,
     run_ext_superlinear,
 )
+from repro.experiments.faults_exhibit import run_ext_faults
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.fig8_10 import run_breakdown_figure
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "ext-scale": run_ext_design_scale,
     "ext-muls": run_ext_muls,
     "ext-superlinear": run_ext_superlinear,
+    "ext-faults": run_ext_faults,
 }
 
 

@@ -1,0 +1,56 @@
+"""Fault injection: failure as a first-class, measurable input.
+
+The PASM prototype's Extra-Stage Cube exists *because* it is
+single-fault tolerant (Adams & Siegel); this package turns that claim —
+and the rest of the stack's behaviour under failure — into deterministic,
+schedulable experiments:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan`, the declarative,
+  content-hashable description of one run's injected failures (dead
+  network elements, fail-stopped PEs) that flows into
+  :class:`~repro.exec.SimJobSpec`;
+* :mod:`~repro.faults.campaign` — exhaustive single-fault and
+  exhaustive/sampled double-fault sweeps over the ESC, plus the
+  representative degraded-mode plan the exhibits use;
+* :mod:`~repro.faults.chaos` — seeded worker-crash and cache-corruption
+  injection (``$REPRO_CHAOS``) for driving the execution engine's
+  recovery paths deterministically.
+
+Layering: this package sits below :mod:`repro.exec` and
+:mod:`repro.machine` (both consume it) and imports only
+:mod:`repro.network`, :mod:`repro.errors` and :mod:`repro.utils`.
+"""
+
+from repro.faults.campaign import (
+    SweepReport,
+    blocked_pairs,
+    count_single_faults,
+    double_fault_sweep,
+    iter_single_faults,
+    representative_fault_plan,
+    single_fault_sweep,
+)
+from repro.faults.chaos import (
+    CHAOS_ENV,
+    ChaosConfig,
+    maybe_corrupt_entry,
+    maybe_crash_worker,
+)
+from repro.faults.plan import DEFAULT_FAILSTOP_TIMEOUT, FaultPlan, PEFailStop
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosConfig",
+    "DEFAULT_FAILSTOP_TIMEOUT",
+    "FaultPlan",
+    "PEFailStop",
+    "SweepReport",
+    "blocked_pairs",
+    "count_single_faults",
+    "double_fault_sweep",
+    "iter_single_faults",
+    "maybe_corrupt_entry",
+    "maybe_crash_worker",
+    "representative_fault_plan",
+    "single_fault_sweep",
+]

@@ -1,0 +1,166 @@
+"""Deterministic chaos injection for the execution engine.
+
+The engine already survives worker crashes (resubmission to a fresh
+pool) and corrupt cache entries (treated as misses).  This module makes
+those failure paths *drivable*: with ``REPRO_CHAOS`` set, a seeded,
+content-hash-keyed coin decides which jobs' workers crash and which
+cache entries get garbled — deterministically, across processes, so a
+chaos run is exactly reproducible.
+
+Format::
+
+    REPRO_CHAOS="seed=7,crash=0.5,corrupt=1.0,dir=/tmp/chaos-state"
+
+* ``seed`` — root of every chaos decision (required to enable chaos);
+* ``crash`` — probability a pool worker hard-exits mid-job (first
+  execution only — the resubmitted attempt runs clean, modelling a
+  transient fault);
+* ``corrupt`` — probability a freshly stored cache entry is overwritten
+  with garbage (once per entry);
+* ``dir`` — where the once-only sentinels live (defaults to a
+  seed-derived directory under the system temp dir).
+
+Crashes only ever fire inside pool workers (``jobs > 1``): killing the
+caller's own process would turn a recoverable fault into an unrecoverable
+one, which is not the failure mode being modelled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Environment variable that arms chaos injection.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed chaos knobs."""
+
+    seed: int
+    crash_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    state_dir: str = ""
+
+    def __post_init__(self) -> None:
+        for name, rate in (("crash", self.crash_rate),
+                           ("corrupt", self.corrupt_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"chaos {name} rate must be in [0, 1], got {rate}"
+                )
+        if not self.state_dir:
+            object.__setattr__(
+                self, "state_dir",
+                os.path.join(tempfile.gettempdir(),
+                             f"repro-chaos-{self.seed}"),
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ChaosConfig":
+        """Parse the ``REPRO_CHAOS`` ``key=value[,key=value...]`` format."""
+        fields: dict[str, str] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ConfigurationError(
+                    f"malformed {CHAOS_ENV} entry {part!r}; "
+                    "expected key=value"
+                )
+            key, value = part.split("=", 1)
+            fields[key.strip()] = value.strip()
+        unknown = set(fields) - {"seed", "crash", "corrupt", "dir"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {CHAOS_ENV} key(s) {sorted(unknown)}; "
+                "choose from seed, crash, corrupt, dir"
+            )
+        if "seed" not in fields:
+            raise ConfigurationError(f"{CHAOS_ENV} needs a seed=N entry")
+        try:
+            return cls(
+                seed=int(fields["seed"]),
+                crash_rate=float(fields.get("crash", 0.0)),
+                corrupt_rate=float(fields.get("corrupt", 0.0)),
+                state_dir=fields.get("dir", ""),
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"invalid {CHAOS_ENV} value: {exc}"
+            ) from None
+
+    @classmethod
+    def from_env(cls) -> "ChaosConfig | None":
+        """The active chaos configuration, or None when chaos is off."""
+        text = os.environ.get(CHAOS_ENV, "").strip()
+        return cls.parse(text) if text else None
+
+    # ------------------------------------------------------------------
+    def _fraction(self, kind: str, content_hash: str) -> float:
+        """Deterministic uniform [0, 1) draw for one (kind, job) pair."""
+        text = f"{self.seed}:{kind}:{content_hash}"
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def _once(self, kind: str, content_hash: str) -> bool:
+        """True exactly once per (kind, job) — cross-process, via sentinel."""
+        root = Path(self.state_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        sentinel = root / f"{kind}-{content_hash}"
+        if sentinel.exists():
+            return False
+        try:
+            sentinel.touch(exist_ok=False)
+        except FileExistsError:  # raced by a sibling worker
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def should_crash(self, content_hash: str) -> bool:
+        """Is this job's worker doomed (first execution only)?"""
+        return (self.crash_rate > 0.0
+                and self._fraction("crash", content_hash) < self.crash_rate
+                and self._once("crash", content_hash))
+
+    def should_corrupt(self, content_hash: str) -> bool:
+        """Should this freshly stored cache entry be garbled (once)?"""
+        return (self.corrupt_rate > 0.0
+                and self._fraction("corrupt", content_hash) < self.corrupt_rate
+                and self._once("corrupt", content_hash))
+
+
+# ---------------------------------------------------------------------------
+# Injection points (called from repro.exec; no-ops when chaos is off).
+def maybe_crash_worker(content_hash: str) -> None:
+    """Hard-exit the current process if chaos dooms this job.
+
+    Called from the pool worker entry point only.  ``os._exit`` models a
+    fail-stop worker: no exception, no cleanup, the future just breaks —
+    exactly the crash class the resubmission path exists for.
+    """
+    chaos = ChaosConfig.from_env()
+    if chaos is not None and chaos.should_crash(content_hash):
+        os._exit(3)
+
+
+def maybe_corrupt_entry(content_hash: str, path: os.PathLike | str) -> bool:
+    """Garble a just-written cache entry if chaos selects it.
+
+    Returns True when the entry was corrupted.  The garbage is valid
+    UTF-8 but not a valid entry document, so the cache's load path must
+    treat it as a miss (asserted by the chaos tests).
+    """
+    chaos = ChaosConfig.from_env()
+    if chaos is None or not chaos.should_corrupt(content_hash):
+        return False
+    Path(path).write_text('{"version": "☠ chaos-corrupted"')
+    return True

@@ -43,6 +43,9 @@ class PrototypeConfig:
         Fetch Unit Controller transfer rate from Fetch Unit RAM.
     net_byte_latency:
         Transport cycles for one byte through an established circuit.
+    net_extra_stage_cycles:
+        Extra transport cycles per byte when the Extra Stage is enabled
+        (degraded, fault-routing operation) instead of bypassed.
     net_setup_cycles:
         One-time circuit establishment cost ("a time consuming operation",
         but incurred once per run by the algorithm's design).
@@ -66,6 +69,10 @@ class PrototypeConfig:
     queue_capacity_words: int = 128
     controller_cycles_per_word: int = 4
     net_byte_latency: int = 24
+    # Additional transport cycles per byte when the Extra Stage is enabled
+    # rather than bypassed: the byte traverses one more active interchange
+    # box.  Charged by both engines in degraded (fault-routing) operation.
+    net_extra_stage_cycles: int = 4
     net_setup_cycles: int = 2000
     ram_size: int = 0x8_0000  # 512 KiB
     # The SIMD space is generous because the PE's PC walks forward through

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeadlockError, PEFailStopError
+from repro.faults.plan import FaultPlan
 from repro.fetch_unit import FetchUnitController, FetchUnitQueue, MaskRegister, sync_item
 from repro.m68k.assembler import AssembledProgram
 from repro.m68k.instructions import Instruction
@@ -30,6 +31,14 @@ from repro.mc import MCOp, MicroController
 from repro.network import CircuitSwitchedNetwork, ExtraStageCubeTopology, NetworkFabric
 from repro.pe import ProcessingElement
 from repro.sim import AllOf, Environment
+
+
+class _FailStopSignal(BaseException):
+    """Internal kill signal thrown into a fail-stopped PE's process.
+
+    A BaseException so no ``except Exception`` handler on the PE's
+    execution path can accidentally resurrect a dead board.
+    """
 
 
 @dataclass
@@ -77,23 +86,59 @@ class PASMMachine:
         first_mc: int = 0,
         *,
         shared=None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         """``shared`` (env, network, fabric) lets several virtual machines
         coexist on one physical machine — see
-        :class:`repro.machine.multivm.PartitionedMachine`."""
+        :class:`repro.machine.multivm.PartitionedMachine`.
+
+        ``fault_plan`` injects failures into this run: its network faults
+        are applied to the circuit allocator (with the extra stage
+        enabled/bypassed per the plan, and the extra-stage transit
+        penalty charged on every byte when enabled), and its fail-stopped
+        PEs go silent at their strike times — detected at the next
+        synchronization point within ``fault_plan.failstop_timeout``
+        cycles via :class:`~repro.errors.PEFailStopError`."""
         self.config = config or PrototypeConfig.calibrated()
         self.partition = Partition(self.config, partition_size, first_mc)
+        self.fault_plan = fault_plan
+        if fault_plan is not None and fault_plan.failstops:
+            physical = {
+                self.partition.physical_pe(logical)
+                for logical in range(self.partition.size)
+            }
+            outside = sorted(
+                fs.pe for fs in fault_plan.failstops if fs.pe not in physical
+            )
+            if outside:
+                raise ConfigurationError(
+                    f"fail-stopped PE(s) {outside} are not in this "
+                    f"partition (physical PEs {sorted(physical)})"
+                )
         if shared is not None:
+            if fault_plan is not None:
+                raise ConfigurationError(
+                    "fault plans apply to a whole physical machine; pass "
+                    "the plan to the owner of the shared environment"
+                )
             self.env, self.network, self.fabric = shared
         else:
             self.env = Environment()
             topo = ExtraStageCubeTopology(self.config.n_pes)
+            extra_enabled = (fault_plan.extra_stage_enabled
+                             if fault_plan is not None else False)
+            byte_latency = self.config.net_byte_latency
+            if extra_enabled:
+                byte_latency += self.config.net_extra_stage_cycles
             self.network = CircuitSwitchedNetwork(
-                topo, setup_cycles=self.config.net_setup_cycles
+                topo,
+                extra_stage_enabled=extra_enabled,
+                faults=set(fault_plan.network_faults())
+                if fault_plan is not None else set(),
+                setup_cycles=self.config.net_setup_cycles,
             )
             self.fabric = NetworkFabric(
-                self.env, self.network,
-                byte_latency=self.config.net_byte_latency,
+                self.env, self.network, byte_latency=byte_latency,
             )
 
         # Fetch Units and MCs, one per partition MC.
@@ -203,7 +248,7 @@ class PASMMachine:
             if mapping:
                 self.connect_logical_permutation(mapping)
             done = self.start_smimd(programs, sync_words)
-            self.env.run(until=done)
+            self._watched_run(done)
         result = self._collect(ExecutionMode.SMIMD)
         result.cycles = self.env.now  # wall time incl. reconfiguration
         result.net_setup_cycles = setup_charged
@@ -246,6 +291,15 @@ class PASMMachine:
             mc_stats=mc_stats,
         )
 
+    @property
+    def rerouted_circuits(self) -> int:
+        """Circuits of the current setting routed via the exchanged extra
+        stage — non-zero only in degraded (fault-routing) operation."""
+        return sum(
+            1 for c in getattr(self, "_circuits", [])
+            if c.path.extra_exchanged
+        )
+
     def _start_pes(self):
         if getattr(self, "_started", False) and not getattr(
             self, "_staged", False
@@ -256,11 +310,85 @@ class PASMMachine:
                 "run_staged_smimd / PartitionedMachine for multi-phase work)"
             )
         self._started = True
-        procs = [pe.run_process() for pe in self.pes]
+        strikes: dict[int, float] = {}
+        if self.fault_plan is not None:
+            strikes = {fs.pe: fs.at for fs in self.fault_plan.failstops}
+        procs = []
+        for pe in self.pes:
+            at = strikes.get(pe.physical_id)
+            if at is None:
+                procs.append(pe.run_process())
+                continue
+            proc = self.env.process(
+                self._mortal(pe), name=f"PE{pe.physical_id}"
+            )
+            self.env.process(
+                self._assassin(proc, at),
+                name=f"failstop:PE{pe.physical_id}",
+            )
+            procs.append(proc)
         return AllOf(self.env, procs)
 
+    def _mortal(self, pe: ProcessingElement):
+        """Run a PE that may fail-stop: after the kill signal the board goes
+        silent forever (its process never completes, and any stale event
+        callback that still resumes it is absorbed without side effects)."""
+        try:
+            yield from pe.cpu.run()
+        except _FailStopSignal:
+            while True:
+                yield self.env.event(name=f"dead:PE{pe.physical_id}")
+
+    def _assassin(self, proc, at: float):
+        yield self.env.timeout(at)
+        if not proc.triggered:
+            proc.interrupt(_FailStopSignal())
+
+    def _watched_run(self, done) -> None:
+        """Advance the simulation to ``done``, bounding the wait on dead PEs.
+
+        Without fail-stops this is exactly ``env.run(until=done)``.  With
+        them, a dead PE poisons the next synchronization point (SIMD
+        broadcast, S/MIMD barrier, blocking transfer) and the run would
+        either deadlock or spin on housekeeping events forever; this loop
+        detects both — the event queue draining, or simulated time passing
+        the last strike plus ``failstop_timeout`` — and raises a
+        structured :class:`~repro.errors.PEFailStopError` instead.
+        """
+        plan = self.fault_plan
+        if plan is None or not plan.failstops:
+            self.env.run(until=done)
+            return
+        env = self.env
+        deadline = max(fs.at for fs in plan.failstops) + plan.failstop_timeout
+        while not done.processed:
+            nxt = env.peek()
+            if nxt == float("inf") or nxt > deadline:
+                detected = env.now if nxt == float("inf") else deadline
+                dead = tuple(sorted(
+                    fs.pe for fs in plan.failstops if fs.at <= detected
+                ))
+                if not dead:  # quiescent before any strike: a real deadlock
+                    raise DeadlockError(
+                        f"simulation deadlocked waiting for {done!r} "
+                        f"at t={env.now}"
+                    )
+                names = ", ".join(f"PE{pe}" for pe in dead)
+                raise PEFailStopError(
+                    f"fail-stopped {names} never reached the next "
+                    f"synchronization point (detected at t={detected:.0f}, "
+                    f"bounded wait {plan.failstop_timeout:.0f} cycles past "
+                    f"the last strike)",
+                    pes=dead,
+                    detected_at=detected,
+                    timeout=plan.failstop_timeout,
+                )
+            env.step()
+        if not done.ok:
+            raise done.value
+
     def _run(self, mode: ExecutionMode, done) -> MachineResult:
-        self.env.run(until=done)
+        self._watched_run(done)
         return self._collect(mode)
 
     # ------------------------------------------------------------------

@@ -92,8 +92,15 @@ class CircuitSwitchedNetwork:
             del self._claims[link]
 
     def release_all(self) -> None:
+        """Tear down every circuit and drop any stray link claims.
+
+        Clearing ``_claims`` explicitly also recovers claims orphaned by
+        a partially failed :meth:`allocate_permutation` (e.g. when a
+        release raised midway), so the allocator is always reusable.
+        """
         for circuit in list(self._circuits.values()):
             self.release(circuit)
+        self._claims.clear()
 
     def allocate_permutation(self, mapping: dict[int, int]) -> list[Circuit]:
         """Set up circuits for ``source -> dest`` pairs simultaneously.

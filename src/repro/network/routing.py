@@ -48,9 +48,16 @@ def _blocked(
 ) -> bool:
     """Does the candidate path touch any faulty element?
 
-    A bypassed stage's boxes cannot block a straight traversal (the bypass
-    multiplexer skips the box), so extra-stage box faults only matter when
-    the extra stage is enabled.
+    Box faults in the bypassable stages (the extra stage and the final
+    cube_0 stage — see
+    :meth:`~repro.network.topology.ExtraStageCubeTopology.is_bypassable`)
+    block only *exchanged* traversals: a straight traversal rides the
+    bypass multiplexer around the box.  That per-box bypass is what makes
+    the ESC single-fault tolerant even for output-stage box failures —
+    one of the two extra-stage settings always reaches the final stage
+    with bit 0 already correct, needing no exchange there.  Box faults in
+    the middle stages block every traversal, and link faults always block
+    (they are physical wires).
     """
     if not faults:
         return False
@@ -58,7 +65,7 @@ def _blocked(
         in_line = path_lines[stage]
         out_line = path_lines[stage + 1]
         box_stage, box_line = topo.box_of(stage, in_line)
-        box_matters = extra_enabled or stage != 0
+        box_matters = in_line != out_line if topo.is_bypassable(stage) else True
         if box_matters and Fault(FaultKind.BOX, box_stage, box_line) in faults:
             return True
         if Fault(FaultKind.LINK, stage, out_line) in faults:
@@ -108,12 +115,25 @@ def route(
     options = [False] if not extra_stage_enabled else (
         [True, False] if prefer_exchange else [False, True]
     )
+    rejected: list[tuple[int, ...]] = []
     for exchange in options:
         lines = _build(topo, source, dest, exchange)
         if not _blocked(topo, lines, faults, extra_stage_enabled):
             return Path(source, dest, tuple(lines), exchange)
+        rejected.append(tuple(lines))
+    fault_names = ", ".join(
+        f"{f.kind.value}@stage{f.stage}/line{f.line}"
+        for f in sorted(faults, key=lambda f: (f.kind.value, f.stage, f.line))
+    ) or "none"
+    candidate_names = "; ".join(
+        "->".join(str(line) for line in lines) for lines in rejected
+    )
     raise NetworkFaultError(
         f"no fault-free path {source}->{dest} "
-        f"(extra stage {'enabled' if extra_stage_enabled else 'bypassed'}, "
-        f"{len(faults)} fault(s))"
+        f"(extra stage {'enabled' if extra_stage_enabled else 'bypassed'}): "
+        f"active faults [{fault_names}]; "
+        f"rejected candidate path(s) [{candidate_names}]",
+        faults=tuple(sorted(faults,
+                            key=lambda f: (f.kind.value, f.stage, f.line))),
+        candidates=tuple(rejected),
     )

@@ -64,6 +64,16 @@ class ExtraStageCubeTopology:
         """The cube dimension stage ``stage`` can exchange."""
         return self.stage_bits[stage]
 
+    def is_bypassable(self, stage: int) -> bool:
+        """Does this stage carry bypass multiplexers?
+
+        The extra stage and the final cube_0 stage do (they implement the
+        same dimension, so either can stand in for the other); a faulty
+        box there blocks only *exchanged* traversals, since straight
+        traversals take the bypass path around the box.
+        """
+        return stage == 0 or stage == self.n_stages - 1
+
     def box_of(self, stage: int, line: int) -> tuple[int, int]:
         """Canonical (stage, low-line) id of the box serving ``line``."""
         bit = self.stage_bit(stage)

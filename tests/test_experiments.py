@@ -178,7 +178,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "fig6", "fig7", "fig8", "fig9", "fig10",
             "fig11", "fig12", "ext-dma", "ext-scale", "ext-muls",
-            "ext-superlinear",
+            "ext-superlinear", "ext-faults",
         }
 
     def test_subset_run_and_files(self, tmp_path):

@@ -25,7 +25,7 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 #: The committed exhibits this suite guards (cheap enough to regenerate
 #: on every test run; fig6/fig8-10 are covered structurally elsewhere).
-GOLDEN = ("table1", "fig7", "fig11", "fig12", "ext-muls")
+GOLDEN = ("table1", "fig7", "fig11", "fig12", "ext-muls", "ext-faults")
 
 
 @pytest.fixture(scope="module")
@@ -65,3 +65,16 @@ def test_exhibit_matches_committed_rows(name, study, committed):
 def test_committed_files_exist():
     missing = [n for n in GOLDEN if not (RESULTS_DIR / f"{n}.json").exists()]
     assert not missing, f"golden files missing from results/: {missing}"
+
+
+def test_ext_faults_identical_across_job_counts(committed):
+    """The fault campaign schedules sweeps and degraded runs through the
+    pool; its rows must be bit-identical at any ``--jobs`` setting (and
+    equal to the committed serial-run golden)."""
+    rows = {}
+    for jobs in (1, 4):
+        study = DecouplingStudy(exec_engine=ExecutionEngine(jobs=jobs))
+        result = json.loads(EXPERIMENTS["ext-faults"](study).to_json())
+        rows[jobs] = result["rows"]
+    assert rows[1] == rows[4]
+    assert rows[1] == committed["ext-faults"]["rows"]
