@@ -4,7 +4,19 @@ how much simulated work does each second of benchmarking buy?
 Not a paper exhibit, but the number that justifies the two-engine design:
 the micro engine simulates ~10⁵ instructions/s, the macro engine
 evaluates a full n=256 configuration in milliseconds.
+
+``bench_micro_fastpath_speedup`` additionally measures the local-time
+fast path against the pure-event reference schedule (same interpreter,
+``fast_path=False``) on the micro-engine matmul workload, asserts the
+cycle counts are identical, and records the wall times into
+``BENCH_micro.json`` at the repo root — the file the CI perf-smoke job
+compares against.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -14,6 +26,7 @@ from repro.programs.loader import run_matmul
 from repro.timing_model import predict_matmul
 
 CFG = PrototypeConfig.calibrated()
+MICRO_OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
 
 
 def bench_micro_engine_simd_n16(benchmark):
@@ -41,6 +54,83 @@ def bench_micro_engine_mimd_n16(benchmark):
         return run_matmul(machine, bundle, a, b)
 
     benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def bench_micro_engine_serial_n16(benchmark):
+    a, b = generate_matrices(16)
+    bundle = build_matmul(
+        ExecutionMode.SERIAL, 16, 1, device_symbols=CFG.device_symbols()
+    )
+
+    def run():
+        machine = PASMMachine(CFG, partition_size=1)
+        return run_matmul(machine, bundle, a, b)
+
+    run_result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert run_result.result.instructions > 15_000
+
+
+def _micro_run(mode, p, fast_path):
+    """One micro-engine matmul; returns (cycles, process-CPU seconds)."""
+    bundle = build_matmul(mode, 16, p, device_symbols=CFG.device_symbols())
+    a, b = generate_matrices(16)
+    machine = PASMMachine(CFG, partition_size=p, fast_path=fast_path)
+    t0 = time.process_time()
+    run = run_matmul(machine, bundle, a, b)
+    return run.result.cycles, time.process_time() - t0
+
+
+def bench_micro_fastpath_speedup(benchmark):
+    """Fast path vs pure-event schedule per mode; refresh BENCH_micro.json.
+
+    The recorded ``vs_pure`` section isolates what local-time execution
+    buys over pushing every charge through the event queue, with the
+    interpreter held constant; the ``vs_seed`` section (measured once
+    against the pre-fast-path interpreter and preserved across
+    re-recordings) is the end-to-end speed-up of the whole change.
+    """
+    modes = [(ExecutionMode.SERIAL, 1), (ExecutionMode.SIMD, 4),
+             (ExecutionMode.MIMD, 4)]
+    record: dict[str, dict] = {}
+    for mode, p in modes:
+        pure_cycles = fast_cycles = None
+        pure_best = fast_best = float("inf")
+        for _ in range(2):
+            pure_cycles, t = _micro_run(mode, p, fast_path=False)
+            pure_best = min(pure_best, t)
+            fast_cycles, t = _micro_run(mode, p, fast_path=True)
+            fast_best = min(fast_best, t)
+        assert fast_cycles == pure_cycles, (
+            f"{mode.name}: fast path diverged "
+            f"({fast_cycles} != {pure_cycles} cycles)")
+        record[mode.name] = {
+            "cycles": pure_cycles,
+            "pure_events_s": round(pure_best, 3),
+            "fast_s": round(fast_best, 3),
+            "speedup": round(pure_best / fast_best, 2),
+        }
+
+    def rerun_serial():
+        return _micro_run(ExecutionMode.SERIAL, 1, fast_path=True)
+
+    benchmark.pedantic(rerun_serial, rounds=2, iterations=1)
+
+    out = {
+        "workload": "16x16 matmul on the instruction-level (micro) engine, "
+                    "calibrated prototype config",
+        "cpus": os.cpu_count(),
+        "vs_pure": record,
+    }
+    if MICRO_OUT_PATH.exists():  # keep the one-off seed baseline section
+        old = json.loads(MICRO_OUT_PATH.read_text())
+        if "vs_seed" in old:
+            out["vs_seed"] = old["vs_seed"]
+    MICRO_OUT_PATH.write_text(json.dumps(out, indent=2) + "\n")
+    print()
+    for name, row in record.items():
+        print(f"{name:7s} pure-events={row['pure_events_s']}s "
+              f"fast={row['fast_s']}s speedup={row['speedup']}x")
+    print(f"-> {MICRO_OUT_PATH.name}")
 
 
 def bench_macro_engine_n256(benchmark):

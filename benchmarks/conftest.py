@@ -8,6 +8,8 @@ execution-engine handle, so ``REPRO_JOBS=4 pytest benchmarks/`` fans the
 simulation jobs out across worker processes.
 """
 
+import os
+
 import pytest
 
 from repro.core import DecouplingStudy
@@ -18,10 +20,12 @@ from repro.exec import ExecutionEngine
 def exec_engine():
     """Execution-engine handle shared by every benchmark.
 
-    Honors ``$REPRO_JOBS`` (default 1: the serial in-process path, which
-    keeps the benchmark numbers comparable with the seed's).
+    Honors ``$REPRO_JOBS`` but pins the default to 1 (the serial
+    in-process path) rather than the library's all-cores default:
+    benchmarks measure wall time, and the numbers only compare against
+    the seed's when the schedule matches.
     """
-    return ExecutionEngine()
+    return ExecutionEngine(jobs=os.environ.get("REPRO_JOBS") or 1)
 
 
 @pytest.fixture(scope="session")

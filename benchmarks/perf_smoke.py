@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Perf smoke: pinned micro workload — determinism blocks, slowness warns.
+
+Run as a plain script (``python benchmarks/perf_smoke.py``); exits
+non-zero on any *correctness* failure:
+
+* run-to-run determinism: the pinned workload simulated twice must give
+  identical cycle counts;
+* golden cycles: each mode's cycle count must equal the committed
+  constant (the same simulation the golden-exhibit suite locks down,
+  restated here so a perf-motivated change can't drift timing);
+* fast-path equivalence: a small matmul with the local-time fast path
+  must match the pure-event schedule bit for bit.
+
+Wall time is then compared against the committed ``BENCH_micro.json``
+(``vs_pure.<MODE>.fast_s``).  A regression beyond the threshold (25 %)
+only *warns* by default — absolute wall seconds do not transfer between
+a contributor's laptop, this repo's recording machine, and a shared CI
+runner — and fails the run only under ``REPRO_PERF_STRICT=1`` (for a
+pinned, quiet runner).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig  # noqa: E402
+from repro.programs.data import generate_matrices  # noqa: E402
+from repro.programs.loader import build_matmul, run_matmul  # noqa: E402
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+REGRESSION_THRESHOLD = 0.25  #: fractional slowdown vs BENCH_micro.json
+
+#: The pinned workload: 16x16 matmul, calibrated config, default data
+#: seed — and the cycle counts it must produce, forever.
+GOLDEN_CYCLES = {
+    "SERIAL": 362_528.0,
+    "SIMD": 116_989.0,
+    "MIMD": 290_407.0,
+}
+PARTITION = {"SERIAL": 1, "SIMD": 4, "MIMD": 4}
+
+CFG = PrototypeConfig.calibrated()
+
+
+def run_mode(name: str, fast_path: bool | None = None):
+    """Simulate the pinned workload; return (cycles, matrix, wall_s)."""
+    mode = ExecutionMode[name]
+    p = PARTITION[name]
+    bundle = build_matmul(mode, 16, p, device_symbols=CFG.device_symbols())
+    a, b = generate_matrices(16)
+    machine = PASMMachine(CFG, partition_size=p, fast_path=fast_path)
+    t0 = time.process_time()
+    run = run_matmul(machine, bundle, a, b)
+    wall = time.process_time() - t0
+    return run.result.cycles, run.product, wall
+
+
+def main() -> int:
+    failures: list[str] = []
+    warnings: list[str] = []
+    reference = (json.loads(BENCH_PATH.read_text())
+                 if BENCH_PATH.exists() else {})
+    ref_modes = reference.get("vs_pure", {})
+    strict = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+    for name, golden in GOLDEN_CYCLES.items():
+        cycles_1, product_1, wall_1 = run_mode(name)
+        cycles_2, product_2, wall_2 = run_mode(name)
+        wall = min(wall_1, wall_2)
+
+        if cycles_1 != cycles_2 or (product_1 != product_2).any():
+            failures.append(
+                f"{name}: NON-DETERMINISTIC ({cycles_1} then {cycles_2} cycles)")
+            continue
+        if cycles_1 != golden:
+            failures.append(
+                f"{name}: cycle drift — got {cycles_1}, golden {golden}")
+            continue
+
+        ref = ref_modes.get(name, {}).get("fast_s")
+        if ref:
+            slowdown = wall / ref - 1.0
+            verdict = "ok" if slowdown <= REGRESSION_THRESHOLD else "SLOW"
+            line = (f"{name}: {cycles_1:.0f} cycles ok, wall {wall:.3f}s "
+                    f"vs recorded {ref:.3f}s ({slowdown:+.0%}) [{verdict}]")
+            print(line)
+            if slowdown > REGRESSION_THRESHOLD:
+                warnings.append(line)
+        else:
+            print(f"{name}: {cycles_1:.0f} cycles ok, wall {wall:.3f}s "
+                  "(no recorded reference)")
+
+    # Fast path must match the pure-event schedule bit for bit.
+    for name in GOLDEN_CYCLES:
+        fast = run_mode(name, fast_path=True)
+        pure = run_mode(name, fast_path=False)
+        if fast[0] != pure[0] or (fast[1] != pure[1]).any():
+            failures.append(
+                f"{name}: fast path diverged from pure events "
+                f"({fast[0]} vs {pure[0]} cycles)")
+        else:
+            print(f"{name}: fast path == pure events ({fast[0]:.0f} cycles)")
+
+    if failures:
+        print("\nFAIL (correctness):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    if warnings:
+        what = ("strict: failing" if strict
+                else "warn-only; set REPRO_PERF_STRICT=1 to fail")
+        print(f"\nwall-time regression beyond "
+              f"{REGRESSION_THRESHOLD:.0%} ({what}):")
+        for w in warnings:
+            print(f"  {w}")
+        return 1 if strict else 0
+    print("\nperf smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.jobs import timed_execute
 from repro.exec.pool import resolve_jobs, run_parallel
 from repro.exec.spec import SimJobSpec
+from repro.perf import percentile
 from repro.utils.tables import format_table
 
 
@@ -33,6 +34,7 @@ class _ProgramStats:
     wall_seconds: float = 0.0
     max_wall: float = 0.0
     resubmits: int = 0
+    walls: list[float] = field(default_factory=list)  #: per-job wall times
 
 
 @dataclass
@@ -56,6 +58,7 @@ class ExecStats:
         bucket.computed += 1
         bucket.wall_seconds += wall_seconds
         bucket.max_wall = max(bucket.max_wall, wall_seconds)
+        bucket.walls.append(wall_seconds)
 
     def record_resubmit(self, spec: SimJobSpec) -> None:
         """Count one crashed-and-resubmitted pool job."""
@@ -87,25 +90,42 @@ class ExecStats:
     def summary_table(self, *, title: str = "execution engine stats") -> str:
         """The ``--stats`` summary, rendered via repro.utils.tables.
 
-        The ``resubmits`` column is deliberately last: downstream tooling
-        (the CI cache-smoke job) parses earlier columns by position.
+        Column order is load-bearing: the CI cache-smoke job parses
+        ``jobs``/``computed``/``cache hits`` positionally ($2/$3/$4 of
+        the TOTAL row), so new columns go after those; ``resubmits``
+        stays last.  The p50/p95 columns come from the per-job wall
+        samples (means hide the tail — one slow MIMD job among cheap
+        macro evaluations is exactly what a mean buries).
         """
         headers = ["program", "jobs", "computed", "cache hits",
-                   "wall (s)", "mean (ms)", "max (ms)", "resubmits"]
+                   "wall (s)", "mean (ms)", "max (ms)",
+                   "p50 (ms)", "p95 (ms)", "resubmits"]
         rows: list[tuple] = []
+        all_walls: list[float] = []
         for key in sorted(self.by_bucket):
             b = self.by_bucket[key]
+            all_walls.extend(b.walls)
             mean_ms = 1e3 * b.wall_seconds / b.computed if b.computed else 0.0
             rows.append((key, b.jobs, b.computed, b.cache_hits,
                          round(b.wall_seconds, 3), round(mean_ms, 2),
-                         round(1e3 * b.max_wall, 2), b.resubmits))
+                         round(1e3 * b.max_wall, 2),
+                         round(1e3 * percentile(b.walls, 50), 2),
+                         round(1e3 * percentile(b.walls, 95), 2),
+                         b.resubmits))
         total_mean = 1e3 * self.wall_seconds / self.computed if self.computed else 0.0
         rows.append(("TOTAL", self.jobs, self.computed, self.cache_hits,
                      round(self.wall_seconds, 3), round(total_mean, 2),
                      round(1e3 * max((b.max_wall for b in
                                       self.by_bucket.values()), default=0.0),
-                           2), self.resubmits))
+                           2),
+                     round(1e3 * percentile(all_walls, 50), 2),
+                     round(1e3 * percentile(all_walls, 95), 2),
+                     self.resubmits))
         return format_table(headers, rows, title=title)
+
+    def breakdown(self) -> dict[str, float]:
+        """Computed wall seconds per bucket (for perf.format_breakdown)."""
+        return {key: b.wall_seconds for key, b in sorted(self.by_bucket.items())}
 
 
 class ExecutionEngine:
@@ -115,8 +135,9 @@ class ExecutionEngine:
     ----------
     jobs:
         Worker processes for batch execution; ``None`` consults
-        ``$REPRO_JOBS`` (default 1), ``0``/``"auto"`` means all cores.
-        ``jobs=1`` executes in-process — the default-equivalent path.
+        ``$REPRO_JOBS`` and otherwise uses one worker per available
+        core; ``0``/``"auto"`` forces all cores explicitly.  ``jobs=1``
+        executes in-process — the reference serial path.
     cache:
         Optional :class:`ResultCache`; ``None`` disables disk caching.
     stats:

@@ -28,13 +28,16 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs: int | str | None = None) -> int:
-    """Resolve a ``--jobs`` value: explicit > $REPRO_JOBS > 1.
+    """Resolve a ``--jobs`` value: explicit > $REPRO_JOBS > all cores.
 
-    ``0`` or ``"auto"`` means one job per available core.
+    ``0`` or ``"auto"`` means one job per available core; that is also
+    the default when neither an explicit count nor ``$REPRO_JOBS`` is
+    given — independent simulation jobs have no reason to leave cores
+    idle.  Set ``REPRO_JOBS=1`` to force serial in-process execution.
     """
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
-        jobs = env if env else 1
+        jobs = env if env else (os.cpu_count() or 1)
     if jobs in (0, "0", "auto"):
         jobs = os.cpu_count() or 1
     try:

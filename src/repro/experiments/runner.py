@@ -11,11 +11,15 @@ Also installed as the ``pasm-experiments`` console script.
 
 Execution is routed through :mod:`repro.exec`: independent simulation
 runs fan out across ``--jobs N`` worker processes (default
-``$REPRO_JOBS`` or 1; ``0``/``auto`` = all cores), and results are
+``$REPRO_JOBS`` or one per available core; ``REPRO_JOBS=1`` forces the
+serial in-process path), and results are
 memoised on disk under ``.repro_cache/`` (``$REPRO_CACHE_DIR``,
 ``--cache-dir``, disable with ``--no-cache``) keyed by job content hash
 and package version — a warm re-run recomputes nothing.  ``--stats``
-appends the engine's cache-hit/wall-time summary table.
+appends the engine's cache-hit/wall-time summary table (with p50/p95
+per-job percentiles) and a wall-time breakdown by job bucket;
+``--profile FILE`` wraps the whole run in :mod:`cProfile` and dumps a
+pstats file for ``python -m pstats`` / ``snakeviz``.
 """
 
 from __future__ import annotations
@@ -108,6 +112,14 @@ def run_experiments(
                   f"cache={'on' if engine.cache is not None else 'off'})"
         ))
         stream.write("\n")
+        breakdown = engine.stats.breakdown()
+        if any(breakdown.values()):  # all-hits runs have nothing to break down
+            from repro.perf import format_breakdown
+
+            stream.write("\n")
+            stream.write(format_breakdown(
+                breakdown, title="wall-time breakdown (computed jobs)"))
+            stream.write("\n")
     return results
 
 
@@ -134,12 +146,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", default=None, metavar="N",
         help="worker processes for independent simulation jobs "
-             "(default: $REPRO_JOBS or 1; 0 or 'auto' = all cores)",
+             "(default: $REPRO_JOBS or one per available core; "
+             "1 = serial in-process)",
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print the execution engine's per-job wall-time and "
-             "cache hit/miss summary after the exhibits",
+        help="print the execution engine's per-job wall-time summary "
+             "(p50/p95 percentiles, cache hits/misses) and a wall-time "
+             "breakdown by job bucket after the exhibits",
+    )
+    parser.add_argument(
+        "--profile", type=Path, default=None, metavar="FILE",
+        help="profile the whole run with cProfile and dump a pstats "
+             "file to FILE (inspect with 'python -m pstats FILE')",
     )
     parser.add_argument(
         "--cache-dir", type=Path, default=None, metavar="DIR",
@@ -169,6 +188,16 @@ def main(argv: list[str] | None = None) -> int:
         study = _make_study(args.seed, engine)
         args.report.write_text(full_report(study))
         print(f"report written to {args.report}")
+        return 0
+    if args.profile is not None:
+        from repro.perf import profile_to
+
+        with profile_to(args.profile):
+            run_experiments(
+                args.experiments or None, out_dir=args.out, seed=args.seed,
+                jobs=args.jobs, cache=cache, stats=args.stats,
+            )
+        print(f"profile written to {args.profile}")
         return 0
     run_experiments(
         args.experiments or None, out_dir=args.out, seed=args.seed,

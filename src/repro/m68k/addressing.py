@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 
 class Mode(Enum):
@@ -175,6 +176,20 @@ class EATime:
     data_reads: int  #: operand memory reads (16-bit accesses)
 
 
+@lru_cache(maxsize=None)
+def _ea_time_cached(mode: Mode, is_long: bool) -> EATime:
+    """The EA time depends only on (mode, long-or-not): 22 entries total."""
+    cycles, reads = _EA_TIME[mode][1 if is_long else 0]
+    if mode is Mode.IMM:
+        # All immediate reads are instruction-stream fetches.
+        stream, data = reads, 0
+    else:
+        stream = EXTENSION_WORDS[mode]
+        data = reads - stream
+    assert data >= 0, (mode, is_long)
+    return EATime(cycles=cycles, stream_words=stream, data_reads=data)
+
+
 def ea_timing(operand: Operand, size_bytes: int) -> EATime:
     """Manual EA time for *reading* the operand of the given size.
 
@@ -183,14 +198,7 @@ def ea_timing(operand: Operand, size_bytes: int) -> EATime:
     (Fetch Unit Queue vs PE main memory) can be applied to the right
     accesses.
     """
-    cycles, reads = _EA_TIME[operand.mode][1 if size_bytes == 4 else 0]
-    stream = extension_words(operand, size_bytes)
-    data = reads - stream
-    if operand.mode is Mode.IMM:
-        # All immediate reads are instruction-stream fetches.
-        stream, data = reads, 0
-    assert data >= 0, (operand.mode, size_bytes)
-    return EATime(cycles=cycles, stream_words=stream, data_reads=data)
+    return _ea_time_cached(operand.mode, size_bytes == 4)
 
 
 def ea_address_only_timing(operand: Operand) -> EATime:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.errors import AddressError, BusError
 from repro.m68k.assembler import AssembledProgram
 from repro.m68k.instructions import Instruction
+from repro.sim.localtime import LocalTimeBus
 
 
 def access_count(size: int) -> int:
@@ -22,7 +23,7 @@ def access_count(size: int) -> int:
     return 2 if size == 4 else 1
 
 
-class SimpleBus:
+class SimpleBus(LocalTimeBus):
     """Flat RAM + instruction overlay with per-class wait states.
 
     Parameters
@@ -36,6 +37,12 @@ class SimpleBus:
     refresh:
         Optional :class:`repro.memory.dram.RefreshModel`; adds DRAM refresh
         stalls to every RAM access.
+    fast_path:
+        Conservative local-time execution (see
+        :mod:`repro.sim.localtime`).  A SimpleBus has no shared resources,
+        so with the fast path on, *every* charge accrues locally and the
+        CPU flushes once at halt.  ``None`` consults ``$REPRO_PURE_EVENTS``
+        (default: on).
     """
 
     def __init__(
@@ -45,6 +52,7 @@ class SimpleBus:
         ws_stream: int = 0,
         ws_data: int = 0,
         refresh=None,
+        fast_path: bool | None = None,
     ) -> None:
         self.env = env
         self.memory = bytearray(ram_size)
@@ -52,8 +60,13 @@ class SimpleBus:
         self.ws_stream = ws_stream
         self.ws_data = ws_data
         self.refresh = refresh
+        if refresh is not None:
+            self._ref_period, self._ref_steal = refresh.inline_constants()
+        else:
+            self._ref_period, self._ref_steal = 1, 0
         self.stream_accesses = 0
         self.data_accesses = 0
+        self._init_local_clock(fast_path)
 
     # ------------------------------------------------------------------
     def load_program(self, program: AssembledProgram) -> None:
@@ -68,11 +81,63 @@ class SimpleBus:
 
     # ------------------------------------------------------------------
     def _access_cycles(self, n: int, ws: float) -> float:
+        """Access burst cost at the *bus-true* current time.
+
+        The DRAM refresh stall is a pure function of absolute time, so it
+        is computed against ``env.now + _local`` (closed form, inlined) —
+        identical to the pure-event path, where ``_local`` is always 0.
+        """
         cycles = n * (4 + ws)
-        if self.refresh is not None:
-            cycles += self.refresh.stall_cycles(self.env.now, n)
+        steal = self._ref_steal
+        if steal:
+            phase = (self.env.now + self._local) % self._ref_period
+            if phase < steal:
+                cycles += steal - phase
         return cycles
 
+    # -- non-generator fast ops (fast path only; None/False = fall back
+    # to the generator protocol).  A SimpleBus has no shared resources,
+    # so every access succeeds locally when the fast path is on. --------
+    def try_fetch_instruction(self, addr: int):
+        if not self.fast_path:
+            return None
+        instr = self.instructions.get(addr)
+        if instr is None:
+            return None  # generator path raises the BusError
+        n = instr.encoded_words()
+        self.stream_accesses += n
+        self._local += self._access_cycles(n, self.ws_stream)
+        self.local_charges += 1
+        return instr
+
+    def try_fetch_stream_words(self, addr: int, n: int) -> bool:
+        if not self.fast_path:
+            return False
+        self.stream_accesses += n
+        self._local += self._access_cycles(n, self.ws_stream)
+        self.local_charges += 1
+        return True
+
+    def try_read(self, addr: int, size: int):
+        if not self.fast_path:
+            return None
+        n = access_count(size)
+        self.data_accesses += n
+        self._local += self._access_cycles(n, self.ws_data)
+        self.local_charges += 1
+        return self.peek(addr, size)
+
+    def try_write(self, addr: int, value: int, size: int) -> bool:
+        if not self.fast_path:
+            return False
+        n = access_count(size)
+        self.data_accesses += n
+        self._local += self._access_cycles(n, self.ws_data)
+        self.local_charges += 1
+        self.poke(addr, value, size)
+        return True
+
+    # -- generator protocol ---------------------------------------------
     def fetch_instruction(self, addr: int):
         """Generator: return the Instruction at ``addr``, charging fetches."""
         try:
@@ -81,31 +146,56 @@ class SimpleBus:
             raise BusError(f"no instruction at {addr:#x}") from None
         n = instr.encoded_words()
         self.stream_accesses += n
-        yield self.env.timeout(self._access_cycles(n, self.ws_stream))
+        cycles = self._access_cycles(n, self.ws_stream)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return instr
+        yield self.env.sleep(cycles)
         return instr
 
     def fetch_stream_words(self, addr: int, n: int):
         """Generator: charge ``n`` extra instruction-stream accesses."""
         self.stream_accesses += n
-        yield self.env.timeout(self._access_cycles(n, self.ws_stream))
+        cycles = self._access_cycles(n, self.ws_stream)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return
+        yield self.env.sleep(cycles)
 
     def read(self, addr: int, size: int):
         """Generator: read ``size`` bytes big-endian, charging access time."""
         n = access_count(size)
         self.data_accesses += n
-        yield self.env.timeout(self._access_cycles(n, self.ws_data))
+        cycles = self._access_cycles(n, self.ws_data)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return self.peek(addr, size)
+        yield self.env.sleep(cycles)
         return self.peek(addr, size)
 
     def write(self, addr: int, value: int, size: int):
         """Generator: write ``size`` bytes big-endian, charging access time."""
         n = access_count(size)
         self.data_accesses += n
-        yield self.env.timeout(self._access_cycles(n, self.ws_data))
+        cycles = self._access_cycles(n, self.ws_data)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            self.poke(addr, value, size)
+            return
+        yield self.env.sleep(cycles)
         self.poke(addr, value, size)
 
     def internal(self, cycles: float):
         """Generator: charge non-bus execution time."""
-        yield self.env.timeout(cycles)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return
+        yield self.env.sleep(cycles)
 
     # -- zero-time debug access ----------------------------------------
     def peek(self, addr: int, size: int) -> int:

@@ -24,6 +24,23 @@ Bus protocol (all methods are generators driven by the sim kernel):
 ``internal(cycles)``
     pure execution time (no bus activity).
 
+Buses may additionally provide the local-time fast-path extensions of
+:class:`repro.sim.localtime.LocalTimeBus` — ``now`` (bus-true current
+time), ``try_charge(cycles)`` (absorb pure execution time into the local
+clock) and ``sync()`` (flush the local clock) — which the CPU discovers
+with ``getattr`` and uses when present.  Timestamps in traces and
+category totals are then taken from ``bus.now`` so they remain identical
+to the pure-event path.
+
+Buses can also expose *non-generator* twins of the four bus calls —
+``try_fetch_instruction(addr)``, ``try_fetch_stream_words(addr, n)``,
+``try_read(addr, size)`` and ``try_write(addr, value, size)`` — that
+complete a purely private access (own-DRAM traffic) without creating a
+generator, returning ``None``/``False`` whenever the access might touch
+a shared resource.  The CPU attempts the fast twin first and falls back
+to the generator protocol on refusal, so blocking semantics are
+unchanged.
+
 The interpreter computes results *and* the manual timing
 (:func:`~repro.m68k.timing.instruction_timing`) for every executed
 instruction, charging ``internal_cycles`` so the total elapsed simulated
@@ -40,8 +57,8 @@ from repro.errors import IllegalInstructionError, SimulationError
 from repro.m68k.addressing import Mode, Operand
 from repro.m68k.instructions import (
     ALU_ADDR,
+    ALU_ALL,
     ALU_IMM,
-    ALU_REG,
     BITOPS,
     BRANCHES,
     DBCC,
@@ -52,9 +69,21 @@ from repro.m68k.instructions import (
     QUICK,
     SCC,
     SHIFTS,
+    UNARY,
 )
 from repro.m68k.registers import RegisterFile
 from repro.m68k.timing import TimingInfo, instruction_timing
+
+
+def _static_timing(instr: Instruction) -> TimingInfo:
+    """Static-instruction timing via the per-instruction cache.
+
+    Equivalent to ``instruction_timing(instr)`` for instructions whose
+    timing has no dynamic arguments; skips the function call and dispatch
+    once the cache is warm.
+    """
+    t = instr._static_timing_cache
+    return t if t is not None else instruction_timing(instr)
 from repro.utils.bitops import sign_extend, to_signed, to_unsigned
 
 
@@ -98,9 +127,24 @@ class CPU:
         self.env = env
         self.bus = bus
         self.name = name
+        # Optional fast-path bus extensions (see module docstring).
+        self._bus_sync = getattr(bus, "sync", None)
+        self._bus_try_charge = getattr(bus, "try_charge", None)
+        self._bus_try_fetch = getattr(bus, "try_fetch_instruction", None)
+        self._bus_try_stream = getattr(bus, "try_fetch_stream_words", None)
+        self._bus_try_read = getattr(bus, "try_read", None)
+        self._bus_try_write = getattr(bus, "try_write", None)
+        self._bus_now = self._bus_sync is not None
+        #: Address computed by ``_read_operand_now``/``_write_operand_now``
+        #: when the fast twin refused; the caller replays the access through
+        #: the generator protocol without re-running EA side effects.
+        self._pending_addr = 0
         self.regs = RegisterFile()
         self.halted: HaltReason | None = None
         self.instruction_count = 0
+        #: env.now at which this CPU's run() flushed and finished (None
+        #: until then).
+        self.finish_time: float | None = None
         #: Per-timecat simulated-cycle totals (fed by ``run``/``step``).
         self.category_cycles: dict[str, float] = {}
         #: Optional per-instruction trace (enable with ``trace=True``).
@@ -116,44 +160,144 @@ class CPU:
         self.halted = None
 
     def run(self, max_instructions: int | None = None):
-        """Generator process: execute until HALT (or an instruction cap)."""
+        """Generator process: execute until HALT (or an instruction cap).
+
+        The body of :meth:`step` is inlined into the loop so the
+        interpreter builds one generator frame per *run*, not one per
+        instruction (keep the two in sync when editing either).
+        """
+        env = self.env
+        bus = self.bus
+        fast = self._bus_now
+        bus_fast = fast and bus.fast_path
+        tf = self._bus_try_fetch
+        ts = self._bus_try_stream
+        cats = self.category_cycles
         executed = 0
         while self.halted is None:
-            yield from self.step()
+            # -- begin inlined step() -----------------------------------
+            start = env.now + bus._local if fast else env.now
+            pc = self.regs.pc
+            instr = tf(pc) if tf is not None else None
+            if instr is None:
+                instr = yield from bus.fetch_instruction(pc)
+                if not isinstance(instr, Instruction):
+                    raise SimulationError(
+                        f"{self.name}: no instruction at {pc:#x} (got {instr!r})"
+                    )
+            w = instr._encoded_words_cache
+            if w is None:
+                w = instr.encoded_words()
+            next_pc = pc + 2 * w
+            self.regs.pc = next_pc  # may be overridden by control flow
+
+            hc = instr._exec_handler_cache
+            if hc is None:
+                hc = _resolve_handler(instr)
+                instr._exec_handler_cache = hc
+            k = hc[0]
+            if k:
+                timing = hc[1](self, instr, pc, next_pc)
+                if k == 2 and type(timing) is not TimingInfo:
+                    timing = yield from timing
+            else:
+                timing = yield from hc[1](self, instr, pc, next_pc)
+
+            extra_stream = timing.stream_words - w
+            if extra_stream > 0:
+                if ts is None or not ts(self.regs.pc, extra_stream):
+                    yield from bus.fetch_stream_words(
+                        self.regs.pc, extra_stream
+                    )
+            internal = timing.internal_cycles
+            if internal:
+                if internal < 0:
+                    raise SimulationError(
+                        f"{self.name}: negative internal time for {instr}"
+                        f" ({timing})"
+                    )
+                if bus_fast:
+                    bus._local += internal
+                    bus.local_charges += 1
+                else:
+                    tc = self._bus_try_charge
+                    if tc is None or not tc(internal):
+                        yield from bus.internal(internal)
+
+            end = env.now + bus._local if fast else env.now
+            self.instruction_count += 1
+            cat = instr.timecat
+            try:
+                cats[cat] += end - start
+            except KeyError:
+                cats[cat] = end - start
+            if self.trace:
+                self.trace_records.append(
+                    InstructionRecord(instr, start, end, timing)
+                )
+            # -- end inlined step() -------------------------------------
             executed += 1
             if max_instructions is not None and executed >= max_instructions:
                 self.halted = HaltReason.EXTERNAL
+        if self._bus_sync is not None:
+            # Flush any locally-accrued time so env.now reflects the true
+            # halt time (bit-identical to the pure-event path).
+            yield from self._bus_sync()
+        self.finish_time = self.env.now
         return self.halted
 
     # ------------------------------------------------------------------
     def step(self):
         """Execute one instruction (generator)."""
-        start = self.env.now
+        env = self.env
+        bus = self.bus
+        fast = self._bus_now
+        start = env.now + bus._local if fast else env.now
         pc = self.regs.pc
-        instr = yield from self.bus.fetch_instruction(pc)
-        if not isinstance(instr, Instruction):
-            raise SimulationError(
-                f"{self.name}: no instruction at {pc:#x} (got {instr!r})"
-            )
+        tf = self._bus_try_fetch
+        instr = tf(pc) if tf is not None else None
+        if instr is None:
+            instr = yield from bus.fetch_instruction(pc)
+            if not isinstance(instr, Instruction):
+                raise SimulationError(
+                    f"{self.name}: no instruction at {pc:#x} (got {instr!r})"
+                )
         next_pc = pc + instr.encoded_bytes()
         self.regs.pc = next_pc  # may be overridden by control flow below
 
-        timing = yield from self._execute(instr, pc, next_pc)
+        hc = instr._exec_handler_cache
+        if hc is None:
+            hc = _resolve_handler(instr)
+            instr._exec_handler_cache = hc
+        k = hc[0]
+        if k:
+            # Sync (register-only) or hybrid handler: plain call first.
+            timing = hc[1](self, instr, pc, next_pc)
+            if k == 2 and type(timing) is not TimingInfo:
+                # Hybrid handler hit a blocking access: finish the slow way.
+                timing = yield from timing
+        else:
+            timing = yield from hc[1](self, instr, pc, next_pc)
 
         # Charge internal (non-bus) time and any stream accesses beyond the
         # encoded words (branch-target prefetch, RTS refill).
-        extra_stream = timing.stream_words - instr.encoded_words()
+        # encoded_bytes above has populated the encoded-words cache.
+        extra_stream = timing.stream_words - instr._encoded_words_cache
         if extra_stream > 0:
-            yield from self.bus.fetch_stream_words(self.regs.pc, extra_stream)
+            ts = self._bus_try_stream
+            if ts is None or not ts(self.regs.pc, extra_stream):
+                yield from bus.fetch_stream_words(self.regs.pc, extra_stream)
         internal = timing.internal_cycles
         if internal < 0:
             raise SimulationError(
                 f"{self.name}: negative internal time for {instr} ({timing})"
             )
         if internal:
-            yield from self.bus.internal(internal)
+            tc = self._bus_try_charge
+            if tc is None or not tc(internal):
+                yield from bus.internal(internal)
 
-        end = self.env.now
+        end = env.now + bus._local if fast else env.now
         self.instruction_count += 1
         cat = instr.timecat
         self.category_cycles[cat] = self.category_cycles.get(cat, 0.0) + (end - start)
@@ -196,285 +340,423 @@ class CPU:
             return (instr_addr + 2 + sign_extend(op.disp, 16)) & 0xFFFF_FFFF
         raise IllegalInstructionError(f"no address for mode {mode}")
 
+    def _read_operand_now(self, op: Operand, size: int, instr_addr: int):
+        """Operand value (unsigned) without a generator, or ``None``.
+
+        ``None`` means the access may block: the EA (side effects applied
+        exactly once) is parked in ``_pending_addr`` and the caller must
+        replay ``bus.read(self._pending_addr, size)`` through the
+        generator protocol.  Register/immediate operands never block.
+        """
+        mode = op.mode
+        if mode is Mode.DREG:
+            return self.regs.read_d(op.reg, size)
+        if mode is Mode.AREG:
+            return self.regs.read_a(op.reg, size)
+        if mode is Mode.IMM:
+            return to_unsigned(int(op.value), size)
+        # The three hottest memory modes are inlined (same arithmetic and
+        # side effects as _ea_address; keep them in sync).
+        if mode is Mode.IND:
+            addr = self.regs.a[op.reg]
+        elif mode is Mode.POSTINC:
+            regs = self.regs
+            addr = regs.a[op.reg]
+            step = size
+            if op.reg == 7 and size == 1:
+                step = 2  # A7 stays word-aligned on the 68000
+            regs.a[op.reg] = (addr + step) & 0xFFFF_FFFF
+        elif mode is Mode.DISP:
+            d = op.disp & 0xFFFF
+            if d & 0x8000:
+                d -= 0x10000
+            addr = (self.regs.a[op.reg] + d) & 0xFFFF_FFFF
+        else:
+            addr = self._ea_address(op, size, instr_addr)
+        tr = self._bus_try_read
+        if tr is not None:
+            value = tr(addr, size)
+            if value is not None:
+                # Fast twins serve plain RAM only: already unsigned.
+                return value
+        self._pending_addr = addr
+        return None
+
+    def _write_operand_now(
+        self, op: Operand, value: int, size: int, instr_addr: int
+    ) -> bool:
+        """Write ``value`` to the operand without a generator, if possible.
+
+        Returns False when the access may block (EA parked in
+        ``_pending_addr``; caller replays through ``bus.write``).
+        """
+        mode = op.mode
+        if mode is Mode.DREG:
+            self.regs.write_d(op.reg, value, size)
+            return True
+        if mode is Mode.AREG:
+            self.regs.write_a(op.reg, value, size)
+            return True
+        # Hot memory modes inlined; see _read_operand_now.
+        if mode is Mode.IND:
+            addr = self.regs.a[op.reg]
+        elif mode is Mode.POSTINC:
+            regs = self.regs
+            addr = regs.a[op.reg]
+            step = size
+            if op.reg == 7 and size == 1:
+                step = 2  # A7 stays word-aligned on the 68000
+            regs.a[op.reg] = (addr + step) & 0xFFFF_FFFF
+        elif mode is Mode.DISP:
+            d = op.disp & 0xFFFF
+            if d & 0x8000:
+                d -= 0x10000
+            addr = (self.regs.a[op.reg] + d) & 0xFFFF_FFFF
+        else:
+            addr = self._ea_address(op, size, instr_addr)
+        tw = self._bus_try_write
+        if tw is not None and tw(addr, to_unsigned(value, size), size):
+            return True
+        self._pending_addr = addr
+        return False
+
     def _read_operand(self, op: Operand, size: int, instr_addr: int):
         """Generator: operand value (unsigned), charging bus time."""
-        if op.mode is Mode.DREG:
-            return self.regs.read_d(op.reg, size)
-        if op.mode is Mode.AREG:
-            return self.regs.read_a(op.reg, size)
-        if op.mode is Mode.IMM:
-            return to_unsigned(int(op.value), size)
-        addr = self._ea_address(op, size, instr_addr)
-        value = yield from self.bus.read(addr, size)
-        return to_unsigned(value, size)
+        value = self._read_operand_now(op, size, instr_addr)
+        if value is None:
+            value = yield from self.bus.read(self._pending_addr, size)
+            value = to_unsigned(value, size)
+        return value
 
     def _write_operand(self, op: Operand, value: int, size: int, instr_addr: int):
         """Generator: write ``value`` to the operand location."""
-        if op.mode is Mode.DREG:
-            self.regs.write_d(op.reg, value, size)
-            return None
-        if op.mode is Mode.AREG:
-            self.regs.write_a(op.reg, value, size)
-            return None
-        addr = self._ea_address(op, size, instr_addr)
-        yield from self.bus.write(addr, to_unsigned(value, size), size)
-        return addr
+        if not self._write_operand_now(op, value, size, instr_addr):
+            yield from self.bus.write(
+                self._pending_addr, to_unsigned(value, size), size
+            )
+
+    def _pending_read(self, size: int):
+        """Generator: replay a refused operand read at ``_pending_addr``."""
+        value = yield from self.bus.read(self._pending_addr, size)
+        return to_unsigned(value, size)
+
+    def _try_read(self, addr: int, size: int):
+        """Fast-twin read: the value, or None to fall back to bus.read."""
+        tr = self._bus_try_read
+        return tr(addr, size) if tr is not None else None
+
+    def _try_write(self, addr: int, value: int, size: int) -> bool:
+        """Fast-twin write: True when done, False to fall back."""
+        tw = self._bus_try_write
+        return tw is not None and tw(addr, value, size)
 
     # ------------------------------------------------------------------
     def _execute(self, instr: Instruction, pc: int, next_pc: int):
-        """Generator: execute ``instr``; returns its TimingInfo."""
+        """Generator: execute ``instr``; returns its TimingInfo.
+
+        Compatibility wrapper over the per-mnemonic handler registry;
+        ``step`` dispatches through the registry directly so that
+        register/immediate-only instructions never build a generator.
+        """
+        hc = instr._exec_handler_cache
+        if hc is None:
+            hc = _resolve_handler(instr)
+            instr._exec_handler_cache = hc
+        k = hc[0]
+        if k:
+            timing = hc[1](self, instr, pc, next_pc)
+            if k == 2 and type(timing) is not TimingInfo:
+                timing = yield from timing
+            return timing
+        return (yield from hc[1](self, instr, pc, next_pc))
+
+    # -- synchronous handlers ------------------------------------------
+    # Plain calls for instructions the resolver proved bus-free (all
+    # operands in registers or the instruction stream): no generator is
+    # created for them.  Semantics are byte-for-byte those of the
+    # generator handlers below restricted to register/immediate operands.
+    def _exec_move_reg(self, instr, pc, next_pc):
+        src, dst = instr.operands
+        size = instr.size_bytes
+        regs = self.regs
+        if src.mode is Mode.DREG:
+            value = regs.read_d(src.reg, size)
+        elif src.mode is Mode.AREG:
+            value = regs.read_a(src.reg, size)
+        else:  # IMM
+            value = to_unsigned(int(src.value), size)
+        if dst.mode is Mode.AREG or instr.mnemonic == "MOVEA":
+            regs.write_a(dst.reg, value, size)
+        else:
+            regs.write_d(dst.reg, value, size)
+            regs.ccr.set_nz(value, size)
+        return _static_timing(instr)
+
+    def _exec_alu_reg(self, instr, pc, next_pc):
         m = instr.mnemonic
         size = instr.size_bytes
-        ops = instr.operands
-        ccr = self.regs.ccr
-
-        if m == "HALT":
-            self.halted = HaltReason.HALT_INSTRUCTION
-            return instruction_timing(instr)
-
-        if m == "NOP":
-            return instruction_timing(instr)
-
-        if m in ("MOVE", "MOVEA"):
-            src, dst = ops
-            value = yield from self._read_operand(src, size, pc)
-            if m == "MOVEA" or dst.mode is Mode.AREG:
-                self.regs.write_a(dst.reg, value, size)
-            else:
-                yield from self._write_operand(dst, value, size, pc)
-                ccr.set_nz(value, size)
-            return instruction_timing(instr)
-
-        if m == "MOVEQ":
-            value = to_signed(int(ops[0].value) & 0xFF, 1)
-            self.regs.write_d(ops[1].reg, value & 0xFFFF_FFFF, 4)
-            ccr.set_nz(value & 0xFFFF_FFFF, 4)
-            return instruction_timing(instr)
-
-        if m == "LEA":
-            addr = self._ea_address(ops[0], 4, pc)
-            self.regs.write_a(ops[1].reg, addr, 4)
-            return instruction_timing(instr)
-
-        if m == "EXG":
-            a, b = ops
-            va = self.regs.d[a.reg] if a.mode is Mode.DREG else self.regs.a[a.reg]
-            vb = self.regs.d[b.reg] if b.mode is Mode.DREG else self.regs.a[b.reg]
-            if a.mode is Mode.DREG:
-                self.regs.d[a.reg] = vb
-            else:
-                self.regs.a[a.reg] = vb
-            if b.mode is Mode.DREG:
-                self.regs.d[b.reg] = va
-            else:
-                self.regs.a[b.reg] = va
-            return instruction_timing(instr)
-
-        if m == "SWAP":
-            v = self.regs.d[ops[0].reg]
-            v = ((v >> 16) | (v << 16)) & 0xFFFF_FFFF
-            self.regs.d[ops[0].reg] = v
-            ccr.set_nz(v, 4)
-            return instruction_timing(instr)
-
-        if m == "EXT":
-            r = ops[0].reg
-            if size == 2:  # byte → word
-                self.regs.write_d(r, sign_extend(self.regs.read_d(r, 1), 8), 2)
-                ccr.set_nz(self.regs.read_d(r, 2), 2)
-            else:  # word → long
-                self.regs.write_d(r, sign_extend(self.regs.read_d(r, 2), 16), 4)
-                ccr.set_nz(self.regs.read_d(r, 4), 4)
-            return instruction_timing(instr)
-
-        if m in ("CLR", "NOT", "NEG", "NEGX", "TST", "TAS"):
-            dst = ops[0]
-            if m == "TST":
-                value = yield from self._read_operand(dst, size, pc)
-                ccr.set_nz(value, size)
-                return instruction_timing(instr)
-            # read-modify-write (the 68000 reads even for CLR)
-            if dst.mode is Mode.DREG:
-                old = self.regs.read_d(dst.reg, size)
-                new, flags_from = self._unary_result(m, old, size)
-                self.regs.write_d(dst.reg, new, size)
-            else:
-                addr = self._ea_address(dst, size, pc)
-                old = yield from self.bus.read(addr, size)
-                new, flags_from = self._unary_result(m, old, size)
-                yield from self.bus.write(addr, new, size)
-            self._unary_flags(m, old, new, size)
-            return instruction_timing(instr)
-
-        if m in MULDIV:
-            src, dst = ops
-            src_val = yield from self._read_operand(src, 2, pc)
-            if m == "MULU":
-                result = src_val * self.regs.read_d(dst.reg, 2)
-                self.regs.write_d(dst.reg, result & 0xFFFF_FFFF, 4)
-                ccr.set_nz(result & 0xFFFF_FFFF, 4)
-            elif m == "MULS":
-                result = to_signed(src_val, 2) * to_signed(
-                    self.regs.read_d(dst.reg, 2), 2
-                )
-                self.regs.write_d(dst.reg, result & 0xFFFF_FFFF, 4)
-                ccr.set_nz(result & 0xFFFF_FFFF, 4)
-            elif m == "DIVU":
-                divisor = src_val
-                if divisor == 0:
-                    raise IllegalInstructionError(f"{self.name}: divide by zero")
-                dividend = self.regs.read_d(dst.reg, 4)
-                quot, rem = divmod(dividend, divisor)
-                if quot > 0xFFFF:
-                    ccr.v = True  # overflow: register unchanged
-                else:
-                    self.regs.write_d(dst.reg, (rem << 16) | quot, 4)
-                    ccr.set_nz(quot, 2)
-            else:  # DIVS
-                divisor = to_signed(src_val, 2)
-                if divisor == 0:
-                    raise IllegalInstructionError(f"{self.name}: divide by zero")
-                dividend = to_signed(self.regs.read_d(dst.reg, 4), 4)
-                quot = int(dividend / divisor)  # trunc toward zero
-                rem = dividend - quot * divisor
-                if not -0x8000 <= quot <= 0x7FFF:
-                    ccr.v = True
-                else:
-                    self.regs.write_d(
-                        dst.reg,
-                        ((to_unsigned(rem, 2)) << 16) | to_unsigned(quot, 2),
-                        4,
-                    )
-                    ccr.set_nz(to_unsigned(quot, 2), 2)
-            return instruction_timing(instr, src_value=src_val)
-
-        if m in SHIFTS:
-            count_op, reg_op = ops
-            if count_op.mode is Mode.IMM:
-                count = int(count_op.value)
-            else:
-                count = self.regs.read_d(count_op.reg, 4) % 64
-            value = self.regs.read_d(reg_op.reg, size)
-            new = self._shift(m, value, count, size)
-            self.regs.write_d(reg_op.reg, new, size)
-            return instruction_timing(instr, shift_count=count)
-
-        if m in BRANCHES:
-            target = int(instr.target)
-            if m == "BSR":
-                self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
-                yield from self.bus.write(self.regs.sp, next_pc, 4)
-                self.regs.pc = target
-                return instruction_timing(instr)
-            cond = instr.condition
-            taken = True if m == "BRA" else ccr.test(cond)
-            if taken:
-                self.regs.pc = target
-            return instruction_timing(instr, branch_taken=taken)
-
-        if m in DBCC:
-            cond = instr.condition
-            target = int(instr.target)
-            if ccr.test(cond):
-                return instruction_timing(instr, branch_taken=False)
-            reg = ops[0].reg
-            counter = (self.regs.read_d(reg, 2) - 1) & 0xFFFF
-            self.regs.write_d(reg, counter, 2)
-            if counter == 0xFFFF:  # expired
-                return instruction_timing(
-                    instr, branch_taken=False, dbcc_expired=True
-                )
-            self.regs.pc = target
-            return instruction_timing(instr, branch_taken=True)
-
-        if m in JUMPS:
-            addr = self._ea_address(ops[0], 4, pc)
-            if m == "JSR":
-                self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
-                yield from self.bus.write(self.regs.sp, next_pc, 4)
-            self.regs.pc = addr
-            return instruction_timing(instr)
-
-        if m == "RTS":
-            addr = yield from self.bus.read(self.regs.sp, 4)
-            self.regs.sp = (self.regs.sp + 4) & 0xFFFF_FFFF
-            self.regs.pc = addr & 0xFFFF_FFFF
-            return instruction_timing(instr)
-
-        if m == "PEA":
-            addr = self._ea_address(ops[0], 4, pc)
-            self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
-            yield from self.bus.write(self.regs.sp, addr, 4)
-            return instruction_timing(instr)
-
-        if m == "LINK":
-            an, disp = ops
-            self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
-            yield from self.bus.write(self.regs.sp, self.regs.a[an.reg], 4)
-            self.regs.a[an.reg] = self.regs.sp
-            self.regs.sp = (self.regs.sp + to_signed(int(disp.value), 2)) \
-                & 0xFFFF_FFFF
-            return instruction_timing(instr)
-
-        if m == "UNLK":
-            an = ops[0].reg
-            self.regs.sp = self.regs.a[an]
-            value = yield from self.bus.read(self.regs.sp, 4)
-            self.regs.a[an] = value
-            self.regs.sp = (self.regs.sp + 4) & 0xFFFF_FFFF
-            return instruction_timing(instr)
-
-        if m == "CMPM":
-            src_val = yield from self._read_operand(ops[0], size, pc)
-            dst_val = yield from self._read_operand(ops[1], size, pc)
-            self._sub_flags(dst_val, src_val, size, set_x=False)
-            return instruction_timing(instr)
-
-        if m in EXTENDED:  # ADDX / SUBX
-            timing = yield from self._addx_subx(instr, m, ops, size, pc)
-            return timing
-
-        if m in SCC:
-            taken = ccr.test(instr.condition)
-            value = 0xFF if taken else 0x00
-            dst = ops[0]
-            if dst.mode is Mode.DREG:
-                self.regs.write_d(dst.reg, value, 1)
-            else:
-                addr = self._ea_address(dst, 1, pc)
-                # read-modify-write like the hardware
-                yield from self.bus.read(addr, 1)
-                yield from self.bus.write(addr, value, 1)
-            return instruction_timing(instr, branch_taken=taken)
-
-        if m in BITOPS:
-            timing = yield from self._bitop(instr, m, ops, pc)
-            return timing
-
-        if m == "MOVEM":
-            timing = yield from self._movem(instr, size, pc)
-            return timing
-
-        if m in QUICK or m in ALU_IMM or m in ALU_ADDR or m in ALU_REG:
-            timing = yield from self._alu(instr, m, ops, size, pc)
-            return timing
-
-        raise IllegalInstructionError(f"{self.name}: cannot execute {m}")
-
-    # ------------------------------------------------------------------
-    def _addx_subx(self, instr: Instruction, m: str, ops, size: int, pc: int):
-        """ADDX/SUBX: multi-precision add/subtract through the X flag."""
-        ccr = self.regs.ccr
-        x_in = int(ccr.x)
-        src, dst = ops
+        src, dst = instr.operands
+        regs = self.regs
+        ccr = regs.ccr
+        base = instr._alu_base_cache
+        if base is None:
+            base = _alu_base(m)
+            instr._alu_base_cache = base
         if src.mode is Mode.DREG:
-            src_val = self.regs.read_d(src.reg, size)
-            dst_val = self.regs.read_d(dst.reg, size)
-        else:  # -(Ay),-(Ax)
-            src_addr = self._ea_address(src, size, pc)
-            src_val = yield from self.bus.read(src_addr, size)
-            dst_addr = self._ea_address(dst, size, pc)
-            dst_val = yield from self.bus.read(dst_addr, size)
+            src_val = regs.read_d(src.reg, size)
+        elif src.mode is Mode.AREG:
+            src_val = regs.read_a(src.reg, size)
+        else:  # IMM
+            src_val = to_unsigned(int(src.value), size)
+        if m in ALU_ADDR:
+            # Word sources sign-extend; operation is on the full 32 bits.
+            if size == 2:
+                src_val32 = to_unsigned(sign_extend(src_val, 16), 4)
+            else:
+                src_val32 = src_val
+            dst_val = regs.read_a(dst.reg, 4)
+            if base == "ADD":
+                regs.write_a(dst.reg, dst_val + src_val32, 4)
+            elif base == "SUB":
+                regs.write_a(dst.reg, dst_val - src_val32, 4)
+            else:  # CMPA
+                self._sub_flags(dst_val, src_val32, 4, set_x=False)
+            return _static_timing(instr)
+        if dst.mode is Mode.AREG:
+            # Resolver guarantees QUICK here: ADDQ/SUBQ #n,An (no flags).
+            dst_val = regs.read_a(dst.reg, 4)
+            delta = int(src.value)
+            if base == "ADD":
+                regs.write_a(dst.reg, dst_val + delta, 4)
+            else:
+                regs.write_a(dst.reg, dst_val - delta, 4)
+            return _static_timing(instr)
+        dst_val = regs.read_d(dst.reg, size)
+        store = True
+        if base == "ADD":
+            result = dst_val + src_val
+            self._add_flags(dst_val, src_val, result, size)
+        elif base == "SUB":
+            result = dst_val - src_val
+            self._sub_flags(dst_val, src_val, size=size, set_x=True)
+        elif base == "CMP":
+            result = dst_val
+            self._sub_flags(dst_val, src_val, size=size, set_x=False)
+            store = False
+        elif base == "AND":
+            result = dst_val & src_val
+            ccr.set_nz(result, size)
+        elif base == "OR":
+            result = dst_val | src_val
+            ccr.set_nz(result, size)
+        elif base == "EOR":
+            result = dst_val ^ src_val
+            ccr.set_nz(result, size)
+        else:  # pragma: no cover
+            raise AssertionError(base)
+        if store:
+            regs.write_d(dst.reg, to_unsigned(result, size), size)
+        return _static_timing(instr)
+
+    def _exec_dbcc(self, instr, pc, next_pc):
+        target = int(instr.target)
+        if self.regs.ccr.test(instr.condition):
+            return instruction_timing(instr, branch_taken=False)
+        reg = instr.operands[0].reg
+        counter = (self.regs.read_d(reg, 2) - 1) & 0xFFFF
+        self.regs.write_d(reg, counter, 2)
+        if counter == 0xFFFF:  # expired
+            return instruction_timing(instr, branch_taken=False, dbcc_expired=True)
+        self.regs.pc = target
+        return instruction_timing(instr, branch_taken=True)
+
+    def _exec_branch(self, instr, pc, next_pc):
+        target = int(instr.target)
+        taken = True if instr.mnemonic == "BRA" \
+            else self.regs.ccr.test(instr.condition)
+        if taken:
+            self.regs.pc = target
+        return instruction_timing(instr, branch_taken=taken)
+
+    def _exec_muldiv_reg(self, instr, pc, next_pc):
+        src, dst = instr.operands
+        regs = self.regs
+        if src.mode is Mode.DREG:
+            src_val = regs.read_d(src.reg, 2)
+        elif src.mode is Mode.AREG:
+            src_val = regs.read_a(src.reg, 2)
+        else:  # IMM
+            src_val = to_unsigned(int(src.value), 2)
+        self._muldiv_core(instr.mnemonic, src_val, dst)
+        return instruction_timing(instr, src_value=src_val)
+
+    def _exec_unary_reg(self, instr, pc, next_pc):
+        m = instr.mnemonic
+        size = instr.size_bytes
+        dst = instr.operands[0]
+        regs = self.regs
+        if m == "TST":
+            if dst.mode is Mode.DREG:
+                value = regs.read_d(dst.reg, size)
+            elif dst.mode is Mode.AREG:
+                value = regs.read_a(dst.reg, size)
+            else:  # IMM
+                value = to_unsigned(int(dst.value), size)
+            regs.ccr.set_nz(value, size)
+            return _static_timing(instr)
+        # read-modify-write on a data register
+        old = regs.read_d(dst.reg, size)
+        new, _flags_from = self._unary_result(m, old, size)
+        regs.write_d(dst.reg, new, size)
+        self._unary_flags(m, old, new, size)
+        return _static_timing(instr)
+
+    def _exec_shift(self, instr, pc, next_pc):
+        count_op, reg_op = instr.operands
+        size = instr.size_bytes
+        if count_op.mode is Mode.IMM:
+            count = int(count_op.value)
+        else:
+            count = self.regs.read_d(count_op.reg, 4) % 64
+        value = self.regs.read_d(reg_op.reg, size)
+        new = self._shift(instr.mnemonic, value, count, size)
+        self.regs.write_d(reg_op.reg, new, size)
+        return instruction_timing(instr, shift_count=count)
+
+    def _exec_halt(self, instr, pc, next_pc):
+        self.halted = HaltReason.HALT_INSTRUCTION
+        return _static_timing(instr)
+
+    def _exec_nop(self, instr, pc, next_pc):
+        return _static_timing(instr)
+
+    def _exec_moveq(self, instr, pc, next_pc):
+        ops = instr.operands
+        value = to_signed(int(ops[0].value) & 0xFF, 1)
+        self.regs.write_d(ops[1].reg, value & 0xFFFF_FFFF, 4)
+        self.regs.ccr.set_nz(value & 0xFFFF_FFFF, 4)
+        return _static_timing(instr)
+
+    def _exec_lea(self, instr, pc, next_pc):
+        ops = instr.operands
+        addr = self._ea_address(ops[0], 4, pc)
+        self.regs.write_a(ops[1].reg, addr, 4)
+        return _static_timing(instr)
+
+    def _exec_exg(self, instr, pc, next_pc):
+        a, b = instr.operands
+        va = self.regs.d[a.reg] if a.mode is Mode.DREG else self.regs.a[a.reg]
+        vb = self.regs.d[b.reg] if b.mode is Mode.DREG else self.regs.a[b.reg]
+        if a.mode is Mode.DREG:
+            self.regs.d[a.reg] = vb
+        else:
+            self.regs.a[a.reg] = vb
+        if b.mode is Mode.DREG:
+            self.regs.d[b.reg] = va
+        else:
+            self.regs.a[b.reg] = va
+        return _static_timing(instr)
+
+    def _exec_swap(self, instr, pc, next_pc):
+        r = instr.operands[0].reg
+        v = self.regs.d[r]
+        v = ((v >> 16) | (v << 16)) & 0xFFFF_FFFF
+        self.regs.d[r] = v
+        self.regs.ccr.set_nz(v, 4)
+        return _static_timing(instr)
+
+    def _exec_ext(self, instr, pc, next_pc):
+        r = instr.operands[0].reg
+        if instr.size_bytes == 2:  # byte → word
+            self.regs.write_d(r, sign_extend(self.regs.read_d(r, 1), 8), 2)
+            self.regs.ccr.set_nz(self.regs.read_d(r, 2), 2)
+        else:  # word → long
+            self.regs.write_d(r, sign_extend(self.regs.read_d(r, 2), 16), 4)
+            self.regs.ccr.set_nz(self.regs.read_d(r, 4), 4)
+        return _static_timing(instr)
+
+    def _exec_jmp(self, instr, pc, next_pc):
+        self.regs.pc = self._ea_address(instr.operands[0], 4, pc)
+        return _static_timing(instr)
+
+    def _exec_scc_reg(self, instr, pc, next_pc):
+        taken = self.regs.ccr.test(instr.condition)
+        self.regs.write_d(instr.operands[0].reg, 0xFF if taken else 0x00, 1)
+        return instruction_timing(instr, branch_taken=taken)
+
+    def _exec_bitop_reg(self, instr, pc, next_pc):
+        m = instr.mnemonic
+        bit_src, dst = instr.operands
+        if bit_src.mode is Mode.IMM:
+            bit = int(bit_src.value)
+        else:
+            bit = self.regs.read_d(bit_src.reg, 4)
+        bit %= 32
+        old = self.regs.read_d(dst.reg, 4)
+        mask = 1 << bit
+        self.regs.ccr.z = not (old & mask)
+        if m == "BSET":
+            self.regs.write_d(dst.reg, old | mask, 4)
+        elif m == "BCLR":
+            self.regs.write_d(dst.reg, old & ~mask, 4)
+        elif m == "BCHG":
+            self.regs.write_d(dst.reg, old ^ mask, 4)
+        return _static_timing(instr)
+
+    def _exec_addx_reg(self, instr, pc, next_pc):
+        src, dst = instr.operands
+        size = instr.size_bytes
+        x_in = int(self.regs.ccr.x)
+        src_val = self.regs.read_d(src.reg, size)
+        dst_val = self.regs.read_d(dst.reg, size)
+        r = self._addx_core(instr.mnemonic, src_val, dst_val, x_in, size)
+        self.regs.write_d(dst.reg, r, size)
+        return _static_timing(instr)
+
+    # -- shared result/flag cores (no bus traffic) ---------------------
+    def _muldiv_core(self, m: str, src_val: int, dst) -> None:
+        regs = self.regs
+        ccr = regs.ccr
+        if m == "MULU":
+            result = src_val * regs.read_d(dst.reg, 2)
+            regs.write_d(dst.reg, result & 0xFFFF_FFFF, 4)
+            ccr.set_nz(result & 0xFFFF_FFFF, 4)
+        elif m == "MULS":
+            result = to_signed(src_val, 2) * to_signed(regs.read_d(dst.reg, 2), 2)
+            regs.write_d(dst.reg, result & 0xFFFF_FFFF, 4)
+            ccr.set_nz(result & 0xFFFF_FFFF, 4)
+        elif m == "DIVU":
+            divisor = src_val
+            if divisor == 0:
+                raise IllegalInstructionError(f"{self.name}: divide by zero")
+            dividend = regs.read_d(dst.reg, 4)
+            quot, rem = divmod(dividend, divisor)
+            if quot > 0xFFFF:
+                ccr.v = True  # overflow: register unchanged
+            else:
+                regs.write_d(dst.reg, (rem << 16) | quot, 4)
+                ccr.set_nz(quot, 2)
+        else:  # DIVS
+            divisor = to_signed(src_val, 2)
+            if divisor == 0:
+                raise IllegalInstructionError(f"{self.name}: divide by zero")
+            dividend = to_signed(regs.read_d(dst.reg, 4), 4)
+            quot = int(dividend / divisor)  # trunc toward zero
+            rem = dividend - quot * divisor
+            if not -0x8000 <= quot <= 0x7FFF:
+                ccr.v = True
+            else:
+                regs.write_d(
+                    dst.reg,
+                    ((to_unsigned(rem, 2)) << 16) | to_unsigned(quot, 2),
+                    4,
+                )
+                ccr.set_nz(to_unsigned(quot, 2), 2)
+
+    def _addx_core(self, m: str, src_val: int, dst_val: int, x_in: int,
+                   size: int) -> int:
+        """ADDX/SUBX arithmetic + flags; returns the unsigned result."""
+        ccr = self.regs.ccr
         if m == "ADDX":
             result = dst_val + src_val + x_in
             self._add_flags(dst_val, src_val + x_in, result, size)
@@ -491,49 +773,248 @@ class CPU:
         # Z accumulates across a multi-precision chain: only cleared.
         if r != 0:
             ccr.z = False
-        if src.mode is Mode.DREG:
-            self.regs.write_d(dst.reg, r, size)
-        else:
-            yield from self.bus.write(dst_addr, r, size)
-        return instruction_timing(instr)
+        return r
 
-    def _bitop(self, instr: Instruction, m: str, ops, pc: int):
-        """BTST/BSET/BCLR/BCHG: Z reflects the tested bit (pre-change)."""
-        bit_src, dst = ops
+    # -- hybrid handlers -----------------------------------------------
+    # Plain calls that return a TimingInfo when every bus access was
+    # absorbed by the fast twins, or a *generator* (the ``_slow``
+    # continuation) the caller must drive when an access may block.  EA
+    # side effects have already been applied exactly once by then.
+    def _exec_move_mem(self, instr, pc, next_pc):
+        src, dst = instr.operands
+        size = instr.size_bytes
+        value = self._read_operand_now(src, size, pc)
+        if value is None:
+            return self._move_load_slow(instr, pc)
+        if instr.mnemonic == "MOVEA" or dst.mode is Mode.AREG:
+            self.regs.write_a(dst.reg, value, size)
+            return _static_timing(instr)
+        if self._write_operand_now(dst, value, size, pc):
+            self.regs.ccr.set_nz(value, size)
+            return _static_timing(instr)
+        return self._move_store_slow(instr, value)
+
+    def _move_load_slow(self, instr, pc):
+        """Generator: MOVE whose source read was refused by the fast twin."""
+        size = instr.size_bytes
+        value = yield from self._pending_read(size)
+        dst = instr.operands[1]
+        if instr.mnemonic == "MOVEA" or dst.mode is Mode.AREG:
+            self.regs.write_a(dst.reg, value, size)
+        else:
+            if not self._write_operand_now(dst, value, size, pc):
+                yield from self.bus.write(
+                    self._pending_addr, to_unsigned(value, size), size
+                )
+            self.regs.ccr.set_nz(value, size)
+        return _static_timing(instr)
+
+    def _move_store_slow(self, instr, value):
+        """Generator: MOVE whose destination write was refused."""
+        size = instr.size_bytes
+        yield from self.bus.write(
+            self._pending_addr, to_unsigned(value, size), size
+        )
+        self.regs.ccr.set_nz(value, size)
+        return _static_timing(instr)
+
+    def _exec_bsr(self, instr, pc, next_pc):
+        self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+        if not self._try_write(self.regs.sp, next_pc, 4):
+            yield from self.bus.write(self.regs.sp, next_pc, 4)
+        self.regs.pc = int(instr.target)
+        return _static_timing(instr)
+
+    def _exec_muldiv_mem(self, instr, pc, next_pc):
+        src, dst = instr.operands
+        src_val = self._read_operand_now(src, 2, pc)
+        if src_val is None:
+            return self._muldiv_slow(instr)
+        self._muldiv_core(instr.mnemonic, src_val, dst)
+        return instruction_timing(instr, src_value=src_val)
+
+    def _muldiv_slow(self, instr):
+        """Generator: MUL/DIV whose source read was refused."""
+        src_val = yield from self._pending_read(2)
+        self._muldiv_core(instr.mnemonic, src_val, instr.operands[1])
+        return instruction_timing(instr, src_value=src_val)
+
+    def _exec_unary_mem(self, instr, pc, next_pc):
+        m = instr.mnemonic
+        size = instr.size_bytes
+        dst = instr.operands[0]
+        if m == "TST":
+            value = self._read_operand_now(dst, size, pc)
+            if value is None:
+                return self._tst_slow(instr)
+            self.regs.ccr.set_nz(value, size)
+            return _static_timing(instr)
+        # read-modify-write (the 68000 reads even for CLR)
+        addr = self._ea_address(dst, size, pc)
+        old = self._try_read(addr, size)
+        if old is None:
+            return self._unary_rmw_slow(instr, addr)
+        new, _flags_from = self._unary_result(m, old, size)
+        if not self._try_write(addr, new, size):
+            return self._unary_store_slow(instr, addr, old, new)
+        self._unary_flags(m, old, new, size)
+        return _static_timing(instr)
+
+    def _tst_slow(self, instr):
+        """Generator: TST whose operand read was refused."""
+        size = instr.size_bytes
+        value = yield from self._pending_read(size)
+        self.regs.ccr.set_nz(value, size)
+        return _static_timing(instr)
+
+    def _unary_rmw_slow(self, instr, addr):
+        """Generator: unary read-modify-write whose read was refused."""
+        m = instr.mnemonic
+        size = instr.size_bytes
+        old = yield from self.bus.read(addr, size)
+        new, _flags_from = self._unary_result(m, old, size)
+        if not self._try_write(addr, new, size):
+            yield from self.bus.write(addr, new, size)
+        self._unary_flags(m, old, new, size)
+        return _static_timing(instr)
+
+    def _unary_store_slow(self, instr, addr, old, new):
+        """Generator: unary read-modify-write whose write-back was refused."""
+        size = instr.size_bytes
+        yield from self.bus.write(addr, new, size)
+        self._unary_flags(instr.mnemonic, old, new, size)
+        return _static_timing(instr)
+
+    def _exec_jsr(self, instr, pc, next_pc):
+        addr = self._ea_address(instr.operands[0], 4, pc)
+        self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+        if not self._try_write(self.regs.sp, next_pc, 4):
+            yield from self.bus.write(self.regs.sp, next_pc, 4)
+        self.regs.pc = addr
+        return _static_timing(instr)
+
+    def _exec_rts(self, instr, pc, next_pc):
+        addr = self._try_read(self.regs.sp, 4)
+        if addr is None:
+            addr = yield from self.bus.read(self.regs.sp, 4)
+        self.regs.sp = (self.regs.sp + 4) & 0xFFFF_FFFF
+        self.regs.pc = addr & 0xFFFF_FFFF
+        return _static_timing(instr)
+
+    def _exec_pea(self, instr, pc, next_pc):
+        addr = self._ea_address(instr.operands[0], 4, pc)
+        self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+        if not self._try_write(self.regs.sp, addr, 4):
+            yield from self.bus.write(self.regs.sp, addr, 4)
+        return _static_timing(instr)
+
+    def _exec_link(self, instr, pc, next_pc):
+        an, disp = instr.operands
+        self.regs.sp = (self.regs.sp - 4) & 0xFFFF_FFFF
+        if not self._try_write(self.regs.sp, self.regs.a[an.reg], 4):
+            yield from self.bus.write(self.regs.sp, self.regs.a[an.reg], 4)
+        self.regs.a[an.reg] = self.regs.sp
+        self.regs.sp = (self.regs.sp + to_signed(int(disp.value), 2)) \
+            & 0xFFFF_FFFF
+        return _static_timing(instr)
+
+    def _exec_unlk(self, instr, pc, next_pc):
+        an = instr.operands[0].reg
+        self.regs.sp = self.regs.a[an]
+        value = self._try_read(self.regs.sp, 4)
+        if value is None:
+            value = yield from self.bus.read(self.regs.sp, 4)
+        self.regs.a[an] = value
+        self.regs.sp = (self.regs.sp + 4) & 0xFFFF_FFFF
+        return _static_timing(instr)
+
+    def _exec_cmpm(self, instr, pc, next_pc):
+        ops = instr.operands
+        size = instr.size_bytes
+        src_val = self._read_operand_now(ops[0], size, pc)
+        if src_val is None:
+            src_val = yield from self._pending_read(size)
+        dst_val = self._read_operand_now(ops[1], size, pc)
+        if dst_val is None:
+            dst_val = yield from self._pending_read(size)
+        self._sub_flags(dst_val, src_val, size, set_x=False)
+        return _static_timing(instr)
+
+    def _exec_scc_mem(self, instr, pc, next_pc):
+        taken = self.regs.ccr.test(instr.condition)
+        value = 0xFF if taken else 0x00
+        addr = self._ea_address(instr.operands[0], 1, pc)
+        # read-modify-write like the hardware
+        if self._try_read(addr, 1) is None:
+            yield from self.bus.read(addr, 1)
+        if not self._try_write(addr, value, 1):
+            yield from self.bus.write(addr, value, 1)
+        return instruction_timing(instr, branch_taken=taken)
+
+    def _exec_illegal(self, instr, pc, next_pc):
+        raise IllegalInstructionError(
+            f"{self.name}: cannot execute {instr.mnemonic}"
+        )
+        yield  # pragma: no cover — registered as a generator handler
+
+    # ------------------------------------------------------------------
+    def _addx_subx(self, instr, pc, next_pc):
+        """ADDX/SUBX -(Ay),-(Ax): multi-precision through memory.
+
+        The register form is handled synchronously by
+        :meth:`_exec_addx_reg`.
+        """
+        m = instr.mnemonic
+        size = instr.size_bytes
+        src, dst = instr.operands
+        x_in = int(self.regs.ccr.x)
+        src_addr = self._ea_address(src, size, pc)
+        src_val = self._try_read(src_addr, size)
+        if src_val is None:
+            src_val = yield from self.bus.read(src_addr, size)
+        dst_addr = self._ea_address(dst, size, pc)
+        dst_val = self._try_read(dst_addr, size)
+        if dst_val is None:
+            dst_val = yield from self.bus.read(dst_addr, size)
+        r = self._addx_core(m, src_val, dst_val, x_in, size)
+        if not self._try_write(dst_addr, r, size):
+            yield from self.bus.write(dst_addr, r, size)
+        return _static_timing(instr)
+
+    def _exec_bitop_mem(self, instr, pc, next_pc):
+        """BTST/BSET/BCLR/BCHG on memory: Z is the tested (pre-change) bit.
+
+        The data-register form is handled synchronously by
+        :meth:`_exec_bitop_reg`.
+        """
+        m = instr.mnemonic
+        bit_src, dst = instr.operands
         if bit_src.mode is Mode.IMM:
             bit = int(bit_src.value)
         else:
             bit = self.regs.read_d(bit_src.reg, 4)
-        if dst.mode is Mode.DREG:
-            bit %= 32
-            old = self.regs.read_d(dst.reg, 4)
-            mask = 1 << bit
-            self.regs.ccr.z = not (old & mask)
-            if m == "BSET":
-                self.regs.write_d(dst.reg, old | mask, 4)
-            elif m == "BCLR":
-                self.regs.write_d(dst.reg, old & ~mask, 4)
-            elif m == "BCHG":
-                self.regs.write_d(dst.reg, old ^ mask, 4)
-        else:
-            bit %= 8
-            addr = self._ea_address(dst, 1, pc)
+        bit %= 8
+        addr = self._ea_address(dst, 1, pc)
+        old = self._try_read(addr, 1)
+        if old is None:
             old = yield from self.bus.read(addr, 1)
-            mask = 1 << bit
-            self.regs.ccr.z = not (old & mask)
-            if m != "BTST":
-                new = {"BSET": old | mask, "BCLR": old & ~mask,
-                       "BCHG": old ^ mask}[m]
+        mask = 1 << bit
+        self.regs.ccr.z = not (old & mask)
+        if m != "BTST":
+            new = {"BSET": old | mask, "BCLR": old & ~mask,
+                   "BCHG": old ^ mask}[m]
+            if not self._try_write(addr, new, 1):
                 yield from self.bus.write(addr, new, 1)
-        return instruction_timing(instr)
+        return _static_timing(instr)
 
-    def _movem(self, instr: Instruction, size: int, pc: int):
+    def _movem(self, instr, pc, next_pc):
         """MOVEM: multi-register transfer.
 
         Loads/stores proceed in mask order (D0→A7 ascending), except the
         pre-decrement store form which runs A7→D0 with the address moving
         downward, exactly like the hardware.
         """
+        size = instr.size_bytes
         ea = instr.operands[0]
         regs = sorted(
             instr.reg_list,
@@ -557,24 +1038,27 @@ class CPU:
                 for kind, num in reversed(regs):
                     self.regs.a[ea.reg] = (self.regs.a[ea.reg] - size) \
                         & 0xFFFF_FFFF
-                    yield from self.bus.write(
-                        self.regs.a[ea.reg],
-                        to_unsigned(read_reg(kind, num), size), size,
-                    )
+                    v = to_unsigned(read_reg(kind, num), size)
+                    if not self._try_write(self.regs.a[ea.reg], v, size):
+                        yield from self.bus.write(
+                            self.regs.a[ea.reg], v, size
+                        )
             else:
                 addr = self._ea_address(ea, size, pc) \
                     if ea.mode is not Mode.IND else self.regs.a[ea.reg]
                 for kind, num in regs:
-                    yield from self.bus.write(
-                        addr, to_unsigned(read_reg(kind, num), size), size
-                    )
+                    v = to_unsigned(read_reg(kind, num), size)
+                    if not self._try_write(addr, v, size):
+                        yield from self.bus.write(addr, v, size)
                     addr += size
         else:
             if ea.mode is Mode.POSTINC:
                 for kind, num in regs:
-                    value = yield from self.bus.read(
-                        self.regs.a[ea.reg], size
-                    )
+                    value = self._try_read(self.regs.a[ea.reg], size)
+                    if value is None:
+                        value = yield from self.bus.read(
+                            self.regs.a[ea.reg], size
+                        )
                     write_reg(kind, num, value)
                     self.regs.a[ea.reg] = (self.regs.a[ea.reg] + size) \
                         & 0xFFFF_FFFF
@@ -582,10 +1066,12 @@ class CPU:
                 addr = self._ea_address(ea, size, pc) \
                     if ea.mode is not Mode.IND else self.regs.a[ea.reg]
                 for kind, num in regs:
-                    value = yield from self.bus.read(addr, size)
+                    value = self._try_read(addr, size)
+                    if value is None:
+                        value = yield from self.bus.read(addr, size)
                     write_reg(kind, num, value)
                     addr += size
-        return instruction_timing(instr)
+        return _static_timing(instr)
 
     # ------------------------------------------------------------------
     def _unary_result(self, m: str, old: int, size: int) -> tuple[int, int]:
@@ -699,51 +1185,109 @@ class CPU:
         return value
 
     # ------------------------------------------------------------------
-    def _alu(self, instr: Instruction, m: str, ops, size: int, pc: int):
-        """Generator for the ADD/SUB/CMP/logic families (all variants)."""
-        ccr = self.regs.ccr
-        src, dst = ops
-        base = m.rstrip("IQA")  # ADDI/ADDQ/ADDA → ADD, CMPA/CMPI → CMP...
-        if m in ("ADDA", "SUBA", "CMPA"):
-            base = m[:-1]
-        elif m in ALU_IMM:
-            base = m[:-1]
-        elif m in QUICK:
-            base = m[:-1]
+    def _alu(self, instr, pc, next_pc):
+        """Hybrid handler for the ADD/SUB/CMP/logic families (all variants).
 
-        src_val = yield from self._read_operand(src, size, pc)
+        Register/immediate-only forms are handled synchronously by
+        :meth:`_exec_alu_reg`; this one covers memory operands, returning
+        a slow-continuation generator when a bus access was refused.
+        """
+        src_val = self._read_operand_now(
+            instr.operands[0], instr.size_bytes, pc
+        )
+        if src_val is None:
+            return self._alu_src_slow(instr, pc)
+        return self._alu_finish(instr, pc, src_val)
+
+    def _alu_src_slow(self, instr, pc):
+        """Generator: ALU op whose source read was refused."""
+        src_val = yield from self._pending_read(instr.size_bytes)
+        t = self._alu_finish(instr, pc, src_val)
+        if type(t) is not TimingInfo:
+            t = yield from t
+        return t
+
+    def _alu_finish(self, instr, pc, src_val):
+        """Rest of an ALU op once the source value is in hand.
+
+        Returns the TimingInfo, or a generator when the destination
+        access was refused.
+        """
+        m = instr.mnemonic
+        size = instr.size_bytes
+        dst = instr.operands[1]
+        regs = self.regs
+        base = instr._alu_base_cache
+        if base is None:
+            base = _alu_base(m)
+            instr._alu_base_cache = base
+
         if m in ALU_ADDR:
             # Word sources sign-extend; operation is on the full 32 bits.
             if size == 2:
                 src_val32 = to_unsigned(sign_extend(src_val, 16), 4)
             else:
                 src_val32 = src_val
-            dst_val = self.regs.read_a(dst.reg, 4)
+            dst_val = regs.read_a(dst.reg, 4)
             if base == "ADD":
-                self.regs.write_a(dst.reg, dst_val + src_val32, 4)
+                regs.write_a(dst.reg, dst_val + src_val32, 4)
             elif base == "SUB":
-                self.regs.write_a(dst.reg, dst_val - src_val32, 4)
+                regs.write_a(dst.reg, dst_val - src_val32, 4)
             else:  # CMPA
                 self._sub_flags(dst_val, src_val32, 4, set_x=False)
-            return instruction_timing(instr)
+            return _static_timing(instr)
 
-        if m in QUICK and dst.mode is Mode.AREG:
-            dst_val = self.regs.read_a(dst.reg, 4)
-            delta = int(src.value)
-            if base == "ADD":
-                self.regs.write_a(dst.reg, dst_val + delta, 4)
-            else:
-                self.regs.write_a(dst.reg, dst_val - delta, 4)
-            return instruction_timing(instr)
+        if dst.mode is Mode.AREG:
+            # ADDQ/SUBQ #n,An (no flags); other An destinations are
+            # rejected below by _ea_address, as before the registry.
+            if m in QUICK:
+                dst_val = regs.read_a(dst.reg, 4)
+                delta = int(instr.operands[0].value)
+                if base == "ADD":
+                    regs.write_a(dst.reg, dst_val + delta, 4)
+                else:
+                    regs.write_a(dst.reg, dst_val - delta, 4)
+                return _static_timing(instr)
 
-        # Resolve destination (register or memory read-modify-write).
-        dst_addr = None
         if dst.mode is Mode.DREG:
-            dst_val = self.regs.read_d(dst.reg, size)
-        else:
-            dst_addr = self._ea_address(dst, size, pc)
-            dst_val = yield from self.bus.read(dst_addr, size)
+            dst_val = regs.read_d(dst.reg, size)
+            store, result = self._alu_compute(base, dst_val, src_val, size)
+            if store:
+                regs.write_d(dst.reg, to_unsigned(result, size), size)
+            return _static_timing(instr)
 
+        dst_addr = self._ea_address(dst, size, pc)
+        dst_val = self._try_read(dst_addr, size)
+        if dst_val is None:
+            return self._alu_mem_slow(instr, dst_addr, src_val)
+        store, result = self._alu_compute(base, dst_val, src_val, size)
+        if store:
+            result = to_unsigned(result, size)
+            if not self._try_write(dst_addr, result, size):
+                return self._alu_store_slow(instr, dst_addr, result)
+        return _static_timing(instr)
+
+    def _alu_mem_slow(self, instr, dst_addr, src_val):
+        """Generator: ALU memory destination whose read was refused."""
+        size = instr.size_bytes
+        dst_val = yield from self.bus.read(dst_addr, size)
+        store, result = self._alu_compute(
+            instr._alu_base_cache, dst_val, src_val, size
+        )
+        if store:
+            result = to_unsigned(result, size)
+            if not self._try_write(dst_addr, result, size):
+                yield from self.bus.write(dst_addr, result, size)
+        return _static_timing(instr)
+
+    def _alu_store_slow(self, instr, dst_addr, result):
+        """Generator: ALU memory destination whose write-back was refused."""
+        yield from self.bus.write(dst_addr, result, instr.size_bytes)
+        return _static_timing(instr)
+
+    def _alu_compute(self, base, dst_val, src_val, size):
+        """ALU arithmetic + flags; returns ``(store, raw_result)``."""
+        ccr = self.regs.ccr
         store = True
         if base == "ADD":
             result = dst_val + src_val
@@ -766,14 +1310,7 @@ class CPU:
             ccr.set_nz(result, size)
         else:  # pragma: no cover
             raise AssertionError(base)
-
-        if store:
-            result = to_unsigned(result, size)
-            if dst.mode is Mode.DREG:
-                self.regs.write_d(dst.reg, result, size)
-            else:
-                yield from self.bus.write(dst_addr, result, size)
-        return instruction_timing(instr)
+        return store, result
 
     def _add_flags(self, a: int, b: int, result: int, size: int) -> None:
         bits = size * 8
@@ -800,3 +1337,111 @@ class CPU:
             ccr.x = ccr.c
         sa, sb, sr = a >> (bits - 1), b >> (bits - 1), result >> (bits - 1)
         ccr.v = (sa != sb) and (sr != sa)
+
+
+# ----------------------------------------------------------------------
+# Execute-handler registry.
+#
+# ``_resolve_handler`` maps an assembled instruction to its handler once;
+# the ``(kind, function)`` pair is cached on the instruction.  Kinds:
+#
+# 0 — generator handler: driven through the bus protocol as usual.
+# 1 — sync handler: a plain function; the resolver proved, from the
+#     mnemonic and operand modes alone, that execution can never touch
+#     the bus, so the interpreter skips the generator machinery.
+# 2 — hybrid handler: a plain function that returns a TimingInfo when
+#     all bus accesses were absorbed by the fast twins, or a generator
+#     continuation when one was refused (possible blocking access).
+
+_GEN, _SYNC, _HYBRID = 0, 1, 2
+
+_REG_OR_IMM = (Mode.DREG, Mode.AREG, Mode.IMM)
+
+_SYNC_SINGLETONS = {
+    "HALT": CPU._exec_halt,
+    "NOP": CPU._exec_nop,
+    "MOVEQ": CPU._exec_moveq,
+    "LEA": CPU._exec_lea,
+    "EXG": CPU._exec_exg,
+    "SWAP": CPU._exec_swap,
+    "EXT": CPU._exec_ext,
+}
+
+_GEN_SINGLETONS = {
+    "RTS": CPU._exec_rts,
+    "PEA": CPU._exec_pea,
+    "LINK": CPU._exec_link,
+    "UNLK": CPU._exec_unlk,
+    "CMPM": CPU._exec_cmpm,
+    "MOVEM": CPU._movem,
+}
+
+
+def _alu_base(m: str) -> str:
+    """Family base mnemonic: ADDI/ADDQ/ADDA → ADD, CMPA/CMPI → CMP, …"""
+    if m in ALU_IMM or m in QUICK or m in ("ADDA", "SUBA", "CMPA"):
+        return m[:-1]
+    return m
+
+
+def _resolve_handler(instr: Instruction) -> tuple:
+    """Pick the execute handler for ``instr``: ``(kind, function)``.
+
+    The choice depends only on fields fixed at assembly time (mnemonic and
+    operand modes), so the caller caches it on the instruction.
+    """
+    m = instr.mnemonic
+    ops = instr.operands
+    if m == "MOVE" or m == "MOVEA":
+        src, dst = ops
+        if src.mode in _REG_OR_IMM and dst.mode in (Mode.DREG, Mode.AREG):
+            return (_SYNC, CPU._exec_move_reg)
+        return (_HYBRID, CPU._exec_move_mem)
+    if m in ALU_ALL:
+        src, dst = ops
+        if src.mode in _REG_OR_IMM and (
+            dst.mode is Mode.DREG
+            or (dst.mode is Mode.AREG and (m in ALU_ADDR or m in QUICK))
+        ):
+            return (_SYNC, CPU._exec_alu_reg)
+        return (_HYBRID, CPU._alu)
+    if m in DBCC:
+        return (_SYNC, CPU._exec_dbcc)
+    if m in BRANCHES:
+        if m == "BSR":
+            return (_GEN, CPU._exec_bsr)
+        return (_SYNC, CPU._exec_branch)
+    if m in MULDIV:
+        if ops[0].mode in _REG_OR_IMM:
+            return (_SYNC, CPU._exec_muldiv_reg)
+        return (_HYBRID, CPU._exec_muldiv_mem)
+    if m in UNARY:
+        dst = ops[0]
+        if dst.mode is Mode.DREG or (m == "TST" and dst.mode in _REG_OR_IMM):
+            return (_SYNC, CPU._exec_unary_reg)
+        return (_HYBRID, CPU._exec_unary_mem)
+    if m in SHIFTS:
+        return (_SYNC, CPU._exec_shift)
+    fn = _SYNC_SINGLETONS.get(m)
+    if fn is not None:
+        return (_SYNC, fn)
+    if m in JUMPS:
+        if m == "JSR":
+            return (_GEN, CPU._exec_jsr)
+        return (_SYNC, CPU._exec_jmp)
+    if m in EXTENDED:
+        if ops[0].mode is Mode.DREG:
+            return (_SYNC, CPU._exec_addx_reg)
+        return (_GEN, CPU._addx_subx)
+    if m in SCC:
+        if ops[0].mode is Mode.DREG:
+            return (_SYNC, CPU._exec_scc_reg)
+        return (_GEN, CPU._exec_scc_mem)
+    if m in BITOPS:
+        if ops[1].mode is Mode.DREG:
+            return (_SYNC, CPU._exec_bitop_reg)
+        return (_GEN, CPU._exec_bitop_mem)
+    fn = _GEN_SINGLETONS.get(m)
+    if fn is not None:
+        return (_GEN, fn)
+    return (_GEN, CPU._exec_illegal)

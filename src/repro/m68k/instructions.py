@@ -59,6 +59,8 @@ SCC = {f"S{c}" for c in CONDITIONS}
 JUMPS = {"JMP", "JSR"}
 BITOPS = {"BTST", "BSET", "BCLR", "BCHG"}
 EXTENDED = {"ADDX", "SUBX"}  #: multi-precision arithmetic through X
+#: The whole two-operand ALU family, for one-test interpreter dispatch.
+ALU_ALL = frozenset(QUICK | ALU_IMM | ALU_ADDR | ALU_REG)
 NO_OPERAND = {"NOP", "RTS", "HALT"}
 
 #: All supported mnemonics.
@@ -111,7 +113,15 @@ class Instruction:
     movem_store: bool = False
     #: Lazy caches (interpreter hot path); not part of the public API.
     _encoded_words_cache: int | None = None
+    _size_bytes_cache: int | None = None
+    _alu_base_cache: str | None = None
     _static_timing_cache: object = None
+    #: ``(is_sync, handler)`` resolved by the interpreter's dispatch
+    #: registry (:func:`repro.m68k.cpu._resolve_handler`).
+    _exec_handler_cache: tuple | None = None
+    #: Per-variant timings for data/outcome-dependent instructions,
+    #: keyed by multiplier base cycles / shift count / branch outcome.
+    _variant_timing_cache: dict | None = None
 
     def __post_init__(self) -> None:
         if self.mnemonic not in ALL_MNEMONICS:
@@ -134,7 +144,11 @@ class Instruction:
 
     @property
     def size_bytes(self) -> int:
-        return (self.size or Size.WORD).bytes
+        sb = self._size_bytes_cache
+        if sb is None:
+            sb = (self.size or Size.WORD).bytes
+            self._size_bytes_cache = sb
+        return sb
 
     def encoded_words(self) -> int:
         """Encoded length in 16-bit words (opcode + extension words).
@@ -177,7 +191,8 @@ class Instruction:
         return words
 
     def encoded_bytes(self) -> int:
-        return 2 * self.encoded_words()
+        w = self._encoded_words_cache
+        return 2 * w if w is not None else 2 * self.encoded_words()
 
     def __str__(self) -> str:
         name = self.mnemonic

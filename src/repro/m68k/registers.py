@@ -13,12 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.utils.bitops import sign_extend, to_unsigned
+from repro.utils.bitops import sign_extend
 
 MASK32 = 0xFFFF_FFFF
 
 
-@dataclass
+@dataclass(slots=True)
 class ConditionCodes:
     """The MC68000 CCR flags."""
 
@@ -30,7 +30,7 @@ class ConditionCodes:
 
     def set_nz(self, value: int, size: int) -> None:
         """Set N and Z from a result of ``size`` bytes; clear V and C."""
-        value = to_unsigned(value, size)
+        value &= (1 << (size * 8)) - 1
         self.n = bool(value >> (size * 8 - 1))
         self.z = value == 0
         self.v = False
@@ -38,38 +38,53 @@ class ConditionCodes:
 
     def test(self, cond: str) -> bool:
         """Evaluate an MC68000 condition mnemonic (``EQ``, ``NE``, ...)."""
-        cond = cond.upper()
-        n, z, v, c = self.n, self.z, self.v, self.c
-        table = {
-            "T": True,
-            "F": False,
-            "HI": not c and not z,
-            "LS": c or z,
-            "CC": not c,
-            "HS": not c,
-            "CS": c,
-            "LO": c,
-            "NE": not z,
-            "EQ": z,
-            "VC": not v,
-            "VS": v,
-            "PL": not n,
-            "MI": n,
-            "GE": n == v,
-            "LT": n != v,
-            "GT": (n == v) and not z,
-            "LE": z or (n != v),
-        }
-        try:
-            return table[cond]
-        except KeyError:
-            raise ValueError(f"unknown condition code {cond!r}") from None
+        # Hot path of every conditional branch/DBcc/Scc: an if-chain in
+        # rough dynamic-frequency order, no per-call table construction.
+        z = self.z
+        if cond == "NE":
+            return not z
+        if cond == "EQ":
+            return z
+        n, v = self.n, self.v
+        if cond == "LT":
+            return n != v
+        if cond == "GE":
+            return n == v
+        if cond == "GT":
+            return (n == v) and not z
+        if cond == "LE":
+            return z or (n != v)
+        c = self.c
+        if cond in ("CC", "HS"):
+            return not c
+        if cond in ("CS", "LO"):
+            return c
+        if cond == "HI":
+            return not c and not z
+        if cond == "LS":
+            return c or z
+        if cond == "PL":
+            return not n
+        if cond == "MI":
+            return n
+        if cond == "VC":
+            return not v
+        if cond == "VS":
+            return v
+        if cond == "T":
+            return True
+        if cond == "F":
+            return False
+        upper = cond.upper()
+        if upper != cond:
+            return self.test(upper)
+        raise ValueError(f"unknown condition code {cond!r}")
 
     def as_dict(self) -> dict[str, bool]:
         return {"X": self.x, "N": self.n, "Z": self.z, "V": self.v, "C": self.c}
 
 
-@dataclass
+@dataclass(slots=True)
 class RegisterFile:
     """Data/address registers plus PC and CCR."""
 
@@ -81,19 +96,25 @@ class RegisterFile:
     # -- data registers ---------------------------------------------------
     def read_d(self, n: int, size: int = 4) -> int:
         """Read the low ``size`` bytes of Dn (unsigned)."""
-        return to_unsigned(self.d[n], size)
+        v = self.d[n]
+        if size == 4:
+            return v
+        return v & 0xFFFF if size == 2 else v & 0xFF
 
     def write_d(self, n: int, value: int, size: int = 4) -> None:
         """Write the low ``size`` bytes of Dn, preserving the upper bits."""
         if size == 4:
             self.d[n] = value & MASK32
         else:
-            keep_mask = MASK32 ^ ((1 << (size * 8)) - 1)
-            self.d[n] = (self.d[n] & keep_mask) | to_unsigned(value, size)
+            low_mask = (1 << (size * 8)) - 1
+            self.d[n] = (self.d[n] & (MASK32 ^ low_mask)) | (value & low_mask)
 
     # -- address registers ------------------------------------------------
     def read_a(self, n: int, size: int = 4) -> int:
-        return to_unsigned(self.a[n], size)
+        v = self.a[n]
+        if size == 4:
+            return v
+        return v & 0xFFFF if size == 2 else v & 0xFF
 
     def write_a(self, n: int, value: int, size: int = 4) -> None:
         """Write An; word-sized sources are sign-extended to 32 bits."""

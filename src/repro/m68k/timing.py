@@ -35,7 +35,7 @@ MIMD streams each PE pays only its own.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import IllegalInstructionError
 from repro.m68k.addressing import Mode, ea_timing
@@ -73,16 +73,23 @@ class TimingInfo:
     stream_words: int
     data_reads: int = 0
     data_writes: int = 0
+    #: Cycles not spent on the bus (ALU/microcode time).  Derived in
+    #: ``__post_init__`` — a plain attribute because it is read once per
+    #: simulated instruction.
+    internal_cycles: int = field(init=False, default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "internal_cycles",
+            self.cycles
+            - 4 * (self.stream_words + self.data_reads + self.data_writes),
+        )
 
     @property
     def accesses(self) -> int:
         """Total 16-bit bus accesses."""
         return self.stream_words + self.data_reads + self.data_writes
-
-    @property
-    def internal_cycles(self) -> int:
-        """Cycles not spent on the bus (ALU/microcode time)."""
-        return self.cycles - 4 * self.accesses
 
     def with_wait_states(self, ws_stream: float, ws_data: float) -> float:
         """Total cycles with per-access wait states applied."""
@@ -177,8 +184,15 @@ _JSR_TIME = {
 }
 
 
-#: Families whose timing depends on runtime values/outcomes — never cached.
-_DYNAMIC_TIMING = MULDIV | SHIFTS | BRANCHES | DBCC | SCC
+#: The two truly data-dependent multiplies (DIVU/DIVS are modelled with
+#: constant worst-case times, so they cache like static instructions).
+_MUL = frozenset(("MULU", "MULS"))
+
+#: Families whose timing depends on runtime values/outcomes.  Their
+#: timings are memoized per *variant* on the instruction object: MUL by
+#: base-cycle count (at most 17 distinct values), shifts by count,
+#: branches/DBcc/Scc by outcome.
+_DYNAMIC_TIMING = _MUL | SHIFTS | BRANCHES | DBCC | SCC
 
 
 def instruction_timing(
@@ -204,22 +218,54 @@ def instruction_timing(
         For DBcc with the condition false: whether the counter expired
         (loop exit) rather than branching back.
 
-    Static timings (everything outside the data/outcome-dependent
-    families) are cached on the instruction object — the interpreter's
-    hottest path.
+    All timings are memoized on the instruction object — the
+    interpreter's hottest path.  Static instructions cache a single
+    :class:`TimingInfo`; the data/outcome-dependent families cache one
+    per variant (multiplier base cycles, shift count, branch outcome),
+    computed on first encounter.
     """
     cached = instr._static_timing_cache
     if cached is not None:
         return cached
-    t = _instruction_timing_impl(
-        instr,
-        src_value=src_value,
-        shift_count=shift_count,
-        branch_taken=branch_taken,
-        dbcc_expired=dbcc_expired,
-    )
-    if instr.mnemonic not in _DYNAMIC_TIMING:
+    m = instr.mnemonic
+    if m not in _DYNAMIC_TIMING:
+        t = _instruction_timing_impl(
+            instr,
+            src_value=src_value,
+            shift_count=shift_count,
+            branch_taken=branch_taken,
+            dbcc_expired=dbcc_expired,
+        )
         instr._static_timing_cache = t
+        return t
+    variants = instr._variant_timing_cache
+    if variants is None:
+        variants = instr._variant_timing_cache = {}
+    if m in _MUL:
+        if src_value is None:
+            raise IllegalInstructionError(f"{m}: src_value required")
+        base = mulu_cycles(src_value) if m == "MULU" else muls_cycles(src_value)
+        t = variants.get(base)
+        if t is None:
+            ea = ea_timing(instr.operands[0], 2)  # word source
+            t = TimingInfo(
+                cycles=base + ea.cycles,
+                stream_words=1 + ea.stream_words,
+                data_reads=ea.data_reads,
+            )
+            variants[base] = t
+        return t
+    key = shift_count if m in SHIFTS else (branch_taken, dbcc_expired)
+    t = variants.get(key)
+    if t is None:
+        t = _instruction_timing_impl(
+            instr,
+            src_value=src_value,
+            shift_count=shift_count,
+            branch_taken=branch_taken,
+            dbcc_expired=dbcc_expired,
+        )
+        variants[key] = t
     return t
 
 

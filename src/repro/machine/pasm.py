@@ -87,10 +87,16 @@ class PASMMachine:
         *,
         shared=None,
         fault_plan: FaultPlan | None = None,
+        fast_path: bool | None = None,
     ) -> None:
         """``shared`` (env, network, fabric) lets several virtual machines
         coexist on one physical machine — see
         :class:`repro.machine.multivm.PartitionedMachine`.
+
+        ``fast_path`` selects local-time execution for the PE and MC buses
+        (see :mod:`repro.sim.localtime`); ``None`` defers to
+        ``$REPRO_PURE_EVENTS`` (default: enabled).  Results are
+        bit-identical either way.
 
         ``fault_plan`` injects failures into this run: its network faults
         are applied to the circuit allocator (with the extra stage
@@ -102,6 +108,7 @@ class PASMMachine:
         self.config = config or PrototypeConfig.calibrated()
         self.partition = Partition(self.config, partition_size, first_mc)
         self.fault_plan = fault_plan
+        self.fast_path = fast_path
         if fault_plan is not None and fault_plan.failstops:
             physical = {
                 self.partition.physical_pe(logical)
@@ -179,6 +186,7 @@ class PASMMachine:
                     port=self.fabric.ports[physical],
                     queue=self.queues[mc],
                     pe_slot=logical,
+                    fast_path=fast_path,
                 )
             )
         self._net_setup_cycles = 0.0
@@ -501,6 +509,7 @@ class PASMMachine:
             amc = AssemblyMicroController(
                 self.env, self.config, self.masks[mc_id],
                 self.controllers[mc_id], block_ids, name=f"MCasm{mc_id}",
+                fast_path=self.fast_path,
             )
             amc.load_program(mc_program)
             amc.run_process()

@@ -31,6 +31,7 @@ from repro.m68k.cpu import CPU
 from repro.m68k.instructions import Instruction
 from repro.machine.config import PrototypeConfig
 from repro.memory.module import MemoryModule
+from repro.sim.localtime import LocalTimeBus
 
 #: MC-visible device addresses (the MC's map is independent of the PEs').
 FU_MASK_ADDR = 0xE0_0000
@@ -50,8 +51,13 @@ MC_DEVICE_SYMBOLS = {
 MC_RAM_SIZE = 0x4_0000
 
 
-class MCBus:
-    """The MC CPU's bus: DRAM plus the Fetch Unit device registers."""
+class MCBus(LocalTimeBus):
+    """The MC CPU's bus: DRAM plus the Fetch Unit device registers.
+
+    With ``fast_path`` enabled, DRAM traffic accrues in the local clock
+    (see :mod:`repro.sim.localtime`); every Fetch Unit register access is
+    a shared interaction and flushes first.
+    """
 
     def __init__(
         self,
@@ -61,6 +67,7 @@ class MCBus:
         controller: FetchUnitController,
         block_ids: dict[int, str],
         name: str = "mcbus",
+        fast_path: bool | None = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -71,6 +78,8 @@ class MCBus:
         self.memory = MemoryModule(MC_RAM_SIZE)
         self.instructions: dict[int, Instruction] = {}
         self.device_writes = 0
+        self._ref_period, self._ref_steal = config.refresh.inline_constants()
+        self._init_local_clock(fast_path)
 
     def load_program(self, program: AssembledProgram) -> None:
         self.instructions.update(program.instructions)
@@ -79,34 +88,98 @@ class MCBus:
 
     # -- timing helpers -------------------------------------------------
     def _ram_cycles(self, n_accesses: int) -> float:
+        # Inlined closed form of RefreshModel.stall_cycles at bus-true time.
         cycles = n_accesses * (4 + self.config.ws_main)
-        cycles += self.config.refresh.stall_cycles(self.env.now, n_accesses)
+        steal = self._ref_steal
+        if steal:
+            phase = (self.env.now + self._local) % self._ref_period
+            if phase < steal:
+                cycles += steal - phase
         return cycles
 
     # -- CPU bus protocol ------------------------------------------------
+    # Non-generator fast ops (fast path only; None/False = fall back to
+    # the generator protocol).  Only DRAM traffic is private; every Fetch
+    # Unit register access goes through the generator path.
+    def try_fetch_instruction(self, addr: int):
+        if not self.fast_path:
+            return None
+        instr = self.instructions.get(addr)
+        if instr is None:
+            return None  # generator path raises the BusError
+        self._local += self._ram_cycles(instr.encoded_words())
+        self.local_charges += 1
+        return instr
+
+    def try_fetch_stream_words(self, addr: int, n: int) -> bool:
+        if not self.fast_path:
+            return False
+        self._local += self._ram_cycles(n)
+        self.local_charges += 1
+        return True
+
+    def try_read(self, addr: int, size: int):
+        if not self.fast_path or addr == FU_WAIT_ADDR:
+            return None
+        self._local += self._ram_cycles(access_count(size))
+        self.local_charges += 1
+        return self.memory.read(addr, size)
+
+    def try_write(self, addr: int, value: int, size: int) -> bool:
+        if not self.fast_path or addr in (
+            FU_MASK_ADDR, FU_CTRL_ADDR, FU_SYNC_ADDR
+        ):
+            return False
+        self._local += self._ram_cycles(access_count(size))
+        self.local_charges += 1
+        self.memory.write(addr, value, size)
+        return True
+
     def fetch_instruction(self, addr: int):
         try:
             instr = self.instructions[addr]
         except KeyError:
             raise BusError(f"{self.name}: no instruction at {addr:#x}") from None
         n = instr.encoded_words()
-        yield self.env.timeout(self._ram_cycles(n))
+        cycles = self._ram_cycles(n)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return instr
+        yield self.env.sleep(cycles)
         return instr
 
     def fetch_stream_words(self, addr: int, n: int):
-        yield self.env.timeout(self._ram_cycles(n))
+        cycles = self._ram_cycles(n)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return
+        yield self.env.sleep(cycles)
 
     def read(self, addr: int, size: int):
         if addr == FU_WAIT_ADDR:
-            yield self.env.timeout(4 + self.config.ws_device)
+            # Sampling access: flush, then charge through a real event so
+            # the busy-flag sample lands at the same event-loop point as
+            # on the pure-event path.
+            yield from self.sync()
+            yield self.env.sleep(4 + self.config.ws_device)
             return 1 if self.controller.outstanding else 0
         n = access_count(size)
-        yield self.env.timeout(self._ram_cycles(n))
+        cycles = self._ram_cycles(n)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return self.memory.read(addr, size)
+        yield self.env.sleep(cycles)
         return self.memory.read(addr, size)
 
     def write(self, addr: int, value: int, size: int):
         if addr == FU_MASK_ADDR:
-            yield self.env.timeout(4 + self.config.ws_device)
+            # Charge-then-act: the mask update must happen at the same
+            # event-loop point as on the pure-event path.
+            yield from self.sync()
+            yield self.env.sleep(4 + self.config.ws_device)
             self.mask.set_from_bits(value)
             self.device_writes += 1
             return
@@ -119,21 +192,41 @@ class MCBus:
                 )
             # The write completes when the command register accepts it —
             # the MC stalls while the controller is two blocks behind.
+            yield from self.sync()
             yield from self.controller.submit_block(name)
-            yield self.env.timeout(4 + self.config.ws_device)
             self.device_writes += 1
+            if self.fast_path:
+                self._local += 4 + self.config.ws_device
+                self.local_charges += 1
+                return
+            yield self.env.sleep(4 + self.config.ws_device)
             return
         if addr == FU_SYNC_ADDR:
+            yield from self.sync()
             yield from self.controller.submit_sync_words(value)
-            yield self.env.timeout(4 + self.config.ws_device)
             self.device_writes += 1
+            if self.fast_path:
+                self._local += 4 + self.config.ws_device
+                self.local_charges += 1
+                return
+            yield self.env.sleep(4 + self.config.ws_device)
             return
         n = access_count(size)
-        yield self.env.timeout(self._ram_cycles(n))
+        cycles = self._ram_cycles(n)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            self.memory.write(addr, value, size)
+            return
+        yield self.env.sleep(cycles)
         self.memory.write(addr, value, size)
 
     def internal(self, cycles: float):
-        yield self.env.timeout(cycles)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return
+        yield self.env.sleep(cycles)
 
 
 class AssemblyMicroController:
@@ -147,11 +240,12 @@ class AssemblyMicroController:
         controller: FetchUnitController,
         block_ids: dict[int, str],
         name: str = "MCasm",
+        fast_path: bool | None = None,
     ) -> None:
         self.env = env
         self.name = name
         self.bus = MCBus(env, config, mask, controller, block_ids,
-                         name=f"{name}.bus")
+                         name=f"{name}.bus", fast_path=fast_path)
         self.cpu = CPU(env, self.bus, name=name)
 
     def load_program(self, program: AssembledProgram) -> None:

@@ -36,12 +36,18 @@ class MemoryModule:
         return off
 
     def read(self, addr: int, size: int) -> int:
-        off = self._offset(addr, size)
-        return int.from_bytes(self.data[off : off + size], "big")
+        data = self.data
+        off = addr - self.base
+        if off < 0 or off + size > len(data) or (size >= 2 and addr & 1):
+            off = self._offset(addr, size)  # raises the precise error
+        return int.from_bytes(data[off : off + size], "big")
 
     def write(self, addr: int, value: int, size: int) -> None:
-        off = self._offset(addr, size)
-        self.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+        data = self.data
+        off = addr - self.base
+        if off < 0 or off + size > len(data) or (size >= 2 and addr & 1):
+            off = self._offset(addr, size)  # raises the precise error
+        data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
             size, "big"
         )
 

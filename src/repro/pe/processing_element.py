@@ -30,10 +30,18 @@ from repro.machine.config import PrototypeConfig
 from repro.memory.map import RegionKind
 from repro.memory.module import MemoryModule
 from repro.network.transfer import TransferPort
+from repro.sim.localtime import LocalTimeBus
 
 
-class PEBus:
-    """The PE's address decoder / bus timing model."""
+class PEBus(LocalTimeBus):
+    """The PE's address decoder / bus timing model.
+
+    With ``fast_path`` enabled (see :mod:`repro.sim.localtime`), private
+    charges — main-RAM traffic and internal cycles — accrue in the local
+    clock; the bus flushes before every shared-resource interaction (Fetch
+    Unit Queue, network transfer registers) and for every sampling access
+    (network status, timer).
+    """
 
     def __init__(
         self,
@@ -44,6 +52,7 @@ class PEBus:
         queue: FetchUnitQueue | None,
         pe_slot: int,
         name: str = "pe",
+        fast_path: bool | None = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -54,6 +63,14 @@ class PEBus:
         self.pe_slot = pe_slot
         self.name = name
         self.instructions: dict[int, Instruction] = {}
+        self._ref_period, self._ref_steal = config.refresh.inline_constants()
+        # Region decode caches (the map is immutable after build).  The
+        # instruction stream has near-perfect region locality (PC walks
+        # one region at a time), so fetches keep the last region; data
+        # addresses repeat across loop iterations, so they memoize per
+        # address.
+        self._fetch_region = None
+        self._data_regions: dict = {}
         # -- instrumentation ------------------------------------------------
         self.stream_accesses = 0
         self.data_accesses = 0
@@ -61,6 +78,7 @@ class PEBus:
         self.net_bytes_sent = 0
         self.net_bytes_received = 0
         self.sync_reads = 0
+        self._init_local_clock(fast_path)
 
     # ------------------------------------------------------------------
     def load_program(self, program: AssembledProgram) -> None:
@@ -68,14 +86,124 @@ class PEBus:
         for addr, chunk in program.data:
             self.memory.load(addr, chunk)
 
+    def _fregion(self, addr: int):
+        region = self._fetch_region
+        if region is None or not (region.start <= addr < region.end):
+            region = self.map.lookup(addr)  # raises on unmapped addresses
+            self._fetch_region = region
+        return region
+
+    def _dregion(self, addr: int):
+        region = self._data_regions.get(addr)
+        if region is None:
+            region = self.map.lookup(addr)  # raises on unmapped addresses
+            self._data_regions[addr] = region
+        return region
+
     def _ram_access(self, n_accesses: int, wait_states: int) -> float:
+        # Refresh stall is a pure function of bus-true absolute time;
+        # inlined closed form of RefreshModel.stall_cycles.
         cycles = n_accesses * (4 + wait_states)
-        cycles += self.config.refresh.stall_cycles(self.env.now, n_accesses)
+        steal = self._ref_steal
+        if steal:
+            phase = (self.env.now + self._local) % self._ref_period
+            if phase < steal:
+                cycles += steal - phase
         return cycles
 
     # -- CPU bus protocol -------------------------------------------------
+    # -- non-generator fast ops (fast path only; None/False = fall back
+    # to the generator protocol) ----------------------------------------
+    def try_fetch_instruction(self, addr: int):
+        """Fetch + charge entirely locally, or None to use the generator.
+
+        Hot path: region lookup and the refresh closed form are inlined
+        (same arithmetic as :meth:`_fregion` / :meth:`_ram_access`).
+        """
+        if not self.fast_path:
+            return None
+        region = self._fetch_region
+        if region is None or not (region.start <= addr < region.end):
+            region = self.map.lookup(addr)
+            self._fetch_region = region
+        if region.kind is not RegionKind.MAIN_RAM:
+            return None
+        instr = self.instructions.get(addr)
+        if instr is None:
+            return None  # generator path raises the BusError
+        n = instr._encoded_words_cache
+        if n is None:
+            n = instr.encoded_words()
+        self.stream_accesses += n
+        cycles = n * (4 + region.wait_states)
+        steal = self._ref_steal
+        if steal:
+            phase = (self.env.now + self._local) % self._ref_period
+            if phase < steal:
+                cycles += steal - phase
+        self._local += cycles
+        self.local_charges += 1
+        return instr
+
+    def try_fetch_stream_words(self, addr: int, n: int) -> bool:
+        if not self.fast_path:
+            return False
+        region = self._fregion(addr)
+        self.stream_accesses += n
+        if region.kind is RegionKind.MAIN_RAM:
+            self._local += self._ram_access(n, region.wait_states)
+        else:
+            self._local += n * (4 + region.wait_states)
+        self.local_charges += 1
+        return True
+
+    def try_read(self, addr: int, size: int):
+        """Local read value, or None to use the generator protocol."""
+        if not self.fast_path:
+            return None
+        region = self._data_regions.get(addr)
+        if region is None:
+            region = self.map.lookup(addr)
+            self._data_regions[addr] = region
+        if region.kind is not RegionKind.MAIN_RAM:
+            return None
+        n = 2 if size == 4 else 1
+        self.data_accesses += n
+        cycles = n * (4 + region.wait_states)
+        steal = self._ref_steal
+        if steal:
+            phase = (self.env.now + self._local) % self._ref_period
+            if phase < steal:
+                cycles += steal - phase
+        self._local += cycles
+        self.local_charges += 1
+        return self.memory.read(addr, size)
+
+    def try_write(self, addr: int, value: int, size: int) -> bool:
+        if not self.fast_path:
+            return False
+        region = self._data_regions.get(addr)
+        if region is None:
+            region = self.map.lookup(addr)
+            self._data_regions[addr] = region
+        if region.kind is not RegionKind.MAIN_RAM:
+            return False
+        n = 2 if size == 4 else 1
+        self.data_accesses += n
+        cycles = n * (4 + region.wait_states)
+        steal = self._ref_steal
+        if steal:
+            phase = (self.env.now + self._local) % self._ref_period
+            if phase < steal:
+                cycles += steal - phase
+        self._local += cycles
+        self.local_charges += 1
+        self.memory.write(addr, value, size)
+        return True
+
+    # -- generator protocol ---------------------------------------------
     def fetch_instruction(self, addr: int):
-        region = self.map.lookup(addr)
+        region = self._fregion(addr)
         if region.kind is RegionKind.MAIN_RAM:
             try:
                 instr = self.instructions[addr]
@@ -85,11 +213,19 @@ class PEBus:
                 ) from None
             n = instr.encoded_words()
             self.stream_accesses += n
-            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            cycles = self._ram_access(n, region.wait_states)
+            if self.fast_path:
+                self._local += cycles
+                self.local_charges += 1
+                return instr
+            yield self.env.sleep(cycles)
             return instr
         if region.kind is RegionKind.SIMD_SPACE:
             if self.queue is None:
                 raise BusError(f"{self.name}: no Fetch Unit attached")
+            # Shared interaction: flush so the queue request is made at
+            # true time; the queue-access charge afterwards is private.
+            yield from self.sync()
             item = yield from self.queue.request(self.pe_slot)
             if item.payload is None:
                 raise SimulationError(
@@ -99,31 +235,47 @@ class PEBus:
             self.queue_fetches += n
             self.stream_accesses += n
             # Queue fetches: static RAM, no refresh.
-            yield self.env.timeout(n * (4 + region.wait_states))
+            cycles = n * (4 + region.wait_states)
+            if self.fast_path:
+                self._local += cycles
+                self.local_charges += 1
+                return item.payload
+            yield self.env.sleep(cycles)
             return item.payload
         raise BusError(
             f"{self.name}: cannot execute from {region.kind.value} at {addr:#x}"
         )
 
     def fetch_stream_words(self, addr: int, n: int):
-        region = self.map.lookup(addr)
+        region = self._fregion(addr)
         self.stream_accesses += n
         if region.kind is RegionKind.MAIN_RAM:
-            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            cycles = self._ram_access(n, region.wait_states)
         else:
-            yield self.env.timeout(n * (4 + region.wait_states))
+            cycles = n * (4 + region.wait_states)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return
+        yield self.env.sleep(cycles)
 
     def read(self, addr: int, size: int):
-        region = self.map.lookup(addr)
+        region = self._dregion(addr)
         kind = region.kind
         if kind is RegionKind.MAIN_RAM:
             n = access_count(size)
             self.data_accesses += n
-            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            cycles = self._ram_access(n, region.wait_states)
+            if self.fast_path:
+                self._local += cycles
+                self.local_charges += 1
+                return self.memory.read(addr, size)
+            yield self.env.sleep(cycles)
             return self.memory.read(addr, size)
         if kind is RegionKind.SIMD_SPACE:
             # Barrier: a data read from SIMD space consumes one queue word
             # and completes only when all enabled PEs have read it.
+            yield from self.sync()
             item = yield from self.queue.request(self.pe_slot)
             if item.payload is not None:
                 raise SimulationError(
@@ -132,33 +284,57 @@ class PEBus:
                 )
             self.sync_reads += 1
             self.data_accesses += 1
-            yield self.env.timeout(4 + region.wait_states)
+            if self.fast_path:
+                self._local += 4 + region.wait_states
+                self.local_charges += 1
+                return 0
+            yield self.env.sleep(4 + region.wait_states)
             return 0
         if kind is RegionKind.NET_RX:
+            yield from self.sync()
             value = yield from self.port.read_rx()
             self.net_bytes_received += 1
             self.data_accesses += 1
-            yield self.env.timeout(4 + region.wait_states)
+            if self.fast_path:
+                self._local += 4 + region.wait_states
+                self.local_charges += 1
+                return value
+            yield self.env.sleep(4 + region.wait_states)
             return value
         if kind is RegionKind.NET_STATUS:
+            # Sampling access: flush, then issue the access charge as a
+            # *real* event so the status sample happens at the same
+            # event-loop point as on the pure-event path.
+            yield from self.sync()
             self.data_accesses += 1
-            yield self.env.timeout(4 + region.wait_states)
+            yield self.env.sleep(4 + region.wait_states)
             return self.port.status()
         if kind is RegionKind.TIMER:
-            self.data_accesses += access_count(size)
-            yield self.env.timeout(
-                access_count(size) * (4 + region.wait_states)
-            )
+            n = access_count(size)
+            self.data_accesses += n
+            # The timer *is* global time: fold the access charge into the
+            # local clock, flush everything, then sample env.now.
+            if self.fast_path:
+                self._local += n * (4 + region.wait_states)
+                yield from self.sync()
+            else:
+                yield self.env.sleep(n * (4 + region.wait_states))
             return int(self.env.now) & ((1 << (8 * size)) - 1)
         raise BusError(f"{self.name}: cannot read {kind.value} at {addr:#x}")
 
     def write(self, addr: int, value: int, size: int):
-        region = self.map.lookup(addr)
+        region = self._dregion(addr)
         kind = region.kind
         if kind is RegionKind.MAIN_RAM:
             n = access_count(size)
             self.data_accesses += n
-            yield self.env.timeout(self._ram_access(n, region.wait_states))
+            cycles = self._ram_access(n, region.wait_states)
+            if self.fast_path:
+                self._local += cycles
+                self.local_charges += 1
+                self.memory.write(addr, value, size)
+                return
+            yield self.env.sleep(cycles)
             self.memory.write(addr, value, size)
             return
         if kind is RegionKind.NET_TX:
@@ -167,15 +343,24 @@ class PEBus:
                     f"{self.name}: network data path is 8 bits wide; "
                     f"{size}-byte write to NET_TX"
                 )
+            yield from self.sync()
             yield from self.port.write_tx(value)
             self.net_bytes_sent += 1
             self.data_accesses += 1
-            yield self.env.timeout(4 + region.wait_states)
+            if self.fast_path:
+                self._local += 4 + region.wait_states
+                self.local_charges += 1
+                return
+            yield self.env.sleep(4 + region.wait_states)
             return
         raise BusError(f"{self.name}: cannot write {kind.value} at {addr:#x}")
 
     def internal(self, cycles: float):
-        yield self.env.timeout(cycles)
+        if self.fast_path:
+            self._local += cycles
+            self.local_charges += 1
+            return
+        yield self.env.sleep(cycles)
 
 
 class ProcessingElement:
@@ -189,6 +374,7 @@ class ProcessingElement:
         port: TransferPort | None = None,
         queue: FetchUnitQueue | None = None,
         pe_slot: int | None = None,
+        fast_path: bool | None = None,
     ) -> None:
         self.env = env
         self.config = config
@@ -202,6 +388,7 @@ class ProcessingElement:
             queue,
             pe_slot if pe_slot is not None else physical_id,
             name=f"PE{physical_id}",
+            fast_path=fast_path,
         )
         self.cpu = CPU(env, self.bus, name=f"PE{physical_id}")
 

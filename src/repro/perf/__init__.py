@@ -1,0 +1,146 @@
+"""Performance observability: counters, percentiles, profiles.
+
+The fast-path work (local-time execution, decoded caches, handler
+registry) lives in the simulator proper; this module is the *read side*
+— small helpers that surface what the kernel and the buses actually did
+during a run, so speed-ups can be attributed rather than guessed at:
+
+* :func:`kernel_counters` — event-queue traffic of an
+  :class:`~repro.sim.environment.Environment` (pushes, pops, heap
+  high-water mark, sleep-pool reuses);
+* :func:`machine_counters` — aggregate local-time statistics over every
+  bus of a :class:`~repro.machine.PASMMachine` (charges absorbed without
+  a heap event, local-clock flushes at shared-resource interaction
+  points);
+* :func:`percentile` — dependency-free percentile with linear
+  interpolation, used by the execution engine's ``--stats`` table;
+* :func:`profile_to` — context manager dumping a :mod:`cProfile` capture
+  to a file for ``snakeviz``/``pstats`` (note cProfile counts each
+  *resumption* of a generator as a call, so simulation coroutines show
+  resumption counts, not invocation counts);
+* :func:`format_breakdown` — a wall-time-by-component table with shares.
+"""
+
+from __future__ import annotations
+
+import cProfile
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+from repro.utils.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.machine import PASMMachine
+    from repro.sim.environment import Environment
+
+__all__ = [
+    "format_breakdown",
+    "kernel_counters",
+    "machine_counters",
+    "percentile",
+    "profile_to",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default method without the import;
+    returns 0.0 for an empty sequence (the natural value for "no jobs").
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    frac = rank - lo
+    if frac == 0.0:
+        return float(ordered[lo])
+    return float(ordered[lo] + (ordered[lo + 1] - ordered[lo]) * frac)
+
+
+def kernel_counters(env: "Environment") -> dict[str, int]:
+    """Event-queue traffic counters of one simulation environment."""
+    return {
+        "events_scheduled": env.events_scheduled,
+        "events_processed": env.events_processed,
+        "peak_heap": env.peak_heap,
+        "sleep_reuses": env.sleep_reuses,
+    }
+
+
+def _iter_buses(machine: "PASMMachine"):
+    for pe in getattr(machine, "pes", []):
+        yield pe.bus
+    for mc in getattr(machine, "assembly_mcs", {}).values():
+        yield mc.bus
+
+
+def machine_counters(machine: "PASMMachine") -> dict[str, int | bool]:
+    """Aggregate fast-path counters over every local-time bus.
+
+    Sums :class:`~repro.sim.localtime.LocalTimeBus` statistics across the
+    machine's PE buses and (MIMD) assembly-MC buses, and folds in the
+    shared kernel's counters.  ``local_charges`` is the number of private
+    time charges absorbed into a local clock instead of becoming heap
+    events — the quantity the fast path exists to maximise.
+    """
+    local_charges = 0
+    sync_flushes = 0
+    buses = 0
+    for bus in _iter_buses(machine):
+        buses += 1
+        local_charges += getattr(bus, "local_charges", 0)
+        sync_flushes += getattr(bus, "sync_flushes", 0)
+    out: dict[str, int | bool] = {
+        "fast_path": bool(getattr(machine, "pes", None)
+                          and machine.pes[0].bus.fast_path),
+        "buses": buses,
+        "local_charges": local_charges,
+        "sync_flushes": sync_flushes,
+    }
+    out.update(kernel_counters(machine.env))
+    return out
+
+
+@contextmanager
+def profile_to(path) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block with :mod:`cProfile`; dump to ``path``.
+
+    The dump is a binary pstats file::
+
+        python -m pstats profile.out   # or snakeviz profile.out
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(str(path))
+
+
+def format_breakdown(
+    parts: Mapping[str, float],
+    *,
+    title: str = "wall-time breakdown",
+    unit: str = "s",
+) -> str:
+    """Render component wall times with their share of the total.
+
+    ``parts`` maps a component name to seconds (or any additive unit);
+    rows are sorted by descending cost so the biggest sink reads first.
+    """
+    total = sum(parts.values())
+    rows = [
+        (name, round(value, 3),
+         f"{100.0 * value / total:.1f}%" if total else "-")
+        for name, value in sorted(parts.items(), key=lambda kv: -kv[1])
+    ]
+    rows.append(("TOTAL", round(total, 3), "100.0%" if total else "-"))
+    return format_table(["component", f"wall ({unit})", "share"], rows,
+                        title=title)

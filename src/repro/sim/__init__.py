@@ -11,8 +11,9 @@ The kernel is deliberately small but fully general; the PASM machine model
 it.
 """
 
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, Event, SleepEvent, Timeout
 from repro.sim.environment import Environment, Process
+from repro.sim.localtime import LocalTimeBus, resolve_fast_path
 from repro.sim.resources import Gate, Rendezvous, Store
 
 __all__ = [
@@ -20,9 +21,12 @@ __all__ = [
     "Process",
     "Event",
     "Timeout",
+    "SleepEvent",
     "AllOf",
     "AnyOf",
     "Store",
     "Gate",
     "Rendezvous",
+    "LocalTimeBus",
+    "resolve_fast_path",
 ]

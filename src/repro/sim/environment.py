@@ -11,7 +11,15 @@ from itertools import count
 from typing import Any, Generator
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import Event, Timeout
+from repro.sim.events import Event, SleepEvent, Timeout
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Upper bound on the per-environment sleep-event free list.  One entry per
+#: concurrently sleeping process is enough; the cap only guards against a
+#: pathological workload parking thousands of sleeps at once.
+_SLEEP_POOL_MAX = 256
 
 
 class Process(Event):
@@ -91,15 +99,19 @@ class Environment:
     """
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        #: Current simulation time in CPU clock cycles.  A plain attribute
+        #: (read ~4× per simulated instruction — property overhead counts);
+        #: only the kernel itself may assign it.
+        self.now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = count()
         self._active_process: Process | None = None
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in CPU clock cycles."""
-        return self._now
+        self._sleep_pool: list[SleepEvent] = []
+        # -- kernel counters (see repro.perf) ---------------------------
+        self.events_scheduled = 0  #: heap pushes over the run
+        self.events_processed = 0  #: heap pops over the run
+        self.peak_heap = 0  #: high-water mark of the pending-event heap
+        self.sleep_reuses = 0  #: sleeps served from the free list
 
     @property
     def active_process(self) -> Process | None:
@@ -112,22 +124,44 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def sleep(self, delay: float) -> SleepEvent:
+        """A pure delay event, recycled through a free list.
+
+        Equivalent to ``timeout(delay)`` for the common single-waiter
+        pattern ``yield env.sleep(d)``, without allocating a fresh event
+        per charge.  The returned object is re-armed for a *different*
+        delay after it is processed — never store it, compose it into
+        AllOf/AnyOf, or pass it to ``run(until=...)``.
+        """
+        pool = self._sleep_pool
+        if pool:
+            ev = pool.pop()
+            ev.reset(delay)
+            self.sleep_reuses += 1
+            return ev
+        return SleepEvent(self, delay)
+
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name=name)
 
     # -- scheduling -------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Enqueue ``event`` for callback processing after ``delay``."""
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        queue = self._queue
+        _heappush(queue, (self.now + delay, next(self._seq), event))
+        self.events_scheduled += 1
+        if len(queue) > self.peak_heap:
+            self.peak_heap = len(queue)
 
     def step(self) -> None:
         """Process the next scheduled event."""
         if not self._queue:
             raise DeadlockError("event queue is empty")
-        when, _, event = heapq.heappop(self._queue)
-        if when < self._now:
+        when, _, event = _heappop(self._queue)
+        if when < self.now:
             raise SimulationError("event scheduled in the past")
-        self._now = when
+        self.now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
@@ -136,6 +170,8 @@ class Environment:
         elif not event.ok:
             # A failure nobody is waiting on must not vanish silently.
             raise event.value
+        if type(event) is SleepEvent and len(self._sleep_pool) < _SLEEP_POOL_MAX:
+            self._sleep_pool.append(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -156,7 +192,7 @@ class Environment:
             while not stop.processed:
                 if not self._queue:
                     raise DeadlockError(
-                        f"simulation deadlocked waiting for {stop!r} at t={self._now}"
+                        f"simulation deadlocked waiting for {stop!r} at t={self.now}"
                     )
                 self.step()
             if not stop.ok:
@@ -166,7 +202,7 @@ class Environment:
             horizon = float(until)
             while self._queue and self._queue[0][0] <= horizon:
                 self.step()
-            self._now = max(self._now, horizon)
+            self.now = max(self.now, horizon)
             return None
         while self._queue:
             self.step()

@@ -106,6 +106,50 @@ class Timeout(Event):
         raise SimulationError("Timeout events trigger automatically")
 
 
+class SleepEvent(Event):
+    """A recyclable pure delay, created via :meth:`Environment.sleep`.
+
+    Semantically a :class:`Timeout` with ``value=None``, but instances are
+    pooled by the environment: after the event is processed, :meth:`reset`
+    re-arms the same object for the next ``sleep`` call instead of
+    allocating a new one.  This makes the kernel's hottest allocation
+    (pure time charges from the instruction-level engine) churn-free.
+
+    Contract: a sleep event has exactly one logical waiter and must not be
+    stored past the ``yield`` that waits on it (no AllOf/AnyOf composition,
+    no ``run(until=...)`` target) — after it fires, the object may already
+    represent a *different* pending delay.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative sleep delay: {delay}")
+        super().__init__(env, name="sleep")
+        self.delay = delay
+        self._value = None
+        self._ok = True
+        env.schedule(self, delay=delay)
+
+    def reset(self, delay: float) -> None:
+        """Re-arm a processed instance for a new delay (pool reuse)."""
+        if delay < 0:
+            raise ValueError(f"negative sleep delay: {delay}")
+        self.delay = delay
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self.env.schedule(self, delay=delay)
+
+    # Like Timeout: triggered from construction; succeed/fail are invalid.
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Sleep events trigger automatically")
+
+    def fail(self, exc: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Sleep events trigger automatically")
+
+
 class _Condition(Event):
     """Base for AllOf/AnyOf composition."""
 

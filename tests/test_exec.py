@@ -179,9 +179,13 @@ class TestJobsResolution:
         assert resolve_jobs(3) == 3
 
     def test_env_default(self, monkeypatch):
+        import os
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert resolve_jobs(None) == 5
         monkeypatch.delenv("REPRO_JOBS")
+        # Unset, the default is one job per available core.
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_JOBS", "1")
         assert resolve_jobs(None) == 1
 
     def test_auto_means_all_cores(self):
