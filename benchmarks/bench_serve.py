@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the serving layer.
+
+Embeds a full service (:class:`repro.serve.ServerThread`) on an
+ephemeral port and drives it with ``ServeClient`` the way real traffic
+would:
+
+* **interactive** — distinct jobs arrive at a fixed rate regardless of
+  completions (open loop, so queueing delay is *measured*, not hidden
+  by back-to-back submission), each long-polled to completion;
+* **dedup** — K clients concurrently request one identical spec; the
+  single-flight contract says exactly one simulation runs;
+* **warm** — the interactive set resubmitted; every answer must come
+  from the memo/disk cache without touching the pool.
+
+Latency percentiles, throughput and dedup/cache hit rates are recorded
+into ``BENCH_serve.json`` under a ``quick`` or ``full`` profile key.
+Correctness failures (wrong payloads, broken single-flight) exit
+non-zero; a p95 latency drift beyond 25 % of the committed record only
+warns — wall times do not transfer between machines — unless
+``REPRO_PERF_STRICT=1``.
+
+Usage::
+
+    python benchmarks/bench_serve.py --quick
+    python benchmarks/bench_serve.py            # full profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exec import SimJobSpec  # noqa: E402
+from repro.perf import percentile  # noqa: E402
+from repro.serve import ServeClient, ServeConfig, ServerThread  # noqa: E402
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+REGRESSION_THRESHOLD = 0.25  #: fractional p95 drift vs the committed record
+
+PROFILES = {
+    "quick": {"unique_jobs": 24, "rate_hz": 60.0, "dedup_clients": 8,
+              "pool_jobs": 2},
+    "full": {"unique_jobs": 96, "rate_hz": 120.0, "dedup_clients": 32,
+             "pool_jobs": 4},
+}
+
+
+def _spec(value, seconds: float = 0.0) -> SimJobSpec:
+    params = {"action": "sleep", "value": value, "seconds": seconds} \
+        if seconds else {"action": "echo", "value": value}
+    return SimJobSpec(program="_test", mode="serial", n=1, p=1,
+                      engine="micro", params=tuple(sorted(params.items())))
+
+
+def _metric(text: str, name: str) -> float:
+    """Sum every series of one metric in a Prometheus text page."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith(name + "_"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def _run_open_loop(server, specs, rate_hz):
+    """Submit specs at a fixed arrival rate; return per-job latencies."""
+    interval = 1.0 / rate_hz
+    latencies = []
+    failures = []
+
+    def one(item):
+        i, spec = item
+        client = ServeClient(port=server.port, max_retries=8,
+                             backoff_base=0.02, backoff_cap=0.5, timeout=60)
+        target = start + i * interval
+        now = time.perf_counter()
+        if target > now:
+            time.sleep(target - now)
+        t0 = time.perf_counter()
+        payload = client.run(spec, timeout=120)
+        latencies.append(time.perf_counter() - t0)
+        if payload.get("value") != dict(spec.params)["value"]:
+            failures.append((spec.params, payload))
+
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(min(64, len(specs))) as pool:
+        list(pool.map(one, enumerate(specs)))
+    wall = time.perf_counter() - start
+    return latencies, wall, failures
+
+
+def run_profile(name: str) -> tuple[dict, list[str]]:
+    knobs = PROFILES[name]
+    failures: list[str] = []
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        config = ServeConfig(port=0, jobs=knobs["pool_jobs"],
+                             cache_dir=cache_dir, queue_limit=512)
+        with ServerThread(config) as server:
+            probe = ServeClient(port=server.port)
+
+            # Phase 1: open-loop distinct jobs ---------------------------
+            specs = [_spec(f"{name}-job-{i}")
+                     for i in range(knobs["unique_jobs"])]
+            latencies, wall, bad = _run_open_loop(
+                server, specs, knobs["rate_hz"])
+            if bad:
+                failures.append(f"{len(bad)} wrong payload(s) in open loop")
+
+            # Phase 2: dedup fan-in --------------------------------------
+            before = _metric(probe.metrics(), "pasm_serve_computed_total")
+            shared = _spec(f"{name}-shared", seconds=0.2)
+
+            def fan_in(_):
+                client = ServeClient(port=server.port, max_retries=8,
+                                     timeout=60)
+                return client.run(shared, timeout=60)
+
+            with concurrent.futures.ThreadPoolExecutor(
+                    knobs["dedup_clients"]) as pool:
+                payloads = list(pool.map(fan_in,
+                                         range(knobs["dedup_clients"])))
+            if any(p != payloads[0] for p in payloads):
+                failures.append("dedup fan-in payloads differ")
+            text = probe.metrics()
+            computed = _metric(text, "pasm_serve_computed_total") - before
+            if computed != 1:
+                failures.append(
+                    f"single-flight broken: {computed:g} computations for "
+                    f"{knobs['dedup_clients']} identical requests")
+            dedup_rate = 1.0 - computed / knobs["dedup_clients"]
+
+            # Phase 3: warm re-run of the open-loop set ------------------
+            warm_before = _metric(probe.metrics(),
+                                  "pasm_serve_computed_total")
+            warm_lat, _, bad = _run_open_loop(server, specs,
+                                              knobs["rate_hz"])
+            if bad:
+                failures.append(f"{len(bad)} wrong payload(s) in warm loop")
+            warm_computed = _metric(probe.metrics(),
+                                    "pasm_serve_computed_total") - warm_before
+            if warm_computed != 0:
+                failures.append(
+                    f"warm re-run recomputed {warm_computed:g} job(s)")
+            hit_ratio = _metric(probe.metrics(), "pasm_serve_cache_hit_ratio")
+
+    record = {
+        "pool_jobs": knobs["pool_jobs"],
+        "cpus": os.cpu_count(),
+        "unique_jobs": knobs["unique_jobs"],
+        "rate_hz": knobs["rate_hz"],
+        "dedup_clients": knobs["dedup_clients"],
+        "wall_s": round(wall, 3),
+        "throughput_hz": round(len(specs) / wall, 1),
+        "latency_p50_ms": round(1e3 * percentile(latencies, 50), 2),
+        "latency_p95_ms": round(1e3 * percentile(latencies, 95), 2),
+        "latency_max_ms": round(1e3 * max(latencies), 2),
+        "warm_p50_ms": round(1e3 * percentile(warm_lat, 50), 2),
+        "warm_p95_ms": round(1e3 * percentile(warm_lat, 95), 2),
+        "dedup_rate": round(dedup_rate, 4),
+        "cache_hit_ratio": round(hit_ratio, 4),
+    }
+    return record, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop load benchmark of the pasm-serve layer.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small profile for CI smoke (fewer jobs, "
+                             "fewer clients)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure and report only; leave "
+                             "BENCH_serve.json untouched")
+    args = parser.parse_args(argv)
+    profile = "quick" if args.quick else "full"
+    strict = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+    reference = (json.loads(BENCH_PATH.read_text())
+                 if BENCH_PATH.exists() else {})
+    record, failures = run_profile(profile)
+
+    print(f"profile={profile} pool={record['pool_jobs']} "
+          f"cpus={record['cpus']}")
+    print(f"  open loop : {record['unique_jobs']} jobs @ "
+          f"{record['rate_hz']:g}/s -> p50 {record['latency_p50_ms']}ms, "
+          f"p95 {record['latency_p95_ms']}ms, "
+          f"{record['throughput_hz']}/s served")
+    print(f"  warm loop : p50 {record['warm_p50_ms']}ms, "
+          f"p95 {record['warm_p95_ms']}ms (0 recomputed)")
+    print(f"  dedup     : {record['dedup_clients']} clients -> "
+          f"rate {record['dedup_rate']:.2%}, "
+          f"service hit ratio {record['cache_hit_ratio']:.2%}")
+
+    if failures:
+        print("\nFAIL (correctness):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+
+    warned = False
+    ref_p95 = reference.get(profile, {}).get("latency_p95_ms")
+    if ref_p95:
+        drift = record["latency_p95_ms"] / ref_p95 - 1.0
+        verdict = "ok" if drift <= REGRESSION_THRESHOLD else "SLOW"
+        print(f"  drift     : p95 {record['latency_p95_ms']}ms vs recorded "
+              f"{ref_p95}ms ({drift:+.0%}) [{verdict}]")
+        warned = drift > REGRESSION_THRESHOLD
+
+    if not args.no_record:
+        reference[profile] = record
+        BENCH_PATH.write_text(json.dumps(reference, indent=2,
+                                         sort_keys=True) + "\n")
+        print(f"  recorded  -> {BENCH_PATH.name}")
+
+    if warned:
+        what = ("strict: failing" if strict
+                else "warn-only; set REPRO_PERF_STRICT=1 to fail")
+        print(f"\np95 latency drifted beyond "
+              f"{REGRESSION_THRESHOLD:.0%} ({what})")
+        return 1 if strict else 0
+    print("\nserve bench: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ from repro.machine import (
     PrototypeConfig,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DecouplingStudy",

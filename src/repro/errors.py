@@ -131,6 +131,35 @@ class CalibrationError(ReproError):
     """Raised when calibration cannot satisfy its fitting targets."""
 
 
+class ServeError(ReproError):
+    """Base class for simulation-service errors (:mod:`repro.serve`)."""
+
+
+class BackpressureError(ServeError):
+    """Raised when the service's admission queue is full.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` header; :attr:`retry_after` carries the suggested
+    delay in seconds.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceDrainingError(ServeError):
+    """Raised when a submission arrives while the service is draining.
+
+    Mapped to ``503 Service Unavailable``: the server received SIGTERM
+    and is finishing in-flight work but admits nothing new.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class ExecError(ReproError):
     """Raised when the execution engine cannot complete a job.
 

@@ -18,7 +18,12 @@ routes through it) and above the substrates (:mod:`repro.machine`,
 """
 
 from repro.errors import ExecError
-from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.cache import (
+    CACHE_MAX_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    resolve_cache_max_bytes,
+)
 from repro.exec.engine import ExecStats, ExecutionEngine
 from repro.exec.jobs import (
     execute_job,
@@ -31,6 +36,7 @@ from repro.exec.pool import JOBS_ENV, resolve_jobs, run_parallel
 from repro.exec.spec import SimJobSpec, canonical_json, content_hash_of
 
 __all__ = [
+    "CACHE_MAX_ENV",
     "DEFAULT_CACHE_DIR",
     "ExecError",
     "ExecStats",
@@ -44,6 +50,7 @@ __all__ = [
     "faultsweep_spec",
     "matmul_spec",
     "mips_spec",
+    "resolve_cache_max_bytes",
     "resolve_jobs",
     "run_parallel",
     "timed_execute",

@@ -9,6 +9,14 @@ environment variable.
 Writes are atomic (temp file + ``os.replace``) so a crashed or
 interrupted run never leaves a truncated entry; corrupt or foreign files
 are treated as misses, never as errors.
+
+The store is optionally **size-bounded**: with ``max_mb`` (or
+``$REPRO_CACHE_MAX_MB``) set, every write prunes the *whole root* —
+all versions, so dead generations go first by age — evicting
+oldest-access entries until the total is back under the cap.  Access
+times are maintained explicitly on load (``relatime`` mounts would
+otherwise starve the signal), and eviction tolerates corrupt, foreign
+or concurrently-deleted files the same way loads do: skip, never fail.
 """
 
 from __future__ import annotations
@@ -18,11 +26,42 @@ import os
 import shutil
 from pathlib import Path
 
+from repro.errors import ConfigurationError
 from repro.exec.spec import SimJobSpec, content_hash_of
 from repro.faults.chaos import maybe_corrupt_entry
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variable bounding the cache size (megabytes, float).
+CACHE_MAX_ENV = "REPRO_CACHE_MAX_MB"
+
+
+def resolve_cache_max_bytes(max_mb: float | None = None) -> int | None:
+    """Resolve a cache size cap: explicit ``max_mb`` > env > unbounded.
+
+    Returns the cap in bytes, or ``None`` for unbounded.  A
+    non-numeric or non-positive value raises a
+    :class:`~repro.errors.ConfigurationError` naming its source.
+    """
+    source = f"--cache-max-mb value {max_mb!r}"
+    if max_mb is None:
+        env = os.environ.get(CACHE_MAX_ENV, "").strip()
+        if not env:
+            return None
+        source = f"{CACHE_MAX_ENV} value {env!r}"
+        max_mb = env
+    try:
+        max_mb = float(max_mb)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"invalid {source}: must be a number of megabytes"
+        ) from None
+    if max_mb <= 0:
+        raise ConfigurationError(
+            f"invalid {source}: the cache size cap must be positive"
+        )
+    return int(max_mb * 1024 * 1024)
 
 
 def _package_version() -> str:
@@ -37,11 +76,13 @@ class ResultCache:
     """Content-addressed JSON store for job result payloads."""
 
     def __init__(self, root: str | os.PathLike | None = None, *,
-                 version: str | None = None) -> None:
+                 version: str | None = None,
+                 max_mb: float | None = None) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
         self.root = Path(root)
         self.version = str(version) if version is not None else _package_version()
+        self.max_bytes = resolve_cache_max_bytes(max_mb)
 
     @property
     def dir(self) -> Path:
@@ -69,6 +110,12 @@ class ResultCache:
         digest = entry.get("payload_sha256")
         if digest is not None and digest != content_hash_of(payload):
             return None
+        if self.max_bytes is not None:
+            # Keep the LRU signal honest on relatime/noatime mounts.
+            try:
+                os.utime(self.entry_path(spec))
+            except OSError:
+                pass
         return payload
 
     def store(self, spec: SimJobSpec, payload: dict) -> Path:
@@ -85,7 +132,63 @@ class ResultCache:
         tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
         os.replace(tmp, path)
         maybe_corrupt_entry(spec.content_hash, path)  # $REPRO_CHAOS only
+        if self.max_bytes is not None:
+            self.prune()
         return path
+
+    # ------------------------------------------------------------------
+    # Size bounding
+    def size_bytes(self) -> int:
+        """Total bytes of entries under the root (all versions)."""
+        return sum(size for _, _, size in self._entries())
+
+    def _entries(self) -> list[tuple[float, Path, int]]:
+        """``(atime, path, size)`` for every entry file under the root.
+
+        Unstattable files (deleted by a concurrent pruner, permission
+        oddities) are skipped — eviction must tolerate anything loads
+        tolerate.
+        """
+        out = []
+        try:
+            paths = list(self.root.rglob("*.json"))
+        except OSError:
+            return []
+        for path in paths:
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((st.st_atime, path, st.st_size))
+        return out
+
+    def prune(self, max_bytes: int | None = None) -> int:
+        """Evict oldest-access entries until the root fits the cap.
+
+        Returns the number of entries evicted.  With no cap configured
+        (and none passed) this is a no-op.
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _, _, size in entries)
+        if total <= cap:
+            return 0
+        evicted = 0
+        # Oldest access first; path as tie-break keeps eviction stable.
+        for atime, path, size in sorted(
+            entries, key=lambda e: (e[0], str(e[1]))
+        ):
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # raced with another pruner: already gone
+            total -= size
+            evicted += 1
+        return evicted
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -278,15 +278,21 @@ def _execute_faultsweep(spec: SimJobSpec) -> dict:
 def _execute_test(spec: SimJobSpec) -> dict:
     """Test-support program (``program="_test"``): controlled failures.
 
-    Actions (via ``params``): ``echo`` returns its value; ``crash``
-    hard-kills the worker process; ``flaky`` crashes on the first
-    execution (before a sentinel file exists) and succeeds on resubmit.
-    Only ever scheduled by the engine's own test suite.
+    Actions (via ``params``): ``echo`` returns its value; ``sleep``
+    holds a worker for a controllable interval (the serving tests use
+    it to widen dedup/backpressure race windows); ``crash`` hard-kills
+    the worker process; ``flaky`` crashes on the first execution
+    (before a sentinel file exists) and succeeds on resubmit.  Only
+    ever scheduled by the engine's own test suites.
     """
     params = dict(spec.params)
     action = params.get("action")
     if action == "echo":
         return {"value": params.get("value")}
+    if action == "sleep":
+        time.sleep(float(params.get("seconds", 0.05)))
+        return {"value": params.get("value"),
+                "slept": float(params.get("seconds", 0.05))}
     if action == "crash":
         os._exit(3)
     if action == "flaky":

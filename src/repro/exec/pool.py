@@ -34,19 +34,40 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
     the default when neither an explicit count nor ``$REPRO_JOBS`` is
     given — independent simulation jobs have no reason to leave cores
     idle.  Set ``REPRO_JOBS=1`` to force serial in-process execution.
+
+    Invalid values raise a structured error that names its source: a
+    bad explicit argument is a :class:`~repro.errors.ConfigurationError`;
+    a bad ``$REPRO_JOBS`` is an :class:`~repro.errors.ExecError` whose
+    message names the environment variable — an env-var typo must never
+    surface as a bare ``ValueError`` traceback.
     """
+    from_env = False
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
-        jobs = env if env else (os.cpu_count() or 1)
+        if env:
+            jobs, from_env = env, True
+        else:
+            jobs = os.cpu_count() or 1
     if jobs in (0, "0", "auto"):
         jobs = os.cpu_count() or 1
+
+    def _reject(problem: str):
+        if from_env:
+            raise ExecError(
+                f"invalid {JOBS_ENV}={jobs!r}: {problem} "
+                f"(unset {JOBS_ENV}, or use an integer >= 1, "
+                f"or 0/'auto' for one per core)"
+            ) from None
+        raise ConfigurationError(f"invalid job count {jobs!r}: {problem}") \
+            from None
+
     try:
-        jobs = int(jobs)
+        count = int(jobs)
     except (TypeError, ValueError):
-        raise ConfigurationError(f"invalid job count {jobs!r}") from None
-    if jobs < 1:
-        raise ConfigurationError(f"job count must be >= 1, got {jobs}")
-    return jobs
+        _reject("not an integer")
+    if count < 1:
+        _reject("job count must be >= 1")
+    return count
 
 
 def _worker(spec: SimJobSpec) -> tuple[dict, float]:
@@ -69,10 +90,16 @@ def run_parallel(
     pool as long as each attempt makes *progress* (completes at least
     one job) — one crashed worker breaks the whole pool and fails every
     pending future, so a fixed retry count would starve batches larger
-    than the pool.  Only after ``retries`` consecutive stalled attempts
-    (no job completed) does a structured ExecError surface.  ``on_retry``
-    is called with the specs of each resubmitted batch (for the engine's
-    instrumentation).
+    than the pool.  A stalled attempt (no job completed) can still have
+    made invisible progress: the break fails sibling futures whose work
+    finished but whose results were not yet drained, and kills workers
+    that never reached their job (so e.g. a once-only injected fault was
+    consumed without the parent seeing it).  The stall budget therefore
+    grows by one per *sibling* — only after ``retries + len(pending) -
+    1`` consecutive stalled attempts does a structured ExecError
+    surface; a lone crashing job still fails after ``retries``
+    resubmissions.  ``on_retry`` is called with the specs of each
+    resubmitted batch (for the engine's instrumentation).
     """
     specs = list(specs)
     results: list[tuple[dict, float] | None] = [None] * len(specs)
@@ -99,7 +126,7 @@ def run_parallel(
             executor.shutdown(wait=True, cancel_futures=True)
         stalled = stalled + 1 if len(failures) == len(pending) else 0
         pending = [(i, spec) for i, spec, _ in failures]
-        if pending and stalled > retries:
+        if pending and stalled > retries + len(pending) - 1:
             index, spec, exc = failures[0]
             raise ExecError(
                 f"{len(failures)} job(s) failed with no progress over "

@@ -139,9 +139,19 @@ class SimJobSpec:
 
     @classmethod
     def from_dict(cls, d: dict) -> "SimJobSpec":
-        """Rebuild a spec from :meth:`to_dict` output (any key order)."""
-        cfg = dict(d["config"])
-        cfg["refresh"] = RefreshModel(**cfg["refresh"])
+        """Rebuild a spec from :meth:`to_dict` output (any key order).
+
+        A missing ``config`` falls back to the calibrated prototype —
+        the same default the constructor applies — so hand-written specs
+        (e.g. JSON posted to the serving layer) need not spell out the
+        whole machine description.
+        """
+        if d.get("config") is None:
+            config = PrototypeConfig.calibrated()
+        else:
+            cfg = dict(d["config"])
+            cfg["refresh"] = RefreshModel(**cfg["refresh"])
+            config = PrototypeConfig(**cfg)
         return cls(
             program=d["program"],
             mode=d["mode"],
@@ -151,7 +161,7 @@ class SimJobSpec:
             engine=d.get("engine", "macro"),
             seed=d.get("seed", DEFAULT_SEED),
             b_max=d.get("b_max"),
-            config=PrototypeConfig(**cfg),
+            config=config,
             params=tuple(sorted(d.get("params", {}).items())),
             fault_plan=(FaultPlan.from_dict(d["fault_plan"])
                         if d.get("fault_plan") else None),

@@ -29,7 +29,7 @@ import sys
 from pathlib import Path
 
 from repro.core import DecouplingStudy
-from repro.errors import ConfigurationError
+from repro.errors import ReproError
 from repro.exec import ExecutionEngine, ResultCache, resolve_jobs
 from repro.experiments.extensions import (
     run_ext_design_scale,
@@ -170,17 +170,27 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the on-disk result cache",
     )
     parser.add_argument(
+        "--cache-max-mb", type=float, default=None, metavar="MB",
+        help="LRU size cap on the result cache: past the cap, the "
+             "oldest-access entries are evicted after each store "
+             "(default: $REPRO_CACHE_MAX_MB or unbounded)",
+    )
+    parser.add_argument(
         "--report", type=Path, default=None, metavar="FILE",
         help="write the full reproduction report (config + engine check + "
              "crossover confidence + every exhibit) to FILE and exit",
     )
     args = parser.parse_args(argv)
-    if args.jobs is not None:
-        try:
-            resolve_jobs(args.jobs)
-        except ConfigurationError as exc:
-            parser.error(str(exc))
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    try:
+        # Validate up front so a bad --jobs *or* a bad $REPRO_JOBS /
+        # $REPRO_CACHE_MAX_MB dies with a clean CLI message, not a
+        # traceback halfway into the run.
+        resolve_jobs(args.jobs)
+        cache = None if args.no_cache else ResultCache(
+            args.cache_dir, max_mb=args.cache_max_mb
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
     if args.report is not None:
         from repro.core.report import full_report
 

@@ -18,7 +18,10 @@ during a run, so speed-ups can be attributed rather than guessed at:
   to a file for ``snakeviz``/``pstats`` (note cProfile counts each
   *resumption* of a generator as a call, so simulation coroutines show
   resumption counts, not invocation counts);
-* :func:`format_breakdown` — a wall-time-by-component table with shares.
+* :func:`format_breakdown` — a wall-time-by-component table with shares;
+* :class:`MetricsRegistry` — thread-safe counters/gauges/latency
+  summaries with Prometheus text rendering (the write side the serving
+  layer's ``GET /metrics`` endpoint reads from).
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.environment import Environment
 
 __all__ = [
+    "MetricsRegistry",
     "format_breakdown",
     "kernel_counters",
     "machine_counters",
@@ -144,3 +148,7 @@ def format_breakdown(
     rows.append(("TOTAL", round(total, 3), "100.0%" if total else "-"))
     return format_table(["component", f"wall ({unit})", "share"], rows,
                         title=title)
+
+
+# Imported last: metrics.py reads repro.perf.percentile at call time.
+from repro.perf.metrics import MetricsRegistry  # noqa: E402

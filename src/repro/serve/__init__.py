@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: the paper's experiments behind an API.
+
+The ROADMAP's north star is a system that serves heavy traffic, and a
+reproduction server has exactly the shape of an inference-serving
+stack: requests describe deterministic, content-addressed work
+(:class:`~repro.exec.SimJobSpec`), so identical concurrent requests
+should coalesce into one execution, warm results should be served from
+cache without touching the pool, and overload should shed at admission
+instead of queueing unboundedly.
+
+Layout::
+
+    config  — ServeConfig (every knob, one frozen dataclass)
+    http    — minimal HTTP/1.1 over asyncio streams (stdlib only)
+    broker  — single-flight dedup, bounded queue, lanes, crash recovery
+    app     — routes, SIGTERM drain, `pasm-serve` entry point
+    client  — sync client: retries, exponential backoff + jitter
+
+The broker reuses :mod:`repro.exec`'s pool worker and result cache
+unchanged, so a payload served over HTTP is bit-identical to one
+produced by ``pasm-experiments`` — including whole exhibits
+(``GET /v1/exhibits/fig7?wait=1`` returns the same bytes as
+``results/fig7.json``).
+
+See ``docs/SERVING.md`` for the endpoint and backpressure contract.
+"""
+
+from repro.errors import BackpressureError, ServeError, ServiceDrainingError
+from repro.serve.app import API_VERSION, ServeApp, ServerThread
+from repro.serve.broker import BrokerEngine, JobBroker, JobEntry, exhibit_key
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.config import DEFAULT_PORT, LANES, PORT_ENV, ServeConfig
+
+__all__ = [
+    "API_VERSION",
+    "BackpressureError",
+    "BrokerEngine",
+    "DEFAULT_PORT",
+    "JobBroker",
+    "JobEntry",
+    "LANES",
+    "PORT_ENV",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "ServiceDrainingError",
+    "exhibit_key",
+]

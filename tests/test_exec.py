@@ -199,6 +199,42 @@ class TestJobsResolution:
         with pytest.raises(ConfigurationError):
             resolve_jobs("many")
 
+    def test_env_non_integer_raises_exec_error_naming_variable(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.raises(ExecError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+        with pytest.raises(ExecError, match="not an integer"):
+            resolve_jobs(None)
+
+    def test_env_below_one_raises_exec_error_naming_variable(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        with pytest.raises(ExecError, match="REPRO_JOBS"):
+            resolve_jobs(None)
+        with pytest.raises(ExecError, match=">= 1"):
+            resolve_jobs(None)
+
+    def test_env_error_is_not_a_bare_value_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2.5")
+        with pytest.raises(ExecError) as err:
+            resolve_jobs(None)
+        assert not isinstance(err.value, ValueError)
+        assert "2.5" in str(err.value)
+
+    def test_explicit_arg_still_wins_over_bad_env(self, monkeypatch):
+        # A bad $REPRO_JOBS must not break callers that pass --jobs.
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert resolve_jobs(3) == 3
+
+    def test_cli_reports_bad_env_cleanly(self, monkeypatch, capsys):
+        from repro.experiments.runner import main
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.raises(SystemExit) as err:
+            main(["fig12"])
+        assert err.value.code == 2  # argparse error, not a traceback
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
 
 class TestCacheAndStats:
     def test_cold_then_warm(self, tmp_path):

@@ -146,3 +146,124 @@ def test_stored_entry_records_spec_for_inspection(tmp_path):
     entry = json.loads(cache.entry_path(spec).read_text())
     assert entry["spec"] == spec.to_dict()
     assert SimJobSpec.from_dict(entry["spec"]) == spec
+
+
+# ---------------------------------------------------------------------------
+# LRU size cap (--cache-max-mb / $REPRO_CACHE_MAX_MB)
+# ---------------------------------------------------------------------------
+import os  # noqa: E402
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.exec import resolve_cache_max_bytes  # noqa: E402
+
+
+def _spec(m):
+    return matmul_spec(ExecutionMode.SIMD, 16, 4, added_multiplies=m)
+
+
+def _set_atime(cache, spec, when):
+    os.utime(cache.entry_path(spec), (when, when))
+
+
+class TestCacheMaxResolution:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "100")
+        assert resolve_cache_max_bytes(2) == 2 * 1024 * 1024
+
+    def test_env_fallback_and_unbounded_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert resolve_cache_max_bytes(None) is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.5")
+        assert resolve_cache_max_bytes(None) == 512 * 1024
+
+    def test_bad_values_name_their_source(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="--cache-max-mb"):
+            resolve_cache_max_bytes("lots")
+        with pytest.raises(ConfigurationError, match="positive"):
+            resolve_cache_max_bytes(0)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "huge")
+        with pytest.raises(ConfigurationError, match="REPRO_CACHE_MAX_MB"):
+            resolve_cache_max_bytes(None)
+
+
+class TestLruEviction:
+    def test_store_evicts_oldest_atime_first(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1.0", max_mb=1)
+        for m in range(4):
+            cache.store(_spec(m), {"m": m})
+        entry_size = cache.entry_path(_spec(0)).stat().st_size
+        # Stamp distinct access times: entry 2 oldest, then 0, 1, 3.
+        for m, age in ((2, 100), (0, 200), (1, 300), (3, 400)):
+            _set_atime(cache, _spec(m), age)
+        # Cap to exactly two entries' worth: the two oldest must go.
+        evicted = cache.prune(max_bytes=2 * entry_size)
+        assert evicted == 2
+        assert cache.load(_spec(2)) is None
+        assert cache.load(_spec(0)) is None
+        assert cache.load(_spec(1)) == {"m": 1}
+        assert cache.load(_spec(3)) == {"m": 3}
+
+    def test_load_refreshes_atime_and_protects_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1.0", max_mb=1)
+        for m in range(3):
+            cache.store(_spec(m), {"m": m})
+            _set_atime(cache, _spec(m), 100 + m)
+        entry_size = cache.entry_path(_spec(0)).stat().st_size
+        # A hit on the oldest entry must move it to the young end.
+        assert cache.load(_spec(0)) == {"m": 0}
+        assert cache.prune(max_bytes=2 * entry_size) == 1
+        assert cache.load(_spec(1)) is None  # now the oldest: evicted
+        assert cache.load(_spec(0)) == {"m": 0}
+
+    def test_store_prunes_automatically_under_cap(self, tmp_path):
+        spec = _spec(0)
+        probe = ResultCache(tmp_path, version="1.0")
+        probe.store(spec, {"m": 0})
+        entry_size = probe.entry_path(spec).stat().st_size
+        probe.clear()
+        cap_mb = (2.5 * entry_size) / (1024 * 1024)
+        cache = ResultCache(tmp_path, version="1.0", max_mb=cap_mb)
+        for m in range(6):
+            cache.store(_spec(m), {"m": m})
+            _set_atime(cache, _spec(m), 100 + m)
+        assert cache.size_bytes() <= cache.max_bytes
+        assert len(cache) == 2
+        # Youngest survivors only.
+        assert cache.load(_spec(5)) == {"m": 5}
+
+    def test_prune_spans_versions_and_skips_races(self, tmp_path):
+        old = ResultCache(tmp_path, version="0.9")
+        new = ResultCache(tmp_path, version="1.0", max_mb=1)
+        old.store(_spec(0), {"gen": "old"})
+        new.store(_spec(0), {"gen": "new"})
+        _set_atime(old, _spec(0), 100)   # dead generation, oldest access
+        _set_atime(new, _spec(0), 200)
+        entry_size = new.entry_path(_spec(0)).stat().st_size
+        assert new.prune(max_bytes=entry_size) >= 1
+        assert old.load(_spec(0)) is None
+        assert new.load(_spec(0)) == {"gen": "new"}
+
+    def test_prune_tolerates_corrupt_and_foreign_files(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1.0", max_mb=1)
+        cache.store(_spec(0), {"m": 0})
+        (tmp_path / "1.0" / "garbage.json").write_text("{not json")
+        (tmp_path / "README.txt").write_text("not an entry")
+        _set_atime(cache, _spec(0), 100)
+        os.utime(tmp_path / "1.0" / "garbage.json", (50, 50))
+        # Corrupt entries are counted, evictable, and never fatal.
+        assert cache.size_bytes() > 0
+        assert cache.prune(max_bytes=1) >= 1
+        assert cache.prune(max_bytes=10 ** 9) == 0  # under cap: no-op
+
+    def test_unbounded_cache_never_prunes(self, tmp_path):
+        cache = ResultCache(tmp_path, version="1.0")
+        assert cache.max_bytes is None
+        for m in range(5):
+            cache.store(_spec(m), {"m": m})
+        assert cache.prune() == 0
+        assert len(cache) == 5
+
+    def test_env_var_bounds_default_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.25")
+        cache = ResultCache(tmp_path, version="1.0")
+        assert cache.max_bytes == 256 * 1024

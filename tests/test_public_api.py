@@ -25,7 +25,7 @@ def test_top_level_exports():
 
 
 def test_version():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_all_public_names_resolve():

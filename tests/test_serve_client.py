@@ -1,0 +1,147 @@
+"""Unit tests for the service client's retry and backoff policy.
+
+The transport is stubbed out (``_request_once`` is replaced with a
+scripted sequence of replies), so these tests pin the *policy*: full
+jitter within an exponentially growing window, ``Retry-After`` honored
+as a floor, retryable-vs-final classification, and give-up behaviour.
+"""
+
+import random
+
+import pytest
+
+from repro.serve import ServeClientError
+from repro.serve.client import RETRYABLE, HttpReply, ServeClient
+
+
+class ScriptedClient(ServeClient):
+    """A ServeClient whose transport replays a scripted reply sequence."""
+
+    def __init__(self, script, **kwargs):
+        self.script = list(script)
+        self.requests = []
+        self.slept = []
+        kwargs.setdefault("rng", random.Random(7))
+        kwargs.setdefault("sleep", self.slept.append)
+        super().__init__(port=1, **kwargs)
+
+    def _request_once(self, method, path, body, timeout):
+        self.requests.append((method, path))
+        item = self.script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+def reply(status, body=b"{}", **headers):
+    return HttpReply(status=status,
+                     headers={k.replace("_", "-"): v
+                              for k, v in headers.items()},
+                     body=body)
+
+
+class TestBackoffDelay:
+    def test_full_jitter_within_exponential_window(self):
+        client = ServeClient(port=1, backoff_base=0.1, backoff_cap=100.0,
+                             rng=random.Random(3))
+        for attempt in range(8):
+            window = 0.1 * (2 ** attempt)
+            for _ in range(50):
+                delay = client._backoff_delay(attempt, None)
+                assert 0.0 <= delay <= window
+
+    def test_window_capped(self):
+        client = ServeClient(port=1, backoff_base=1.0, backoff_cap=2.0,
+                             rng=random.Random(3))
+        assert all(client._backoff_delay(10, None) <= 2.0
+                   for _ in range(100))
+
+    def test_retry_after_is_a_floor_not_a_ceiling(self):
+        client = ServeClient(port=1, backoff_base=0.001, backoff_cap=0.002,
+                             rng=random.Random(3))
+        # Jitter window is tiny; the server's floor must win.
+        assert all(client._backoff_delay(a, 1.5) >= 1.5 for a in range(5))
+
+    def test_jitter_is_deterministic_under_pinned_rng(self):
+        a = ServeClient(port=1, rng=random.Random(42))
+        b = ServeClient(port=1, rng=random.Random(42))
+        assert [a._backoff_delay(i, None) for i in range(6)] == \
+            [b._backoff_delay(i, None) for i in range(6)]
+
+
+class TestRetryLoop:
+    def test_429_sequence_recovers(self):
+        client = ScriptedClient(
+            [reply(429, retry_after="0.5"), reply(429, retry_after="0.5"),
+             reply(200, body=b'{"ok": true}')],
+            max_retries=5, backoff_base=0.01, backoff_cap=0.05,
+        )
+        out = client.request("POST", "/v1/jobs")
+        assert out.status == 200
+        assert client.retries_performed == 2
+        assert len(client.slept) == 2
+        # Each delay honors the server's Retry-After floor.
+        assert all(d >= 0.5 for d in client.slept)
+
+    def test_transport_errors_retried(self):
+        client = ScriptedClient(
+            [OSError("connection refused"), reply(200)],
+            max_retries=3,
+        )
+        assert client.request("GET", "/healthz").status == 200
+        assert client.retries_performed == 1
+
+    def test_gives_up_after_max_retries_with_status(self):
+        client = ScriptedClient([reply(429)] * 4, max_retries=3,
+                                backoff_base=0.001, backoff_cap=0.002)
+        with pytest.raises(ServeClientError) as err:
+            client.request("POST", "/v1/jobs")
+        assert err.value.status == 429
+        assert err.value.attempts == 4
+        assert len(client.requests) == 4
+
+    def test_unreachable_service_surfaces_transport_error(self):
+        client = ScriptedClient([OSError("boom")] * 3, max_retries=2,
+                                backoff_base=0.001, backoff_cap=0.002)
+        with pytest.raises(ServeClientError) as err:
+            client.request("GET", "/healthz")
+        assert err.value.status is None
+        assert "boom" in str(err.value)
+
+    def test_non_retryable_statuses_return_immediately(self):
+        for status in (200, 202, 400, 404, 500):
+            assert status not in RETRYABLE
+            client = ScriptedClient([reply(status)], max_retries=5)
+            assert client.request("GET", "/x").status == status
+            assert client.retries_performed == 0
+
+    def test_zero_retries_raises_on_first_refusal(self):
+        client = ScriptedClient([reply(503, retry_after="2")], max_retries=0)
+        with pytest.raises(ServeClientError) as err:
+            client.request("GET", "/healthz")
+        assert err.value.status == 503
+        assert client.slept == []
+
+
+class TestReplyParsing:
+    def test_json_fallback_on_garbage_body(self):
+        r = reply(500, body=b"not json at all")
+        assert r.json() == {"error": "not json at all"}
+
+    def test_retry_after_parsing(self):
+        assert reply(429, retry_after="2.5").retry_after() == 2.5
+        assert reply(429, retry_after="soon").retry_after() is None
+        assert reply(429).retry_after() is None
+
+    def test_expect_raises_with_detail(self):
+        with pytest.raises(ServeClientError, match="queue full"):
+            ServeClient._expect(
+                reply(429, body=b'{"error": "queue full"}'), 200)
+
+
+class TestDefaults:
+    def test_port_defaults_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "9999")
+        assert ServeClient().port == 9999
+        monkeypatch.delenv("REPRO_SERVE_PORT")
+        assert ServeClient().port == 8137
