@@ -31,6 +31,7 @@ from repro.exec.jobs import (
     matmul_spec,
     mips_spec,
     timed_execute,
+    traced_execute,
 )
 from repro.exec.pool import JOBS_ENV, resolve_jobs, run_parallel
 from repro.exec.spec import SimJobSpec, canonical_json, content_hash_of
@@ -54,4 +55,5 @@ __all__ = [
     "resolve_jobs",
     "run_parallel",
     "timed_execute",
+    "traced_execute",
 ]

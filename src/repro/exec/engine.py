@@ -13,13 +13,14 @@ through.  ``run(specs)`` answers a batch of job specs in order:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.exec.cache import ResultCache
-from repro.exec.jobs import timed_execute
+from repro.exec.jobs import traced_execute
 from repro.exec.pool import resolve_jobs, run_parallel
 from repro.exec.spec import SimJobSpec
+from repro.obs.tracer import TraceContext, Tracer
 from repro.perf import percentile
 from repro.utils.tables import format_table
 
@@ -34,6 +35,7 @@ class _ProgramStats:
     wall_seconds: float = 0.0
     max_wall: float = 0.0
     resubmits: int = 0
+    dedup: int = 0  #: submissions absorbed by an identical in-flight job
     walls: list[float] = field(default_factory=list)  #: per-job wall times
 
 
@@ -64,6 +66,19 @@ class ExecStats:
         """Count one crashed-and-resubmitted pool job."""
         self._bucket(spec).resubmits += 1
 
+    def record_dedup(self, spec: SimJobSpec) -> None:
+        """Count one submission absorbed by an identical job.
+
+        Used by the serving broker for single-flight coalescing (a
+        duplicate of an in-flight job) and completed-job memoization —
+        the same events its ``pasm_serve_submitted_total`` metric
+        counts, so the ``--stats`` dedup column and ``/metrics`` stay
+        consistent by construction (asserted in ``tests/test_obs_serve``).
+        Deduped submissions do not count as jobs: the one computing
+        submission already does.
+        """
+        self._bucket(spec).dedup += 1
+
     # ------------------------------------------------------------------
     @property
     def jobs(self) -> int:
@@ -87,6 +102,11 @@ class ExecStats:
         """Total crashed-and-resubmitted pool jobs."""
         return sum(b.resubmits for b in self.by_bucket.values())
 
+    @property
+    def dedup(self) -> int:
+        """Total submissions absorbed by identical jobs (serving layer)."""
+        return sum(b.dedup for b in self.by_bucket.values())
+
     def summary_table(self, *, title: str = "execution engine stats") -> str:
         """The ``--stats`` summary, rendered via repro.utils.tables.
 
@@ -99,7 +119,7 @@ class ExecStats:
         """
         headers = ["program", "jobs", "computed", "cache hits",
                    "wall (s)", "mean (ms)", "max (ms)",
-                   "p50 (ms)", "p95 (ms)", "resubmits"]
+                   "p50 (ms)", "p95 (ms)", "dedup", "resubmits"]
         rows: list[tuple] = []
         all_walls: list[float] = []
         for key in sorted(self.by_bucket):
@@ -111,7 +131,7 @@ class ExecStats:
                          round(1e3 * b.max_wall, 2),
                          round(1e3 * percentile(b.walls, 50), 2),
                          round(1e3 * percentile(b.walls, 95), 2),
-                         b.resubmits))
+                         b.dedup, b.resubmits))
         total_mean = 1e3 * self.wall_seconds / self.computed if self.computed else 0.0
         rows.append(("TOTAL", self.jobs, self.computed, self.cache_hits,
                      round(self.wall_seconds, 3), round(total_mean, 2),
@@ -120,7 +140,7 @@ class ExecStats:
                            2),
                      round(1e3 * percentile(all_walls, 50), 2),
                      round(1e3 * percentile(all_walls, 95), 2),
-                     self.resubmits))
+                     self.dedup, self.resubmits))
         return format_table(headers, rows, title=title)
 
     def breakdown(self) -> dict[str, float]:
@@ -142,6 +162,13 @@ class ExecutionEngine:
         Optional :class:`ResultCache`; ``None`` disables disk caching.
     stats:
         Optional shared :class:`ExecStats` to accumulate into.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When set, every computed
+        job gets a wall-clock ``execute`` span and cache hits get
+        instants; jobs carry a :class:`~repro.obs.TraceContext` into
+        the pool workers, whose simulated-time per-PE lanes are merged
+        back into the tracer.  ``None`` (the default) keeps the whole
+        path untouched — no context attached, no per-job bookkeeping.
     """
 
     def __init__(
@@ -150,10 +177,12 @@ class ExecutionEngine:
         jobs: int | str | None = None,
         cache: ResultCache | None = None,
         stats: ExecStats | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.stats = stats or ExecStats()
+        self.tracer = tracer
 
     @property
     def eager(self) -> bool:
@@ -170,6 +199,7 @@ class ExecutionEngine:
     def run(self, specs: Iterable[SimJobSpec] | Sequence[SimJobSpec]) -> list[dict]:
         """Execute a batch of specs; payloads come back in spec order."""
         specs = list(specs)
+        tracer = self.tracer
         payloads: list[dict | None] = [None] * len(specs)
         pending: list[tuple[int, SimJobSpec]] = []
         for i, spec in enumerate(specs):
@@ -178,21 +208,46 @@ class ExecutionEngine:
                 if hit is not None:
                     payloads[i] = hit
                     self.stats.record_hit(spec)
+                    if tracer is not None:
+                        tracer.add_instant(
+                            f"cache hit {spec.label()}", proc="engine",
+                            thread="cache", cat="cache",
+                            args={"hash": spec.content_hash[:12]},
+                        )
                     continue
             pending.append((i, spec))
         if pending:
+            to_run = [spec for _, spec in pending]
+            if tracer is not None:
+                ctx = TraceContext(trace_id=tracer.trace_id,
+                                   max_events=tracer.max_events)
+                to_run = [replace(spec, trace=ctx) for spec in to_run]
             if self.jobs > 1:
                 outcomes = run_parallel(
-                    [spec for _, spec in pending], jobs=self.jobs,
+                    to_run, jobs=self.jobs,
                     on_retry=lambda retried: [
                         self.stats.record_resubmit(s) for s in retried
                     ],
                 )
             else:
-                outcomes = [timed_execute(spec) for _, spec in pending]
-            for (i, spec), (payload, wall) in zip(pending, outcomes):
+                outcomes = [traced_execute(spec) for spec in to_run]
+            for (i, spec), outcome in zip(pending, outcomes):
+                payload, wall = outcome[0], outcome[1]
                 payloads[i] = payload
                 self.stats.record_run(spec, wall)
+                if tracer is not None:
+                    # Drain time stands in for finish time on the pooled
+                    # path (workers do not share the tracer clock), so a
+                    # span covers at least the job's own wall interval.
+                    end = tracer.clock_us()
+                    tracer.add_span(
+                        spec.label(), ts=max(0.0, end - wall * 1e6),
+                        dur=wall * 1e6, proc="engine",
+                        thread=f"job {spec.content_hash[:8]}",
+                        cat="execute", args={"hash": spec.content_hash[:12]},
+                    )
+                    if len(outcome) > 2 and outcome[2]:
+                        tracer.extend(outcome[2])
                 if self.cache is not None:
                     self.cache.store(spec, payload)
         return payloads  # type: ignore[return-value]

@@ -29,6 +29,7 @@ from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
 from repro.machine.partition import Partition
 from repro.mc import EnqueueBlock, Loop
 from repro.network import CircuitSwitchedNetwork, ExtraStageCubeTopology
+from repro.obs.simtrace import arm_machine, collect_machine, tracing_job
 from repro.programs import build_matmul, expected_product, generate_matrices
 from repro.programs.loader import run_matmul
 from repro.timing_model import predict_matmul
@@ -199,11 +200,14 @@ def _execute_matmul(spec: SimJobSpec) -> dict:
         return payload
     machine = PASMMachine(spec.config, partition_size=spec.p,
                           fault_plan=plan)
+    arm_machine(machine)
     bundle = build_matmul(
         mode, spec.n, spec.p, added_multiplies=spec.added_multiplies,
         device_symbols=spec.config.device_symbols(),
     )
     run = run_matmul(machine, bundle, a, b)
+    collect_machine(machine, label=f"matmul {mode.value} n={spec.n} "
+                                   f"p={spec.p}")
     verified = bool(np.array_equal(run.product, expected_product(a, b)))
     if not verified:
         raise ConfigurationError(
@@ -226,6 +230,7 @@ def _mips_simd(config: PrototypeConfig, source: str, repeats: int,
                blocks: int) -> float:
     """Instructions per second across all PEs, SIMD broadcast."""
     machine = PASMMachine(config, partition_size=config.n_pes)
+    arm_machine(machine)
     block = assemble(source * 1, predefined=config.device_symbols())
     instrs = block.instruction_list() * repeats
     program_blocks = {
@@ -236,6 +241,7 @@ def _mips_simd(config: PrototypeConfig, source: str, repeats: int,
         [Loop(blocks, (EnqueueBlock("meas"),)), EnqueueBlock("fini")],
         program_blocks,
     )
+    collect_machine(machine, label=f"mips simd p={config.n_pes}")
     executed = repeats * blocks * config.n_pes
     return executed / result.seconds
 
@@ -244,11 +250,13 @@ def _mips_mimd(config: PrototypeConfig, source: str, repeats: int,
                blocks: int) -> float:
     """Instructions per second across all PEs, MIMD from main memory."""
     machine = PASMMachine(config, partition_size=config.n_pes)
+    arm_machine(machine)
     body = (source + "\n") * (repeats * blocks)
     program = assemble(
         body + "        HALT", predefined=config.device_symbols()
     )
     result = machine.run_mimd([program] * config.n_pes)
+    collect_machine(machine, label=f"mips mimd p={config.n_pes}")
     # Exclude the HALT from the count, as the paper's loop control was.
     executed = repeats * blocks * config.n_pes
     halt_share = 1 / (repeats * blocks + 1)
@@ -333,3 +341,32 @@ def timed_execute(spec: SimJobSpec) -> tuple[dict, float]:
     start = time.perf_counter()
     payload = execute_job(spec)
     return payload, time.perf_counter() - start
+
+
+def traced_execute(spec: SimJobSpec):
+    """Execute one job, honouring an attached trace context.
+
+    The single worker-side entry point for both the process pool and the
+    serving broker.  An untraced spec (``spec.trace is None`` — the
+    default) behaves exactly like :func:`timed_execute` and returns the
+    same 2-tuple, so the hot path pays one attribute check.  A traced
+    spec re-seeds the job tracer from the carried context (this is how
+    spans survive the ``spawn`` process boundary) and returns a 3-tuple
+    ``(payload, wall_seconds, events)`` with the simulated-time per-PE
+    lane events recorded during execution.
+    """
+    ctx = spec.trace
+    if ctx is None or not getattr(ctx, "enabled", False):
+        return timed_execute(spec)
+    with tracing_job(ctx) as state:
+        start = time.perf_counter()
+        payload = execute_job(spec)
+        wall = time.perf_counter() - start
+        events = list(state.events)
+        if state.dropped:
+            events.append({
+                "name": "events dropped", "cat": "meta", "ts": 0.0,
+                "proc": "sim", "thread": "meta",
+                "args": {"dropped": state.dropped},
+            })
+    return payload, wall, events

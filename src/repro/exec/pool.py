@@ -7,9 +7,11 @@ future; crashed/failed jobs are resubmitted to a fresh pool for as long
 as attempts keep completing *something*, and only consecutive stalled
 attempts surface as a structured :class:`~repro.errors.ExecError`.
 
-The worker entry point runs :func:`repro.exec.jobs.timed_execute` — the
+The worker entry point runs :func:`repro.exec.jobs.traced_execute` — the
 same function the serial path calls — so scheduling never changes
-results.
+results.  For untraced specs (the default) it is exactly
+``timed_execute``; a spec carrying a trace context additionally returns
+the per-PE simulated-time events recorded inside the worker.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, ExecError
-from repro.exec.jobs import timed_execute
+from repro.exec.jobs import traced_execute
 from repro.exec.spec import SimJobSpec
 from repro.faults.chaos import maybe_crash_worker
 
@@ -70,10 +72,14 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
     return count
 
 
-def _worker(spec: SimJobSpec) -> tuple[dict, float]:
-    """Pool worker entry point (top-level so it pickles)."""
+def _worker(spec: SimJobSpec):
+    """Pool worker entry point (top-level so it pickles).
+
+    Returns ``(payload, wall)`` for untraced specs, ``(payload, wall,
+    events)`` for traced ones — see :func:`repro.exec.jobs.traced_execute`.
+    """
     maybe_crash_worker(spec.content_hash)  # no-op unless $REPRO_CHAOS armed
-    return timed_execute(spec)
+    return traced_execute(spec)
 
 
 def run_parallel(

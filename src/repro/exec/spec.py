@@ -87,6 +87,12 @@ class SimJobSpec:
         — the overwhelmingly common case — is omitted from the canonical
         dictionary form entirely, so fault-free specs hash exactly as
         they did before the field existed.
+    trace:
+        Optional :class:`~repro.obs.TraceContext` carried alongside the
+        job (excluded from identity: not hashed, not compared, not part
+        of :meth:`to_dict`).  Tracing observes an execution, it does not
+        change the result — the same spec traced or untraced must hit
+        the same cache entry and dedup to the same in-flight job.
     """
 
     program: str
@@ -100,6 +106,7 @@ class SimJobSpec:
     config: PrototypeConfig = field(default_factory=PrototypeConfig.calibrated)
     params: tuple[tuple[str, object], ...] = ()
     fault_plan: FaultPlan | None = None
+    trace: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:

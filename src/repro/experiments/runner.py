@@ -20,6 +20,14 @@ appends the engine's cache-hit/wall-time summary table (with p50/p95
 per-job percentiles) and a wall-time breakdown by job bucket;
 ``--profile FILE`` wraps the whole run in :mod:`cProfile` and dumps a
 pstats file for ``python -m pstats`` / ``snakeviz``.
+
+``--trace-out FILE`` records the whole run as a Chrome trace-event
+document (open in Perfetto / ``chrome://tracing``): engine lanes show
+per-job queue/execute wall time and cache hits, and every *computed*
+job contributes per-PE simulated-time lanes (instruction category
+spans, SIMD fetch-queue waits, network stalls) collected inside the
+worker process.  Tracing is strictly opt-in and does not perturb the
+results — job identity (and thus the cache key) is unchanged.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from pathlib import Path
 from repro.core import DecouplingStudy
 from repro.errors import ReproError
 from repro.exec import ExecutionEngine, ResultCache, resolve_jobs
+from repro.obs.tracer import Tracer
 from repro.experiments.extensions import (
     run_ext_design_scale,
     run_ext_dma,
@@ -79,12 +88,14 @@ def run_experiments(
     jobs: int | str | None = None,
     cache: ResultCache | None = None,
     stats: bool = False,
+    tracer: Tracer | None = None,
 ):
     """Run the named experiments (all by default); return the results.
 
     ``jobs``/``cache`` configure the execution engine (defaults: serial,
     no disk cache — the historical behaviour); ``stats=True`` appends the
-    engine's summary table to ``stream``.
+    engine's summary table to ``stream``; a ``tracer`` records every
+    engine job (and its per-PE simulated lanes) for Perfetto export.
     """
     stream = stream if stream is not None else sys.stdout
     names = names or list(EXPERIMENTS)
@@ -93,7 +104,7 @@ def run_experiments(
         raise SystemExit(
             f"unknown experiment(s) {unknown}; choose from {list(EXPERIMENTS)}"
         )
-    engine = ExecutionEngine(jobs=jobs, cache=cache)
+    engine = ExecutionEngine(jobs=jobs, cache=cache, tracer=tracer)
     study = _make_study(seed, engine)
     results = []
     for name in names:
@@ -176,6 +187,12 @@ def main(argv: list[str] | None = None) -> int:
              "(default: $REPRO_CACHE_MAX_MB or unbounded)",
     )
     parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="FILE",
+        help="export the run as a Chrome trace-event JSON file (open in "
+             "Perfetto or chrome://tracing): engine job lanes plus per-PE "
+             "simulated-time lanes for every computed job",
+    )
+    parser.add_argument(
         "--report", type=Path, default=None, metavar="FILE",
         help="write the full reproduction report (config + engine check + "
              "crossover confidence + every exhibit) to FILE and exit",
@@ -199,20 +216,34 @@ def main(argv: list[str] | None = None) -> int:
         args.report.write_text(full_report(study))
         print(f"report written to {args.report}")
         return 0
+    tracer = Tracer() if args.trace_out is not None else None
+
+    def _write_trace() -> None:
+        if tracer is None:
+            return
+        tracer.write(args.trace_out, meta={
+            "tool": "pasm-experiments",
+            "experiments": args.experiments or sorted(EXPERIMENTS),
+        })
+        print(f"trace written to {args.trace_out} "
+              f"(trace id {tracer.trace_id})")
+
     if args.profile is not None:
         from repro.perf import profile_to
 
         with profile_to(args.profile):
             run_experiments(
                 args.experiments or None, out_dir=args.out, seed=args.seed,
-                jobs=args.jobs, cache=cache, stats=args.stats,
+                jobs=args.jobs, cache=cache, stats=args.stats, tracer=tracer,
             )
         print(f"profile written to {args.profile}")
+        _write_trace()
         return 0
     run_experiments(
         args.experiments or None, out_dir=args.out, seed=args.seed,
-        jobs=args.jobs, cache=cache, stats=args.stats,
+        jobs=args.jobs, cache=cache, stats=args.stats, tracer=tracer,
     )
+    _write_trace()
     return 0
 
 

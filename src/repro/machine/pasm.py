@@ -199,6 +199,20 @@ class PASMMachine:
     def pe(self, logical: int) -> ProcessingElement:
         return self.pes[logical]
 
+    def enable_tracing(self) -> None:
+        """Arm per-instruction and bus-wait tracing on every PE.
+
+        Turns on :attr:`repro.m68k.cpu.CPU.trace` (per-instruction
+        :class:`~repro.m68k.cpu.InstructionRecord` s) and the PE bus's
+        wait-span recording, the data behind the exported per-PE trace
+        lanes (see :mod:`repro.obs.simtrace`).  Call before running a
+        workload; off by default because the record lists cost memory
+        and per-instruction appends.
+        """
+        for pe in self.pes:
+            pe.cpu.trace = True
+            pe.bus.trace_waits = True
+
     def connect_shift_circuit(self) -> None:
         """Establish the algorithm's single network setting.
 

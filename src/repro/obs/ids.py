@@ -1,0 +1,86 @@
+"""Correlation identifiers: W3C-style trace/span IDs and request IDs.
+
+The serving layer correlates one logical piece of work across process
+boundaries with two identifiers:
+
+* a **request ID** (``X-Request-ID`` header) names one HTTP exchange —
+  clients quote it when reporting shed load, and every access-log line
+  carries it;
+* a **trace ID** (the ``traceparent`` header, `W3C Trace Context`_
+  ``00-<trace-id>-<parent-id>-<flags>`` format) names one end-to-end
+  operation — it survives dedup (N requests attach to one job, all
+  sharing the computing submission's trace) and the spawn boundary into
+  pool workers, and it is stamped into every exported Chrome trace.
+
+Only the header *syntax* of W3C Trace Context is implemented (32-hex
+trace ID, 16-hex span ID, version ``00``); there is no sampling logic —
+tracing is a service-level switch, not a per-request decision.
+
+.. _W3C Trace Context: https://www.w3.org/TR/trace-context/
+"""
+
+from __future__ import annotations
+
+import secrets
+
+#: ``traceparent`` version implemented (the only one defined so far).
+TRACEPARENT_VERSION = "00"
+
+#: Flags octet: ``01`` = sampled.  Tracing here is all-or-nothing, so
+#: every ID this module mints is marked sampled.
+TRACEPARENT_FLAGS = "01"
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace ID as 32 lowercase hex digits (non-zero)."""
+    while True:
+        tid = secrets.token_hex(16)
+        if any(c != "0" for c in tid):  # all-zero is invalid per the spec
+            return tid
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span ID as 16 lowercase hex digits (non-zero)."""
+    while True:
+        sid = secrets.token_hex(8)
+        if any(c != "0" for c in sid):
+            return sid
+
+
+def new_request_id() -> str:
+    """A fresh request ID (``req-`` + 16 hex digits)."""
+    return "req-" + secrets.token_hex(8)
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render a ``traceparent`` header value."""
+    return (f"{TRACEPARENT_VERSION}-{trace_id}-{span_id}-"
+            f"{TRACEPARENT_FLAGS}")
+
+
+def _is_hex(text: str, length: int) -> bool:
+    return len(text) == length and all(c in _HEX for c in text) \
+        and any(c != "0" for c in text)
+
+
+def parse_traceparent(header: str | None) -> tuple[str, str] | None:
+    """Parse a ``traceparent`` header into ``(trace_id, parent_span_id)``.
+
+    Returns ``None`` for anything malformed — an invalid header from a
+    client must start a fresh trace, never crash the request.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id = parts[0], parts[1], parts[2]
+    if version == "ff" or len(version) != 2 or not all(
+        c in _HEX or c == "0" for c in version
+    ):
+        return None
+    if not _is_hex(trace_id, 32) or not _is_hex(span_id, 16):
+        return None
+    return trace_id, span_id

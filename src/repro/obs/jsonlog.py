@@ -1,0 +1,92 @@
+"""Structured logging for the serving layer.
+
+``pasm-serve`` runs under process supervisors (systemd, k8s) whose log
+pipelines want one machine-parseable line per event.  This module is a
+deliberately small alternative to :mod:`logging`: one logger class, two
+output formats, no handler/filter graph.
+
+* ``json`` format: one ``json.dumps`` object per line —
+  ``{"ts": ..., "level": ..., "event": ..., <fields>}``.
+* ``text`` format: ``<iso-ts> <LEVEL> <event> key=value ...`` with
+  values quoted (JSON-style) when they contain whitespace or quotes.
+
+Every access-log line carries the request's correlation ID
+(``request_id``) and, when tracing, the ``trace_id`` — grep either
+format for an ID to reconstruct one request's story.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+
+LEVELS = ("debug", "info", "warning", "error")
+FORMATS = ("text", "json")
+
+
+def _iso(ts: float) -> str:
+    return datetime.fromtimestamp(ts, tz=timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%S.%f"
+    )[:-3] + "Z"
+
+
+def _text_value(value) -> str:
+    if isinstance(value, str):
+        if value == "" or any(c in value for c in ' "\\\n\t='):
+            return json.dumps(value)
+        return value
+    return json.dumps(value)
+
+
+class StructuredLogger:
+    """A line-oriented logger writing JSON or logfmt-style text.
+
+    ``stream=None`` resolves to ``sys.stderr`` *at emit time*, so tests
+    that swap ``sys.stderr`` (pytest's ``capsys``) see the output.  A
+    lock keeps concurrent lines whole.
+    """
+
+    def __init__(self, stream=None, fmt: str = "text", *,
+                 clock=time.time) -> None:
+        if fmt not in FORMATS:
+            raise ValueError(
+                f"unknown log format {fmt!r}; expected one of {FORMATS}"
+            )
+        self._stream = stream
+        self.fmt = fmt
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def log(self, level: str, event: str, **fields) -> None:
+        ts = self._clock()
+        if self.fmt == "json":
+            record = {"ts": _iso(ts), "level": level, "event": event}
+            record.update(fields)
+            line = json.dumps(record, default=str)
+        else:
+            parts = [_iso(ts), level.upper(), event]
+            parts.extend(f"{key}={_text_value(value)}"
+                         for key, value in fields.items())
+            line = " ".join(parts)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            try:
+                stream.flush()
+            except (ValueError, OSError):  # closed stream at shutdown
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)

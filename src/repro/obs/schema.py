@@ -1,0 +1,114 @@
+"""Structural validation for exported Chrome trace-event JSON.
+
+CI's ``trace-smoke`` job and the test-suite run every exported trace
+through :func:`validate_chrome_trace` before declaring it viewable:
+Perfetto and ``chrome://tracing`` silently drop or misrender events
+with missing fields, unmatched ``B``/``E`` pairs, or timestamps that
+go backwards, so "the file loaded" is not a meaningful check.  This
+validator returns a list of human-readable problems (empty = valid)
+instead of raising, so a smoke job can print *all* defects at once.
+
+Checks applied:
+
+* the document is an object with a ``traceEvents`` list;
+* every event is an object with ``name``, ``ph`` and ``pid``;
+* every non-metadata event has a ``tid`` and a numeric ``ts``;
+* timestamps are non-decreasing in file order (metadata excluded) —
+  our exporter sorts, and sorted files load faster in viewers;
+* ``B``/``E`` events match up LIFO per ``(pid, tid)`` lane with equal
+  names, and no lane ends with an unclosed ``B``;
+* ``X`` complete events carry a non-negative numeric ``dur``.
+"""
+
+from __future__ import annotations
+
+_REQUIRED = ("name", "ph", "pid")
+
+#: Phases that are *events in time* (everything except metadata).
+_TIMED_PHASES = {"B", "E", "X", "i", "I", "R", "C", "b", "e", "n", "s",
+                 "t", "f"}
+
+
+def validate_chrome_trace(doc, *, max_problems: int = 20) -> list[str]:
+    """Check a Chrome trace document; returns problems (empty = valid)."""
+    problems: list[str] = []
+
+    def report(msg: str) -> bool:
+        """Record a problem; True while there is room for more."""
+        if len(problems) < max_problems:
+            problems.append(msg)
+        return len(problems) < max_problems
+
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        return ["'traceEvents' is empty"]
+
+    last_ts: float | None = None
+    stacks: dict[tuple, list[tuple[int, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            if not report(f"event #{i}: not an object"):
+                break
+            continue
+        missing = [f for f in _REQUIRED if f not in ev]
+        if missing:
+            if not report(f"event #{i}: missing {', '.join(missing)}"):
+                break
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if ph not in _TIMED_PHASES:
+            if not report(f"event #{i}: unknown phase {ph!r}"):
+                break
+            continue
+        if "tid" not in ev:
+            if not report(f"event #{i} ({ph} {ev['name']!r}): missing tid"):
+                break
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            if not report(f"event #{i} ({ph} {ev['name']!r}): "
+                          f"non-numeric ts {ts!r}"):
+                break
+            continue
+        if last_ts is not None and ts < last_ts:
+            if not report(f"event #{i} ({ph} {ev['name']!r}): ts {ts} "
+                          f"goes backwards (previous {last_ts})"):
+                break
+        last_ts = ts
+        lane = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks.setdefault(lane, []).append((i, ev["name"]))
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                if not report(f"event #{i}: E {ev['name']!r} on lane "
+                              f"{lane} with no open B"):
+                    break
+                continue
+            j, open_name = stack.pop()
+            # Chrome tolerates E without a name; when present it must
+            # match the B it closes or the viewer mispairs the lane.
+            if "name" in ev and ev["name"] != open_name:
+                if not report(f"event #{i}: E {ev['name']!r} closes "
+                              f"B {open_name!r} (event #{j}) on lane "
+                              f"{lane}"):
+                    break
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                    or dur < 0:
+                if not report(f"event #{i}: X {ev['name']!r} with bad "
+                              f"dur {dur!r}"):
+                    break
+    for lane, stack in stacks.items():
+        for j, name in stack:
+            if not report(f"event #{j}: B {name!r} on lane {lane} "
+                          f"never closed"):
+                break
+    return problems

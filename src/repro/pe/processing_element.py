@@ -78,6 +78,12 @@ class PEBus(LocalTimeBus):
         self.net_bytes_sent = 0
         self.net_bytes_received = 0
         self.sync_reads = 0
+        # -- tracing ---------------------------------------------------------
+        #: When set, the four blocking sites below record (kind, t0, t1)
+        #: wait intervals.  ``sync()`` precedes every site, so env.now is
+        #: bus-true at both endpoints and the interval is exact.
+        self.trace_waits = False
+        self.wait_spans: list[tuple[str, float, float]] = []
         self._init_local_clock(fast_path)
 
     # ------------------------------------------------------------------
@@ -226,7 +232,13 @@ class PEBus(LocalTimeBus):
             # Shared interaction: flush so the queue request is made at
             # true time; the queue-access charge afterwards is private.
             yield from self.sync()
-            item = yield from self.queue.request(self.pe_slot)
+            if self.trace_waits:
+                t0 = self.env.now
+                item = yield from self.queue.request(self.pe_slot)
+                if self.env.now > t0:
+                    self.wait_spans.append(("queue_wait", t0, self.env.now))
+            else:
+                item = yield from self.queue.request(self.pe_slot)
             if item.payload is None:
                 raise SimulationError(
                     f"{self.name}: fetched a bare sync word as an instruction"
@@ -276,7 +288,13 @@ class PEBus(LocalTimeBus):
             # Barrier: a data read from SIMD space consumes one queue word
             # and completes only when all enabled PEs have read it.
             yield from self.sync()
-            item = yield from self.queue.request(self.pe_slot)
+            if self.trace_waits:
+                t0 = self.env.now
+                item = yield from self.queue.request(self.pe_slot)
+                if self.env.now > t0:
+                    self.wait_spans.append(("barrier_wait", t0, self.env.now))
+            else:
+                item = yield from self.queue.request(self.pe_slot)
             if item.payload is not None:
                 raise SimulationError(
                     f"{self.name}: barrier read consumed an instruction "
@@ -292,7 +310,13 @@ class PEBus(LocalTimeBus):
             return 0
         if kind is RegionKind.NET_RX:
             yield from self.sync()
-            value = yield from self.port.read_rx()
+            if self.trace_waits:
+                t0 = self.env.now
+                value = yield from self.port.read_rx()
+                if self.env.now > t0:
+                    self.wait_spans.append(("net_rx_wait", t0, self.env.now))
+            else:
+                value = yield from self.port.read_rx()
             self.net_bytes_received += 1
             self.data_accesses += 1
             if self.fast_path:
@@ -344,7 +368,13 @@ class PEBus(LocalTimeBus):
                     f"{size}-byte write to NET_TX"
                 )
             yield from self.sync()
-            yield from self.port.write_tx(value)
+            if self.trace_waits:
+                t0 = self.env.now
+                yield from self.port.write_tx(value)
+                if self.env.now > t0:
+                    self.wait_spans.append(("net_tx_wait", t0, self.env.now))
+            else:
+                yield from self.port.write_tx(value)
             self.net_bytes_sent += 1
             self.data_accesses += 1
             if self.fast_path:

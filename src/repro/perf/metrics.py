@@ -39,7 +39,10 @@ def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return ""
     inner = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", r"\\").replace('"', r"\""))
+        '{}="{}"'.format(
+            k,
+            v.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+        )
         for k, v in key
     )
     return "{" + inner + "}"

@@ -10,6 +10,10 @@ Endpoints
     overflow, 503 while draining.  ``?wait=1[&timeout=s]`` long-polls.
 ``GET /v1/jobs/{hash}``
     Job state document; ``?wait=1`` long-polls for completion.
+``GET /v1/jobs/{hash}/trace``
+    The job's merged Chrome trace-event JSON (serve lanes + per-PE
+    simulated-time lanes) — load it in Perfetto or ``chrome://tracing``.
+    Only available when the service runs with ``--trace``.
 ``GET|POST /v1/exhibits/{name}``
     Submit a whole exhibit; with ``?wait=1`` the response body is the
     *raw* exhibit JSON — byte-identical to what ``pasm-experiments
@@ -36,8 +40,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 import signal
-import sys
 import threading
+import time
 
 from repro.errors import (
     BackpressureError,
@@ -46,6 +50,14 @@ from repro.errors import (
     ServiceDrainingError,
 )
 from repro.exec import SimJobSpec
+from repro.obs.ids import (
+    format_traceparent,
+    new_request_id,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+from repro.obs.jsonlog import StructuredLogger
 from repro.serve.broker import DONE, FAILED, JobBroker, JobEntry
 from repro.serve.config import LANES, ServeConfig
 from repro.serve.http import HttpServer, Request, Response
@@ -61,6 +73,7 @@ class ServeApp:
         self.config = config or ServeConfig()
         self.broker = JobBroker(self.config)
         self.metrics = self.broker.metrics
+        self.log = StructuredLogger(fmt=self.config.log_format)
         self.server = HttpServer(self.handle, host=self.config.host,
                                  port=self.config.port)
         self._stopped: asyncio.Event | None = None
@@ -92,7 +105,33 @@ class ServeApp:
     # ------------------------------------------------------------------
     # Routing
     async def handle(self, request: Request) -> Response:
-        response = await self._route(request)
+        """Route one request; correlate, log, and count it.
+
+        Every response carries an ``X-Request-ID`` (echoed from the
+        request, minted otherwise) and every error body names it, so a
+        client reporting shed load can quote the exact exchange.  A
+        ``traceparent`` the client sent is echoed back with a fresh
+        span ID; with ``--trace`` the service mints one itself, so the
+        response header, the access-log line, and the job's exported
+        trace all share one trace ID.
+        """
+        start = time.perf_counter()
+        request_id = request.headers.get("x-request-id") or new_request_id()
+        parent = parse_traceparent(request.headers.get("traceparent"))
+        if parent is not None:
+            trace_id = parent[0]
+        elif self.config.trace:
+            trace_id = new_trace_id()
+        else:
+            trace_id = None
+        response = await self._route(request, trace_id, request_id)
+        if response.status >= 400 and isinstance(response.body, dict):
+            response.body.setdefault("request_id", request_id)
+        extra = [("X-Request-ID", request_id)]
+        if trace_id is not None:
+            extra.append(("traceparent",
+                          format_traceparent(trace_id, new_span_id())))
+        response.headers = tuple(response.headers) + tuple(extra)
         self.metrics.inc(
             "pasm_serve_requests_total",
             help_="HTTP requests by method/path/status",
@@ -100,9 +139,20 @@ class ServeApp:
             path=_route_label(request.path),
             status=response.status,
         )
+        fields = {
+            "method": request.method,
+            "path": request.path,
+            "status": response.status,
+            "dur_ms": round((time.perf_counter() - start) * 1e3, 3),
+            "request_id": request_id,
+        }
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        self.log.info("request", **fields)
         return response
 
-    async def _route(self, request: Request) -> Response:
+    async def _route(self, request: Request, trace_id: str | None,
+                     request_id: str) -> Response:
         path, method = request.path.rstrip("/") or "/", request.method
         try:
             if path == "/healthz" and method == "GET":
@@ -117,7 +167,10 @@ class ServeApp:
                     title=f"serve stats (pool={self.broker.pool_jobs})"
                 ) + "\n")
             if path == "/v1/jobs" and method == "POST":
-                return await self._submit(request)
+                return await self._submit(request, trace_id, request_id)
+            if path.startswith("/v1/jobs/") and path.endswith("/trace") \
+                    and method == "GET":
+                return self._job_trace(path[len("/v1/jobs/"):-len("/trace")])
             if path.startswith("/v1/jobs/") and method == "GET":
                 return await self._job_status(request,
                                               path[len("/v1/jobs/"):])
@@ -147,7 +200,8 @@ class ServeApp:
             "api": API_VERSION,
         })
 
-    async def _submit(self, request: Request) -> Response:
+    async def _submit(self, request: Request, trace_id: str | None,
+                      request_id: str) -> Response:
         doc = request.json()
         if not isinstance(doc, dict):
             return _error(400, "request body must be a JSON object")
@@ -164,13 +218,17 @@ class ServeApp:
                 return _error(400, f"invalid job spec: {exc}")
             except (KeyError, TypeError, ValueError) as exc:
                 return _error(400, f"malformed job spec: {exc!r}")
-            entry, outcome = await self.broker.submit(spec=spec, lane=lane)
+            entry, outcome = await self.broker.submit(
+                spec=spec, lane=lane, trace_id=trace_id,
+                request_id=request_id,
+            )
         else:
             seed = doc.get("seed")
             if seed is not None and not isinstance(seed, int):
                 return _error(400, f"seed must be an integer, got {seed!r}")
             entry, outcome = await self.broker.submit(
                 exhibit=str(doc["exhibit"]), seed=seed, lane=lane,
+                trace_id=trace_id, request_id=request_id,
             )
         if request.flag("wait"):
             await self._wait(entry, request)
@@ -184,6 +242,18 @@ class ServeApp:
         if request.flag("wait"):
             await self._wait(entry, request)
         return self._entry_response(entry, entry.outcome)
+
+    def _job_trace(self, key: str) -> Response:
+        entry = self.broker.get(key)
+        if entry is None:
+            return _error(404, f"no such job {key!r} (expired or never "
+                               "submitted)")
+        doc = entry.trace_doc()
+        if doc is None:
+            return _error(404,
+                          f"job {key!r} was not traced (start the service "
+                          "with --trace to record job traces)")
+        return Response(body=doc)
 
     async def _exhibit(self, request: Request, name: str) -> Response:
         if not name:
@@ -362,6 +432,14 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="MB",
                         help="LRU size cap on the result cache (default: "
                              "$REPRO_CACHE_MAX_MB or unbounded)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record end-to-end job traces (broker spans + "
+                             "per-PE simulated-time lanes), exported at "
+                             "GET /v1/jobs/{hash}/trace")
+    parser.add_argument("--log-format", choices=("text", "json"),
+                        default="text",
+                        help="access/lifecycle log rendering on stderr "
+                             "(default: text)")
     args = parser.parse_args(argv)
     try:
         config = ServeConfig(
@@ -375,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             no_cache=args.no_cache,
             cache_max_mb=args.cache_max_mb,
+            trace=args.trace,
+            log_format=args.log_format,
         )
         config.resolved_jobs()
     except ReproError as exc:
@@ -391,13 +471,16 @@ async def _serve(config: ServeConfig) -> int:
             getattr(signal, signame),
             lambda: asyncio.ensure_future(app.shutdown()),
         )
-    print(f"pasm-serve listening on http://{config.host}:{app.port} "
-          f"(pool={app.broker.pool_jobs}, queue_limit="
-          f"{config.queue_limit}, cache="
-          f"{'on' if app.broker.cache is not None else 'off'})",
-          file=sys.stderr, flush=True)
+    app.log.info(
+        "startup",
+        message=f"pasm-serve listening on http://{config.host}:{app.port}",
+        pool=app.broker.pool_jobs,
+        queue_limit=config.queue_limit,
+        cache="on" if app.broker.cache is not None else "off",
+        trace="on" if config.trace else "off",
+    )
     await app._stopped.wait()
-    print("pasm-serve drained, bye", file=sys.stderr)
+    app.log.info("shutdown", message="pasm-serve drained, bye")
     return 0
 
 

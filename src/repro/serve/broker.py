@@ -37,6 +37,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 
 from repro.errors import (
     BackpressureError,
@@ -48,6 +49,8 @@ from repro.errors import (
 from repro.exec import ExecStats, ExecutionEngine, SimJobSpec, content_hash_of
 from repro.exec.pool import _worker as _pool_worker
 from repro.exec.pool import resolve_jobs
+from repro.obs.ids import new_trace_id
+from repro.obs.tracer import TraceContext, export_chrome, instant_event, span_event
 from repro.perf import MetricsRegistry
 from repro.serve.config import LANES, ServeConfig
 from repro.utils.rng import DEFAULT_SEED
@@ -85,7 +88,8 @@ class JobEntry:
     __slots__ = (
         "key", "spec", "exhibit", "seed", "lane", "state", "outcome",
         "future", "created", "started", "finished", "wall", "error",
-        "attempts", "waiters",
+        "attempts", "waiters", "trace_id", "request_id", "events",
+        "attached",
     )
 
     def __init__(self, key: str, *, spec: SimJobSpec | None = None,
@@ -107,6 +111,11 @@ class JobEntry:
         self.error: str | None = None
         self.attempts = 1
         self.waiters = 1  #: submissions attached to this entry so far
+        # -- tracing (populated only when the service runs with --trace) --
+        self.trace_id: str | None = None
+        self.request_id: str | None = None  #: of the admitting request
+        self.events: list[dict] | None = None  #: worker per-PE lanes
+        self.attached: list[tuple[str, float]] = []  #: (outcome, at)
 
     def label(self) -> str:
         if self.spec is not None:
@@ -132,7 +141,66 @@ class JobEntry:
             doc["result"] = self.future.result()
         if self.error is not None:
             doc["error"] = self.error
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
         return doc
+
+    def trace_doc(self) -> dict | None:
+        """The job's Chrome trace document, or ``None`` when untraced.
+
+        Serve-side lanes (wall microseconds since admission): the queue
+        wait from admission to execution start, the execute span, and
+        one instant per deduplicated attachment.  The worker's per-PE
+        simulated-cycle lanes (:attr:`events`) merge in alongside.
+        """
+        if self.trace_id is None:
+            return None
+
+        def us(t: float) -> float:
+            return (t - self.created) * 1e6
+
+        events: list[dict] = [
+            instant_event("admitted", ts=0.0, proc="serve", thread="broker",
+                          cat="admission",
+                          args={"lane": self.lane, "outcome": self.outcome}),
+        ]
+        if self.started is not None:
+            events.append(span_event(
+                "queue wait", ts=0.0, dur=us(self.started),
+                proc="serve", thread="broker", cat="queue",
+            ))
+            end = self.finished if self.finished is not None \
+                else time.monotonic()
+            events.append(span_event(
+                "execute", ts=us(self.started), dur=us(end) - us(self.started),
+                proc="serve", thread="broker", cat="execute",
+                args={"attempts": self.attempts, "state": self.state},
+            ))
+        elif self.finished is not None:
+            # Served without executing (disk-cache admission).
+            events.append(instant_event(
+                self.outcome, ts=us(self.finished), proc="serve",
+                thread="broker", cat="cache",
+            ))
+        for outcome, at in self.attached:
+            events.append(instant_event(
+                f"attach ({outcome})", ts=us(at), proc="serve",
+                thread="admissions", cat="dedup",
+            ))
+        if self.events:
+            events.extend(self.events)
+        meta = {
+            "job": self.key,
+            "label": self.label(),
+            "state": self.state,
+            "outcome": self.outcome,
+            "waiters": self.waiters,
+        }
+        if self.request_id:
+            meta["request_id"] = self.request_id
+        if self.wall is not None:
+            meta["wall_s"] = round(self.wall, 6)
+        return export_chrome(events, trace_id=self.trace_id, meta=meta)
 
 
 class JobBroker:
@@ -276,6 +344,8 @@ class JobBroker:
         seed: int | None = None,
         lane: str = "interactive",
         internal: bool = False,
+        trace_id: str | None = None,
+        request_id: str | None = None,
     ) -> tuple[JobEntry, str]:
         """Admit one job; returns ``(entry, outcome)``.
 
@@ -285,6 +355,15 @@ class JobBroker:
         ``internal=True`` marks broker-originated fan-out (exhibit cell
         jobs): already-admitted work that must not be refused by the
         admission bound it was admitted under.
+
+        ``trace_id``/``request_id`` correlate the submission with the
+        HTTP request that carried it.  When the service runs with
+        ``trace`` enabled, an admitting external submission records
+        broker spans under that trace ID (a fresh one if the client sent
+        none) and later submissions attaching to the same job are
+        recorded as dedup instants on it; with tracing off both are
+        ignored here (IDs still flow through response headers and logs
+        upstairs).
         """
         assert self.loop is not None, "broker not started"
         if (spec is None) == (exhibit is None):
@@ -295,6 +374,7 @@ class JobBroker:
             raise ConfigurationError(
                 f"unknown lane {lane!r}; choose from {LANES}"
             )
+        tracing = self.config.trace and not internal
         key = spec.content_hash if spec is not None else exhibit_key(
             exhibit, seed
         )
@@ -303,9 +383,17 @@ class JobBroker:
             if existing.state == DONE:
                 existing.waiters += 1
                 self.entries.move_to_end(key)
+                if spec is not None:
+                    self.stats.record_dedup(spec)
+                if tracing:
+                    existing.attached.append(("memo", time.monotonic()))
                 return existing, self._count_outcome("memo")
             if existing.state in (QUEUED, RUNNING):
                 existing.waiters += 1
+                if spec is not None:
+                    self.stats.record_dedup(spec)
+                if tracing:
+                    existing.attached.append(("dedup", time.monotonic()))
                 return existing, self._count_outcome("dedup")
             # FAILED: fall through — a fresh submission retries the job.
             del self.entries[key]
@@ -316,6 +404,9 @@ class JobBroker:
             )
         entry = JobEntry(key, spec=spec, exhibit=exhibit, seed=seed,
                          lane=lane, future=self.loop.create_future())
+        if tracing:
+            entry.trace_id = trace_id or new_trace_id()
+            entry.request_id = request_id
         # Keep failed futures from warning when nobody ever awaits them.
         entry.future.add_done_callback(_consume_exception)
         # Reserve the key *before* the first await: a concurrent
@@ -442,15 +533,25 @@ class JobBroker:
         mirroring :func:`repro.exec.pool.run_parallel`'s recovery, but
         incrementally, without failing any client request.
         """
+        spec = entry.spec
+        if entry.trace_id is not None:
+            # The context pickles into the spawn worker; traced_execute
+            # re-seeds the job tracer there and ships events back in the
+            # result tuple.  Identity is untouched: ``trace`` is not part
+            # of the spec's hash, equality, or canonical form.
+            spec = replace(spec, trace=TraceContext(trace_id=entry.trace_id))
         resubmits = 0
         while True:
             executor, gen = self._executor, self._pool_gen
             if executor is None:
                 raise ServeError("broker is shut down")
             try:
-                return await asyncio.wrap_future(
-                    executor.submit(_pool_worker, entry.spec)
+                outcome = await asyncio.wrap_future(
+                    executor.submit(_pool_worker, spec)
                 )
+                if len(outcome) > 2 and outcome[2]:
+                    entry.events = list(outcome[2])
+                return outcome[0], outcome[1]
             except BrokenExecutor as exc:
                 resubmits += 1
                 entry.attempts += 1

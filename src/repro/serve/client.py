@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.errors import ServeError
 from repro.exec import SimJobSpec
+from repro.obs.ids import format_traceparent, new_request_id, new_span_id, new_trace_id
 from repro.serve.config import default_port
 
 #: HTTP statuses worth retrying: the server said "not now", not "no".
@@ -64,6 +65,16 @@ class HttpReply:
         except ValueError:
             return {"error": self.body.decode("utf-8", "replace")}
 
+    def request_id(self) -> str | None:
+        """The server-confirmed correlation ID of this exchange."""
+        return self.headers.get("x-request-id")
+
+    def trace_id(self) -> str | None:
+        """Trace ID from the response ``traceparent``, if any."""
+        header = self.headers.get("traceparent", "")
+        parts = header.split("-")
+        return parts[1] if len(parts) >= 4 else None
+
     def retry_after(self) -> float | None:
         value = self.headers.get("retry-after")
         if value is None:
@@ -92,6 +103,14 @@ class ServeClient:
         ``Retry-After`` floor).
     rng:
         Source of jitter; pass ``random.Random(seed)`` for determinism.
+    trace:
+        Send a W3C ``traceparent`` header (fresh trace ID per logical
+        request) so a ``--trace`` service records the job under the
+        *client's* trace ID.  An ``X-Request-ID`` is always sent —
+        correlation IDs are plain headers and cost nothing; ``trace``
+        only controls whether the client proposes a trace.  The IDs of
+        the most recent request are kept on :attr:`last_request_id` /
+        :attr:`last_trace_id`.
     """
 
     def __init__(
@@ -105,6 +124,7 @@ class ServeClient:
         backoff_cap: float = 2.0,
         rng: random.Random | None = None,
         sleep=time.sleep,
+        trace: bool = False,
     ) -> None:
         self.host = host
         self.port = port if port is not None else default_port()
@@ -114,17 +134,23 @@ class ServeClient:
         self.backoff_cap = backoff_cap
         self.rng = rng or random.Random()
         self._sleep = sleep
+        self.trace = trace
         self.retries_performed = 0  #: lifetime retry counter (telemetry)
+        self.last_request_id: str | None = None
+        self.last_trace_id: str | None = None
 
     # ------------------------------------------------------------------
     # Transport
     def _request_once(self, method: str, path: str, body: bytes | None,
-                      timeout: float) -> HttpReply:
+                      timeout: float,
+                      headers: dict[str, str] | None = None) -> HttpReply:
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=timeout)
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            conn.request(method, path, body=body, headers=headers)
+            all_headers = {"Content-Type": "application/json"} if body else {}
+            if headers:
+                all_headers.update(headers)
+            conn.request(method, path, body=body, headers=all_headers)
             response = conn.getresponse()
             return HttpReply(
                 status=response.status,
@@ -143,14 +169,27 @@ class ServeClient:
 
     def request(self, method: str, path: str, *, doc: dict | None = None,
                 timeout: float | None = None) -> HttpReply:
-        """One request with retry on 429/503/transport errors."""
+        """One request with retry on 429/503/transport errors.
+
+        Every logical request carries one ``X-Request-ID`` (held across
+        its retries, so a shed-then-retried exchange tells one story in
+        the server logs) and, with ``trace=True``, one ``traceparent``.
+        """
         body = (json.dumps(doc).encode() if doc is not None else None)
         timeout = self.timeout if timeout is None else timeout
+        self.last_request_id = new_request_id()
+        self.last_trace_id = new_trace_id() if self.trace else None
+        headers = {"X-Request-ID": self.last_request_id}
+        if self.last_trace_id is not None:
+            headers["traceparent"] = format_traceparent(
+                self.last_trace_id, new_span_id()
+            )
         last: HttpReply | None = None
         last_exc: OSError | None = None
         for attempt in range(self.max_retries + 1):
             try:
-                last = self._request_once(method, path, body, timeout)
+                last = self._request_once(method, path, body, timeout,
+                                          headers)
                 last_exc = None
             except OSError as exc:
                 last, last_exc = None, exc
@@ -203,6 +242,12 @@ class ServeClient:
             timeout=self.timeout + (poll if wait else 0.0),
         )
         return self._expect(reply, 200, 202).json()
+
+    def job_trace(self, job: str) -> dict:
+        """The job's Chrome trace-event document (``--trace`` services)."""
+        return self._expect(
+            self.request("GET", f"/v1/jobs/{job}/trace"), 200
+        ).json()
 
     def status(self, job: str, *, wait: bool = False,
                poll_timeout: float = 5.0) -> dict:

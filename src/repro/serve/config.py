@@ -79,6 +79,18 @@ class ServeConfig:
     exhibit_workers:
         Threads available for whole-exhibit jobs (each fans its cell
         specs out through the broker's queue).
+    trace:
+        Enable end-to-end job tracing (``--trace``).  When set, every
+        external job submission records broker spans (queue wait,
+        execution, dedup attachments) and carries a trace context into
+        the pool worker, whose per-PE simulated-time lanes come back
+        with the result; ``GET /v1/jobs/{hash}/trace`` exports the
+        merged Chrome trace.  Off by default: correlation *IDs* are
+        always issued (they are just headers), but span recording is
+        strictly opt-in.
+    log_format:
+        Access/lifecycle log rendering, ``"text"`` or ``"json"`` (one
+        JSON object per line; see :mod:`repro.obs.jsonlog`).
     """
 
     host: str = "127.0.0.1"
@@ -95,8 +107,15 @@ class ServeConfig:
     cache_max_mb: float | None = None
     exhibit_workers: int = 4
     max_resubmits: int = 3  #: crashed-worker resubmissions per job
+    trace: bool = False
+    log_format: str = "text"
 
     def __post_init__(self) -> None:
+        if self.log_format not in ("text", "json"):
+            raise ConfigurationError(
+                f"log_format must be 'text' or 'json', "
+                f"got {self.log_format!r}"
+            )
         if self.queue_limit < 1:
             raise ConfigurationError(
                 f"queue_limit must be >= 1, got {self.queue_limit}"

@@ -6,7 +6,7 @@ experiments::
     pasm-run program.s                      # serial, one PE
     pasm-run program.s --mode mimd -p 4     # same text on 4 PEs
     pasm-run program.s --mode smimd -p 4 --sync-words 8
-    pasm-run program.s --trace --dump 0x4000:16
+    pasm-run program.s --trace-out run.json --dump 0x4000:16
 
 Programs use the standard device symbols (``NETTX``, ``NETRX``,
 ``NETSTAT``, ``SIMDSPACE``, ``TIMER``) plus ``PEID`` — each PE's logical
@@ -39,6 +39,7 @@ class RunOutcome:
     machine: PASMMachine
     dumps: dict[int, dict[int, list[int]]] = field(default_factory=dict)
     registers: dict[int, dict[str, int]] = field(default_factory=dict)
+    trace_events: list[dict] | None = None  #: per-PE lanes (``--trace-out``)
 
     def render(self) -> str:
         lines = [
@@ -86,6 +87,7 @@ def run_program_file(
     dump: list[str] | None = None,
     show_registers: bool = False,
     max_cycles: float | None = None,
+    trace: bool = False,
 ) -> RunOutcome:
     """Assemble ``path`` and run it; see the module docstring."""
     config = config or PrototypeConfig.calibrated()
@@ -113,6 +115,8 @@ def run_program_file(
         programs.append(assemble(source, predefined=symbols))
     if p > 1:
         machine.connect_shift_circuit()
+    if trace:
+        machine.enable_tracing()
 
     if exec_mode is ExecutionMode.SERIAL:
         result = machine.run_serial(programs[0])
@@ -128,6 +132,13 @@ def run_program_file(
         )
 
     outcome = RunOutcome(result=result, machine=machine)
+    if trace:
+        from repro.obs.simtrace import machine_events
+
+        outcome.trace_events = machine_events(
+            machine,
+            label=f"{exec_mode.value} p={p} {Path(path).name}",
+        )
     for spec in dump or []:
         addr, count = _parse_dump(spec)
         for logical in range(p):
@@ -164,6 +175,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="print final register values")
     parser.add_argument("--max-cycles", type=float, default=None,
                         help="fail if the run exceeds this many cycles")
+    parser.add_argument("--trace-out", type=Path, default=None,
+                        metavar="FILE",
+                        help="export a per-PE Chrome trace-event timeline "
+                             "(instruction categories, queue/network waits) "
+                             "to FILE — open in Perfetto/chrome://tracing")
     parser.add_argument("--listing", action="store_true",
                         help="print the annotated disassembly and exit")
     args = parser.parse_args(argv)
@@ -192,10 +208,26 @@ def main(argv: list[str] | None = None) -> int:
             dump=args.dump,
             show_registers=args.registers,
             max_cycles=args.max_cycles,
+            trace=args.trace_out is not None,
         )
     except ReproError as exc:
         print(f"pasm-run: {exc}", file=sys.stderr)
         return 1
+    if args.trace_out is not None:
+        import json
+
+        from repro.obs.ids import new_trace_id
+        from repro.obs.tracer import export_chrome
+
+        doc = export_chrome(
+            outcome.trace_events or [],
+            trace_id=new_trace_id(),
+            meta={"tool": "pasm-run", "program": str(args.program),
+                  "mode": args.mode, "p": args.p},
+        )
+        args.trace_out.write_text(json.dumps(doc) + "\n")
+        print(f"trace written to {args.trace_out} "
+              f"({len(doc['traceEvents'])} events)")
     print(outcome.render())
     return 0
 

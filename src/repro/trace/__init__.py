@@ -16,6 +16,7 @@ the machine's built-in counters into readable artifacts:
 """
 
 from repro.trace.trace import (
+    CATEGORY_CODES,
     QueueOccupancy,
     activity_gantt,
     format_trace,
@@ -23,6 +24,7 @@ from repro.trace.trace import (
 )
 
 __all__ = [
+    "CATEGORY_CODES",
     "format_trace",
     "activity_gantt",
     "queue_occupancy",

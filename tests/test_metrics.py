@@ -1,0 +1,136 @@
+"""Edge-case coverage for :mod:`repro.perf.metrics` rendering.
+
+The ``/metrics`` endpoint is scraped by machines; the exposition
+format's corner cases (escaping, empty summaries, concurrent writers)
+must hold exactly, not just on the happy path.
+"""
+
+import threading
+
+import pytest
+
+from repro.perf.metrics import SUMMARY_QUANTILES, MetricsRegistry
+
+
+class TestLabelEscaping:
+    def test_quotes_and_backslashes(self):
+        registry = MetricsRegistry()
+        registry.inc("m_total", outcome='say "hi"', path="C:\\tmp")
+        text = registry.render()
+        assert r'outcome="say \"hi\""' in text
+        assert r'path="C:\\tmp"' in text
+        # The line still has exactly one value field at the end.
+        [line] = [l for l in text.splitlines() if l.startswith("m_total{")]
+        assert line.endswith(" 1")
+
+    def test_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("m_total", reason="line one\nline two")
+        text = registry.render()
+        assert r"line one\nline two" in text
+        # No label value may introduce a raw line break.
+        assert all(
+            l.startswith(("#", "m_total")) for l in text.splitlines() if l
+        )
+
+    def test_label_values_stringified_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("m_total", b=2, a=1)
+        assert 'm_total{a="1",b="2"} 1' in registry.render()
+
+
+class TestEmptySummaries:
+    def test_described_summary_renders_type_only(self):
+        registry = MetricsRegistry()
+        registry.describe("latency_seconds", "summary", "how slow")
+        text = registry.render()
+        assert "# TYPE latency_seconds summary" in text
+        assert "# HELP latency_seconds how slow" in text
+        # No quantile/count/sum lines before the first observation —
+        # and crucially, no crash computing quantiles of nothing.
+        assert "quantile" not in text
+        assert "latency_seconds_count" not in text
+
+    def test_quantile_of_empty_series_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.quantile("never_observed", 0.5) == 0.0
+        assert registry.samples("never_observed") == []
+
+    def test_single_observation_renders_all_quantiles(self):
+        registry = MetricsRegistry()
+        registry.observe("latency_seconds", 2.5)
+        text = registry.render()
+        for q in SUMMARY_QUANTILES:
+            assert f'quantile="{q}"' in text
+        assert "latency_seconds_count 1" in text
+        assert "latency_seconds_sum 2.5" in text
+
+    def test_window_bound_truncates_samples_not_count(self):
+        registry = MetricsRegistry()
+        for i in range(10):
+            registry.observe("s", float(i), window=4)
+        assert registry.samples("s") == [6.0, 7.0, 8.0, 9.0]
+        assert "s_count 10" in registry.render()
+
+
+class TestConcurrency:
+    def test_concurrent_increments_are_lossless(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 500
+
+        def hammer(k):
+            for _ in range(per_thread):
+                registry.inc("hits_total", worker=str(k % 2))
+
+        threads = [threading.Thread(target=hammer, args=(k,))
+                   for k in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.total("hits_total") == threads_n * per_thread
+        assert registry.value("hits_total",
+                              worker="0") == threads_n * per_thread / 2
+
+    def test_concurrent_observe_and_render(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def observer():
+            i = 0
+            while not stop.is_set():
+                registry.observe("lat", float(i % 7))
+                i += 1
+
+        def renderer():
+            try:
+                for _ in range(50):
+                    text = registry.render()
+                    assert text.endswith("\n")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        workers = [threading.Thread(target=observer) for _ in range(3)]
+        render_thread = threading.Thread(target=renderer)
+        for t in workers:
+            t.start()
+        render_thread.start()
+        render_thread.join()
+        stop.set()
+        for t in workers:
+            t.join()
+        assert not errors
+
+
+class TestKindSafety:
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ValueError):
+            registry.set_gauge("x", 1.0)
+
+    def test_negative_counter_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.inc("x", -1.0)

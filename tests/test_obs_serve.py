@@ -1,0 +1,152 @@
+"""End-to-end correlation tests: client → service → worker → trace.
+
+The tracing tentpole's acceptance path: one traced client request must
+surface the *same* trace ID in (a) the HTTP response headers, (b) the
+service's access-log line, and (c) the exported per-PE Chrome trace —
+across the asyncio broker and the spawn-context pool worker.
+"""
+
+import http.client
+import io
+import json
+
+import pytest
+
+from repro.exec import matmul_spec
+from repro.obs import parse_traceparent, validate_chrome_trace
+from repro.serve import ServeClient, ServeConfig, ServerThread
+
+
+@pytest.fixture(scope="module")
+def traced_server():
+    config = ServeConfig(port=0, jobs=2, no_cache=True, trace=True,
+                         log_format="json", queue_limit=16)
+    with ServerThread(config) as server:
+        log_buf = io.StringIO()
+        server.app.log._stream = log_buf
+        yield server, log_buf
+
+
+def _log_lines(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()
+            if line.strip()]
+
+
+class TestEndToEndCorrelation:
+    def test_trace_id_spans_client_log_and_worker(self, traced_server):
+        server, log_buf = traced_server
+        client = ServeClient(port=server.port, trace=True)
+        spec = matmul_spec("simd", 4, 4, engine="micro")
+
+        reply = client.request(
+            "POST", "/v1/jobs?wait=1&timeout=30",
+            doc={"spec": spec.to_dict(), "lane": "interactive"})
+        assert reply.status == 200
+        trace_id = reply.trace_id()
+        request_id = reply.request_id()
+
+        # (a) response headers echo the client's own IDs
+        assert trace_id == client.last_trace_id
+        assert request_id == client.last_request_id
+
+        doc = reply.json()
+        if doc["state"] != "done":
+            client.result(doc["job"])
+
+        # (b) the access log line for the submission carries both IDs
+        lines = [l for l in _log_lines(log_buf) if l["event"] == "request"]
+        mine = [l for l in lines if l.get("request_id") == request_id]
+        assert mine and mine[0]["trace_id"] == trace_id
+        assert mine[0]["method"] == "POST"
+        assert "dur_ms" in mine[0]
+
+        # (c) the exported job trace is keyed by the same trace ID and
+        # contains per-PE simulated lanes from inside the pool worker.
+        trace = client.job_trace(doc["job"])
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["trace_id"] == trace_id
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "queue wait" in names and "execute" in names
+        pe_threads = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["args"]["name"].startswith("PE")
+        }
+        assert len(pe_threads) >= 4  # per-PE lanes made it back
+
+        # The status document exposes the trace ID too.
+        assert client.status(doc["job"])["trace_id"] == trace_id
+
+    def test_server_generates_request_id_when_absent(self, traced_server):
+        server, _ = traced_server
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            response.read()
+        finally:
+            conn.close()
+        assert headers.get("x-request-id", "").startswith("req-")
+        # A --trace service advertises its trace context back.
+        assert parse_traceparent(headers.get("traceparent")) is not None
+
+    def test_error_bodies_carry_request_id(self, traced_server):
+        server, _ = traced_server
+        client = ServeClient(port=server.port)
+        reply = client.request("GET", "/v1/jobs/ffffffff")
+        assert reply.status == 404
+        assert reply.json()["request_id"] == reply.request_id()
+        assert reply.json()["request_id"] == client.last_request_id
+
+    def test_stats_and_metrics_dedup_agree(self, traced_server):
+        """Satellite: the --stats dedup column and /metrics never drift.
+
+        Both are sourced from the same admission decision, so after any
+        sequence of submissions the engine's ``stats.dedup`` counter
+        must equal the sum of the service's dedup+memo submission
+        counters.
+        """
+        server, _ = traced_server
+        client = ServeClient(port=server.port)
+        spec = matmul_spec("mimd", 4, 4, engine="micro")
+        first = client.submit(spec, wait=True, timeout=30)
+        if first["state"] != "done":
+            client.result(first["job"])
+        for _ in range(3):
+            again = client.submit(spec)
+            assert again["outcome"] in ("memo", "dedup", "cached")
+
+        broker = server.app.broker
+        metric_dedup = (
+            broker.metrics.value("pasm_serve_submitted_total",
+                                 outcome="dedup")
+            + broker.metrics.value("pasm_serve_submitted_total",
+                                   outcome="memo"))
+        assert broker.stats.dedup == metric_dedup
+        assert broker.stats.dedup >= 3
+        # And the rendered table shows the same number.
+        table = broker.stats.summary_table()
+        header, sep, *rows = table.splitlines()[1:]
+        dedup_col = [c.strip() for c in header.split("|")].index("dedup")
+        total_row = [c.strip() for c in rows[-1].split("|")]
+        assert float(total_row[dedup_col]) == metric_dedup
+
+
+class TestUntracedService:
+    def test_trace_endpoint_hints_when_tracing_off(self):
+        config = ServeConfig(port=0, jobs=1, no_cache=True)
+        with ServerThread(config) as server:
+            client = ServeClient(port=server.port)
+            spec = matmul_spec("serial", 4, 1, engine="micro")
+            doc = client.submit(spec, wait=True, timeout=30)
+            if doc["state"] != "done":
+                client.result(doc["job"])
+            reply = client.request("GET", f"/v1/jobs/{doc['job']}/trace")
+            assert reply.status == 404
+            assert "--trace" in reply.json()["error"]
+            # Correlation IDs still flow on an untraced service...
+            assert reply.request_id() == client.last_request_id
+            # ...but no trace context is advertised.
+            assert reply.trace_id() is None

@@ -25,8 +25,9 @@ class ScriptedClient(ServeClient):
         kwargs.setdefault("sleep", self.slept.append)
         super().__init__(port=1, **kwargs)
 
-    def _request_once(self, method, path, body, timeout):
+    def _request_once(self, method, path, body, timeout, headers=None):
         self.requests.append((method, path))
+        self.sent_headers = headers
         item = self.script.pop(0)
         if isinstance(item, Exception):
             raise item
