@@ -9,15 +9,20 @@ non-zero on any *correctness* failure:
 * golden cycles: each mode's cycle count must equal the committed
   constant (the same simulation the golden-exhibit suite locks down,
   restated here so a perf-motivated change can't drift timing);
-* fast-path equivalence: a small matmul with the local-time fast path
-  must match the pure-event schedule bit for bit.
+* engine equivalence: a small matmul must produce the same schedule bit
+  for bit on all three engine tiers — pure events, the local-time fast
+  path, and the batched lockstep engine (the machine default, so the
+  golden-cycle check above already runs with lockstep on).
 
 Wall time is then compared against the committed ``BENCH_micro.json``
-(``vs_pure.<MODE>.fast_s``).  A regression beyond the threshold (25 %)
-only *warns* by default — absolute wall seconds do not transfer between
-a contributor's laptop, this repo's recording machine, and a shared CI
-runner — and fails the run only under ``REPRO_PERF_STRICT=1`` (for a
-pinned, quiet runner).
+(``vs_fastpath.<MODE>.lockstep_s``, falling back to
+``vs_pure.<MODE>.fast_s``), and the lockstep engine's SIMD speed-up
+over the plain fast path is held to a floor
+(``LOCKSTEP_SIMD_FLOOR``).  A regression beyond either threshold only
+*warns* by default — absolute wall seconds and wall-time ratios do not
+transfer between a contributor's laptop, this repo's recording machine,
+and a shared CI runner — and fails the run only under
+``REPRO_PERF_STRICT=1`` (for a pinned, quiet runner).
 """
 
 from __future__ import annotations
@@ -36,6 +41,10 @@ from repro.programs.loader import build_matmul, run_matmul  # noqa: E402
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
 REGRESSION_THRESHOLD = 0.25  #: fractional slowdown vs BENCH_micro.json
+#: Minimum lockstep-over-fast-path SIMD wall-time ratio.  Recorded best
+#: is ~1.4x (BENCH_micro.json vs_fastpath); the floor is set well under
+#: it so only a genuine loss of the batching trips it, not runner noise.
+LOCKSTEP_SIMD_FLOOR = 1.15
 
 #: The pinned workload: 16x16 matmul, calibrated config, default data
 #: seed — and the cycle counts it must produce, forever.
@@ -49,13 +58,15 @@ PARTITION = {"SERIAL": 1, "SIMD": 4, "MIMD": 4}
 CFG = PrototypeConfig.calibrated()
 
 
-def run_mode(name: str, fast_path: bool | None = None):
+def run_mode(name: str, fast_path: bool | None = None,
+             lockstep: bool | None = None):
     """Simulate the pinned workload; return (cycles, matrix, wall_s)."""
     mode = ExecutionMode[name]
     p = PARTITION[name]
     bundle = build_matmul(mode, 16, p, device_symbols=CFG.device_symbols())
     a, b = generate_matrices(16)
-    machine = PASMMachine(CFG, partition_size=p, fast_path=fast_path)
+    machine = PASMMachine(CFG, partition_size=p, fast_path=fast_path,
+                          lockstep=lockstep)
     t0 = time.process_time()
     run = run_matmul(machine, bundle, a, b)
     wall = time.process_time() - t0
@@ -68,6 +79,7 @@ def main() -> int:
     reference = (json.loads(BENCH_PATH.read_text())
                  if BENCH_PATH.exists() else {})
     ref_modes = reference.get("vs_pure", {})
+    ref_lockstep = reference.get("vs_fastpath", {})
     strict = os.environ.get("REPRO_PERF_STRICT", "") == "1"
 
     for name, golden in GOLDEN_CYCLES.items():
@@ -84,7 +96,8 @@ def main() -> int:
                 f"{name}: cycle drift — got {cycles_1}, golden {golden}")
             continue
 
-        ref = ref_modes.get(name, {}).get("fast_s")
+        ref = (ref_lockstep.get(name, {}).get("lockstep_s")
+               or ref_modes.get(name, {}).get("fast_s"))
         if ref:
             slowdown = wall / ref - 1.0
             verdict = "ok" if slowdown <= REGRESSION_THRESHOLD else "SLOW"
@@ -97,16 +110,37 @@ def main() -> int:
             print(f"{name}: {cycles_1:.0f} cycles ok, wall {wall:.3f}s "
                   "(no recorded reference)")
 
-    # Fast path must match the pure-event schedule bit for bit.
+    # Every engine tier must match the pure-event schedule bit for bit.
     for name in GOLDEN_CYCLES:
-        fast = run_mode(name, fast_path=True)
         pure = run_mode(name, fast_path=False)
-        if fast[0] != pure[0] or (fast[1] != pure[1]).any():
-            failures.append(
-                f"{name}: fast path diverged from pure events "
-                f"({fast[0]} vs {pure[0]} cycles)")
-        else:
-            print(f"{name}: fast path == pure events ({fast[0]:.0f} cycles)")
+        for engine, kwargs in [
+            ("fast path", {"fast_path": True, "lockstep": False}),
+            ("lockstep", {"fast_path": True, "lockstep": True}),
+        ]:
+            got = run_mode(name, **kwargs)
+            if got[0] != pure[0] or (got[1] != pure[1]).any():
+                failures.append(
+                    f"{name}: {engine} diverged from pure events "
+                    f"({got[0]} vs {pure[0]} cycles)")
+            else:
+                print(f"{name}: {engine} == pure events "
+                      f"({got[0]:.0f} cycles)")
+
+    # The lockstep batching must actually be buying time on SIMD.
+    # Interleaved best-of-3: alternating the engines keeps slow drift of
+    # a shared runner from landing entirely on one side of the ratio.
+    fast_wall = lock_wall = float("inf")
+    for _ in range(3):
+        fast_wall = min(fast_wall,
+                        run_mode("SIMD", fast_path=True, lockstep=False)[2])
+        lock_wall = min(lock_wall,
+                        run_mode("SIMD", fast_path=True, lockstep=True)[2])
+    ratio = fast_wall / lock_wall if lock_wall else float("inf")
+    line = (f"SIMD: lockstep {lock_wall:.3f}s vs fast path {fast_wall:.3f}s "
+            f"({ratio:.2f}x, floor {LOCKSTEP_SIMD_FLOOR:.2f}x)")
+    print(line)
+    if ratio < LOCKSTEP_SIMD_FLOOR:
+        warnings.append(line + " [BELOW FLOOR]")
 
     if failures:
         print("\nFAIL (correctness):")
@@ -116,8 +150,9 @@ def main() -> int:
     if warnings:
         what = ("strict: failing" if strict
                 else "warn-only; set REPRO_PERF_STRICT=1 to fail")
-        print(f"\nwall-time regression beyond "
-              f"{REGRESSION_THRESHOLD:.0%} ({what}):")
+        print(f"\nwall-time regressions (slowdown beyond "
+              f"{REGRESSION_THRESHOLD:.0%} or lockstep SIMD ratio below "
+              f"{LOCKSTEP_SIMD_FLOOR:.2f}x) ({what}):")
         for w in warnings:
             print(f"  {w}")
         return 1 if strict else 0

@@ -96,7 +96,9 @@ class FetchUnitController:
         while True:
             kind, arg = yield self._commands.get()
             self.busy = True
-            if kind == "block":
+            if self.queue.lockstep:
+                yield from self._transfer_staged(kind, arg)
+            elif kind == "block":
                 for instr in self._blocks[arg]:
                     words = instr.encoded_words()
                     yield self.env.timeout(self.cycles_per_word * words)
@@ -116,3 +118,39 @@ class FetchUnitController:
                 waiters, self._idle_waiters = self._idle_waiters, []
                 for ev in waiters:
                     ev.succeed()
+
+    def _transfer_staged(self, kind: str, arg):
+        """Lockstep transfer: hand the whole command to the queue at once.
+
+        The queue computes the per-item admit times analytically (see
+        :meth:`FetchUnitQueue.stage_block`) instead of this process
+        walking timeout + blocking-enqueue per item; one re-sync timeout
+        then moves this process to the instant the last word was
+        admitted, so the command-register handshake with the MC keeps
+        its event-schedule timing.  The enabled mask is snapshotted at
+        command receipt — MC programs do not retarget the mask while a
+        transfer is in flight (the DSL orders SetMask before the
+        enqueues it governs).
+        """
+        mask = self.mask.enabled
+        if kind == "block":
+            entries = []
+            total = 0
+            for instr in self._blocks[arg]:
+                words = instr.encoded_words()
+                entries.append((
+                    QueueItem(payload=instr, words=words, mask=mask),
+                    self.cycles_per_word * words,
+                ))
+                total += words
+        else:  # sync words
+            entries = [(sync_item(mask), self.cycles_per_word)
+                       for _ in range(arg)]
+            total = arg
+        t_end, ev = self.queue.stage_block(entries)
+        if ev is not None:
+            t_end = yield ev
+        delay = t_end - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.words_transferred += total

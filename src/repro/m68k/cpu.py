@@ -131,6 +131,7 @@ class CPU:
         self._bus_sync = getattr(bus, "sync", None)
         self._bus_try_charge = getattr(bus, "try_charge", None)
         self._bus_try_fetch = getattr(bus, "try_fetch_instruction", None)
+        self._bus_try_queue_fetch = getattr(bus, "try_queue_fetch", None)
         self._bus_try_stream = getattr(bus, "try_fetch_stream_words", None)
         self._bus_try_read = getattr(bus, "try_read", None)
         self._bus_try_write = getattr(bus, "try_write", None)
@@ -150,6 +151,11 @@ class CPU:
         #: Optional per-instruction trace (enable with ``trace=True``).
         self.trace_records: list[InstructionRecord] = []
         self.trace = False
+        #: Superinstruction chains (lockstep tier): straight-line main-RAM
+        #: runs pre-decoded once and replayed without per-instruction
+        #: fetch/dispatch overhead.  Keyed by start pc; invalidated on
+        #: reset (program reload).
+        self._chain_cache: dict[int, list] = {}
 
     # ------------------------------------------------------------------
     def reset(self, pc: int, sp: int = 0) -> None:
@@ -158,6 +164,7 @@ class CPU:
         self.regs.pc = pc
         self.regs.sp = sp
         self.halted = None
+        self._chain_cache.clear()
 
     def run(self, max_instructions: int | None = None):
         """Generator process: execute until HALT (or an instruction cap).
@@ -174,17 +181,98 @@ class CPU:
         ts = self._bus_try_stream
         cats = self.category_cycles
         executed = 0
+        # Superinstruction chains (lockstep tier only, so the local-time
+        # tier stays a clean PR-3 baseline): straight-line main-RAM runs
+        # replay as one pre-decoded sequence.  Tracing and instruction
+        # caps take the per-instruction path.
+        chains = (
+            self._chain_cache
+            if (
+                bus_fast
+                and getattr(bus, "lockstep", False)
+                and not self.trace
+                and max_instructions is None
+            )
+            else None
+        )
+        if chains is not None:
+            ref_period, ref_steal = bus._ref_period, bus._ref_steal
+            # Chains only ever start in main RAM; gating the cache lookup
+            # on the region bounds keeps SIMD-space pcs (monotonically
+            # increasing, so every pc is new) from flooding the cache
+            # with empty entries.
+            from repro.memory.map import RegionKind
+
+            try:
+                main_region = bus.map.find(RegionKind.MAIN_RAM)
+                main_lo, main_hi = main_region.start, main_region.end
+            except Exception:
+                chains = None
+        tq = self._bus_try_queue_fetch
         while self.halted is None:
+            if chains is not None and main_lo <= self.regs.pc < main_hi:
+                chain = chains.get(self.regs.pc)
+                if chain is None:
+                    chain = self._build_chain(self.regs.pc)
+                    chains[self.regs.pc] = chain
+                if chain:
+                    # -- chain replay: same arithmetic as the inlined
+                    # step below, minus fetch lookup and dispatch --------
+                    for pc, instr, w, base, npc, k, h, cat in chain:
+                        start = env.now + bus._local
+                        cycles = base
+                        if ref_steal:
+                            phase = start % ref_period
+                            if phase < ref_steal:
+                                cycles += ref_steal - phase
+                        bus._local += cycles
+                        bus.stream_accesses += w
+                        self.regs.pc = npc
+                        if k:
+                            timing = h(self, instr, pc, npc)
+                            if k == 2 and type(timing) is not TimingInfo:
+                                timing = yield from timing
+                        else:
+                            timing = yield from h(self, instr, pc, npc)
+                        extra_stream = timing.stream_words - w
+                        if extra_stream > 0:
+                            ts(self.regs.pc, extra_stream)
+                        internal = timing.internal_cycles
+                        if internal:
+                            if internal < 0:
+                                raise SimulationError(
+                                    f"{self.name}: negative internal time "
+                                    f"for {instr} ({timing})"
+                                )
+                            bus._local += internal
+                        end = env.now + bus._local
+                        try:
+                            cats[cat] += end - start
+                        except KeyError:
+                            cats[cat] = end - start
+                    self.instruction_count += len(chain)
+                    continue  # chain ended at control flow / HALT / region edge
             # -- begin inlined step() -----------------------------------
             start = env.now + bus._local if fast else env.now
             pc = self.regs.pc
             instr = tf(pc) if tf is not None else None
             if instr is None:
-                instr = yield from bus.fetch_instruction(pc)
-                if not isinstance(instr, Instruction):
-                    raise SimulationError(
-                        f"{self.name}: no instruction at {pc:#x} (got {instr!r})"
-                    )
+                # Lockstep SIMD-space fetch: park on the stamped request
+                # event directly — one yield, no sub-generator frames.
+                # When this PE's stamp completed the rendezvous the queue
+                # resolves it synchronously (callbacks already None) and
+                # the loop streams on without parking at all.
+                ev = tq(pc) if tq is not None else None
+                if ev is not None:
+                    pair = ev._value if ev.callbacks is None else (yield ev)
+                    instr = bus.finish_queue_fetch(pair)
+                else:
+                    instr = yield from bus.fetch_instruction(pc)
+                    if not isinstance(instr, Instruction):
+                        raise SimulationError(
+                            f"{self.name}: no instruction at {pc:#x} "
+                            f"(got {instr!r})"
+                        )
             w = instr._encoded_words_cache
             if w is None:
                 w = instr.encoded_words()
@@ -245,6 +333,51 @@ class CPU:
             yield from self._bus_sync()
         self.finish_time = self.env.now
         return self.halted
+
+    # ------------------------------------------------------------------
+    def _build_chain(self, pc: int) -> list:
+        """Decode the straight-line main-RAM run starting at ``pc``.
+
+        Returns pre-resolved ``(pc, instr, words, fetch_base, next_pc,
+        kind, handler, timecat)`` entries for every consecutive
+        instruction up to (exclusive) the first control-flow instruction,
+        HALT, or non-main-RAM address; empty when ``pc`` itself is not
+        chainable (the caller then takes the per-instruction path).
+        ``fetch_base`` is the refresh-free fetch charge — the replay adds
+        the closed-form refresh stall, which depends on absolute time.
+        """
+        from repro.memory.map import RegionKind
+
+        bus = self.bus
+        instructions = getattr(bus, "instructions", None)
+        lookup = getattr(getattr(bus, "map", None), "lookup", None)
+        entries: list = []
+        if instructions is None or lookup is None:
+            return entries
+        while True:
+            try:
+                region = lookup(pc)
+            except Exception:
+                break
+            if region.kind is not RegionKind.MAIN_RAM:
+                break
+            instr = instructions.get(pc)
+            if instr is None or instr.mnemonic in _CHAIN_BREAKERS:
+                break
+            w = instr._encoded_words_cache
+            if w is None:
+                w = instr.encoded_words()
+            hc = instr._exec_handler_cache
+            if hc is None:
+                hc = _resolve_handler(instr)
+                instr._exec_handler_cache = hc
+            next_pc = pc + 2 * w
+            entries.append(
+                (pc, instr, w, w * (4 + region.wait_states), next_pc,
+                 hc[0], hc[1], instr.timecat)
+            )
+            pc = next_pc
+        return entries
 
     # ------------------------------------------------------------------
     def step(self):
@@ -1375,6 +1508,13 @@ _GEN_SINGLETONS = {
     "CMPM": CPU._exec_cmpm,
     "MOVEM": CPU._movem,
 }
+
+#: Instructions that end a superinstruction chain: anything that moves the
+#: pc non-linearly, plus HALT (which must be seen by the run loop).
+_CHAIN_BREAKERS = (
+    frozenset(BRANCHES) | frozenset(DBCC) | frozenset(JUMPS)
+    | frozenset(("BSR", "JSR", "RTS", "HALT"))
+)
 
 
 def _alu_base(m: str) -> str:

@@ -57,7 +57,7 @@ from repro.m68k.instructions import (
     Size,
     UNARY,
 )
-from repro.utils.bitops import ones_count, transitions_count
+from repro.utils.bitops import transitions_count
 
 #: The PASM prototype clock: 8 MHz MC68000s.
 CLOCK_HZ = 8_000_000
@@ -110,7 +110,7 @@ class TimingInfo:
 
 def mulu_cycles(multiplier: int) -> int:
     """``MULU`` execution cycles (excluding EA) for a 16-bit multiplier."""
-    return 38 + 2 * ones_count(multiplier, 16)
+    return 38 + 2 * (multiplier & 0xFFFF).bit_count()
 
 def muls_cycles(multiplier: int) -> int:
     """``MULS`` execution cycles (excluding EA) for a 16-bit multiplier."""

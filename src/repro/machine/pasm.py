@@ -31,6 +31,8 @@ from repro.mc import MCOp, MicroController
 from repro.network import CircuitSwitchedNetwork, ExtraStageCubeTopology, NetworkFabric
 from repro.pe import ProcessingElement
 from repro.sim import AllOf, Environment
+from repro.sim.localtime import resolve_fast_path
+from repro.sim.lockstep import resolve_lockstep
 
 
 class _FailStopSignal(BaseException):
@@ -88,6 +90,7 @@ class PASMMachine:
         shared=None,
         fault_plan: FaultPlan | None = None,
         fast_path: bool | None = None,
+        lockstep: bool | None = None,
     ) -> None:
         """``shared`` (env, network, fabric) lets several virtual machines
         coexist on one physical machine — see
@@ -95,8 +98,11 @@ class PASMMachine:
 
         ``fast_path`` selects local-time execution for the PE and MC buses
         (see :mod:`repro.sim.localtime`); ``None`` defers to
-        ``$REPRO_PURE_EVENTS`` (default: enabled).  Results are
-        bit-identical either way.
+        ``$REPRO_PURE_EVENTS`` (default: enabled).  ``lockstep`` selects
+        the batched SIMD-rendezvous tier on top of it (see
+        :mod:`repro.sim.lockstep`); ``None`` defers to ``$REPRO_LOCKSTEP``
+        (default: enabled; forced off without the fast path).  Results
+        are bit-identical across all three tiers.
 
         ``fault_plan`` injects failures into this run: its network faults
         are applied to the circuit allocator (with the extra stage
@@ -109,6 +115,7 @@ class PASMMachine:
         self.partition = Partition(self.config, partition_size, first_mc)
         self.fault_plan = fault_plan
         self.fast_path = fast_path
+        self.lockstep = resolve_lockstep(lockstep, resolve_fast_path(fast_path))
         if fault_plan is not None and fault_plan.failstops:
             physical = {
                 self.partition.physical_pe(logical)
@@ -157,7 +164,8 @@ class PASMMachine:
             slots = tuple(self.partition.logical_pes_of_mc(mc))
             mask = MaskRegister(slots)
             queue = FetchUnitQueue(
-                self.env, self.config.queue_capacity_words, name=f"fuq{mc}"
+                self.env, self.config.queue_capacity_words, name=f"fuq{mc}",
+                lockstep=self.lockstep,
             )
             controller = FetchUnitController(
                 self.env,
@@ -170,7 +178,8 @@ class PASMMachine:
             self.queues[mc] = queue
             self.controllers[mc] = controller
             self.mcs[mc] = MicroController(
-                self.env, self.config, mask, controller, name=f"MC{mc}"
+                self.env, self.config, mask, controller, name=f"MC{mc}",
+                batch_charges=self.lockstep,
             )
 
         # PEs, indexed by logical number.
@@ -187,6 +196,7 @@ class PASMMachine:
                     queue=self.queues[mc],
                     pe_slot=logical,
                     fast_path=fast_path,
+                    lockstep=self.lockstep,
                 )
             )
         self._net_setup_cycles = 0.0
@@ -345,7 +355,7 @@ class PASMMachine:
                 self._mortal(pe), name=f"PE{pe.physical_id}"
             )
             self.env.process(
-                self._assassin(proc, at),
+                self._assassin(proc, at, pe),
                 name=f"failstop:PE{pe.physical_id}",
             )
             procs.append(proc)
@@ -361,10 +371,16 @@ class PASMMachine:
             while True:
                 yield self.env.event(name=f"dead:PE{pe.physical_id}")
 
-    def _assassin(self, proc, at: float):
+    def _assassin(self, proc, at: float, pe: ProcessingElement):
         yield self.env.timeout(at)
         if not proc.triggered:
             proc.interrupt(_FailStopSignal())
+            queue = pe.bus.queue
+            if self.lockstep and queue is not None:
+                # A stamped request whose arrival lies beyond the strike
+                # never registered in the event schedule (the PE died
+                # mid-charge): withdraw it so it cannot complete a mask.
+                queue.cancel_lockstep_request(pe.bus.pe_slot, after=at)
 
     def _watched_run(self, done) -> None:
         """Advance the simulation to ``done``, bounding the wait on dead PEs.
@@ -386,7 +402,21 @@ class PASMMachine:
         while not done.processed:
             nxt = env.peek()
             if nxt == float("inf") or nxt > deadline:
-                detected = env.now if nxt == float("inf") else deadline
+                if nxt == float("inf"):
+                    # Lockstep: surviving PEs' unflushed arrivals are real
+                    # time in the event schedule (their flush sleeps would
+                    # have advanced the clock before the heap drained).
+                    virtual = env.now
+                    for q in self.queues.values():
+                        a = q.pending_arrival_max()
+                        if a > virtual:
+                            virtual = a
+                        h = q.stall_horizon()
+                        if h > virtual:
+                            virtual = h
+                    detected = deadline if virtual > deadline else virtual
+                else:
+                    detected = deadline
                 dead = tuple(sorted(
                     fs.pe for fs in plan.failstops if fs.at <= detected
                 ))

@@ -30,6 +30,7 @@ from repro.machine.config import PrototypeConfig
 from repro.memory.map import RegionKind
 from repro.memory.module import MemoryModule
 from repro.network.transfer import TransferPort
+from repro.sim.events import PENDING
 from repro.sim.localtime import LocalTimeBus
 
 
@@ -53,6 +54,7 @@ class PEBus(LocalTimeBus):
         pe_slot: int,
         name: str = "pe",
         fast_path: bool | None = None,
+        lockstep: bool = False,
     ) -> None:
         self.env = env
         self.config = config
@@ -66,10 +68,14 @@ class PEBus(LocalTimeBus):
         self._ref_period, self._ref_steal = config.refresh.inline_constants()
         # Region decode caches (the map is immutable after build).  The
         # instruction stream has near-perfect region locality (PC walks
-        # one region at a time), so fetches keep the last region; data
-        # addresses repeat across loop iterations, so they memoize per
-        # address.
+        # one region at a time), so fetches keep the last region.  Data
+        # accesses keep the last region too — streaming pointers
+        # ((A0)+/(A1)+) advance monotonically within one region, so a
+        # bounds check beats per-address memoization — with a per-address
+        # dict behind it for access patterns that alternate regions
+        # (main RAM ↔ network ports in transfer blocks).
         self._fetch_region = None
+        self._data_region = None
         self._data_regions: dict = {}
         # -- instrumentation ------------------------------------------------
         self.stream_accesses = 0
@@ -78,6 +84,12 @@ class PEBus(LocalTimeBus):
         self.net_bytes_sent = 0
         self.net_bytes_received = 0
         self.sync_reads = 0
+        #: Lockstep tier (see repro.sim.lockstep): queue rendezvous are
+        #: stamped-arrival requests resolved by carrier, not flush+event.
+        self.lockstep = lockstep
+        self.lockstep_rendezvous = 0  #: stamped requests issued
+        self._req_ev = None  #: recycled request event (one pending max)
+        self._simd_ws = 0  #: SIMD-space wait states, stashed at request
         # -- tracing ---------------------------------------------------------
         #: When set, the four blocking sites below record (kind, t0, t1)
         #: wait intervals.  ``sync()`` precedes every site, so env.now is
@@ -100,10 +112,14 @@ class PEBus(LocalTimeBus):
         return region
 
     def _dregion(self, addr: int):
+        region = self._data_region
+        if region is not None and region.start <= addr < region.end:
+            return region
         region = self._data_regions.get(addr)
         if region is None:
             region = self.map.lookup(addr)  # raises on unmapped addresses
             self._data_regions[addr] = region
+        self._data_region = region
         return region
 
     def _ram_access(self, n_accesses: int, wait_states: int) -> float:
@@ -167,10 +183,9 @@ class PEBus(LocalTimeBus):
         """Local read value, or None to use the generator protocol."""
         if not self.fast_path:
             return None
-        region = self._data_regions.get(addr)
-        if region is None:
-            region = self.map.lookup(addr)
-            self._data_regions[addr] = region
+        region = self._data_region
+        if region is None or not (region.start <= addr < region.end):
+            region = self._dregion(addr)
         if region.kind is not RegionKind.MAIN_RAM:
             return None
         n = 2 if size == 4 else 1
@@ -188,10 +203,9 @@ class PEBus(LocalTimeBus):
     def try_write(self, addr: int, value: int, size: int) -> bool:
         if not self.fast_path:
             return False
-        region = self._data_regions.get(addr)
-        if region is None:
-            region = self.map.lookup(addr)
-            self._data_regions[addr] = region
+        region = self._data_region
+        if region is None or not (region.start <= addr < region.end):
+            region = self._dregion(addr)
         if region.kind is not RegionKind.MAIN_RAM:
             return False
         n = 2 if size == 4 else 1
@@ -206,6 +220,64 @@ class PEBus(LocalTimeBus):
         self.local_charges += 1
         self.memory.write(addr, value, size)
         return True
+
+    def try_queue_fetch(self, addr: int):
+        """Lockstep fast twin of the SIMD-space instruction fetch.
+
+        Registers the stamped request inline and returns the event the
+        CPU loop parks on directly (one ``yield``, no sub-generator
+        frames); ``None`` falls back to the generator protocol (not in
+        SIMD space, lockstep off, or wait-span tracing armed).  When
+        this PE's stamp completes the rendezvous the queue may resolve
+        the release *synchronously* — the returned event comes back
+        already fired and the CPU loop continues without parking at
+        all.  The CPU completes either way via
+        :meth:`finish_queue_fetch`.
+        """
+        if not self.lockstep or self.trace_waits:
+            return None
+        region = self._fetch_region
+        if region is None or not (region.start <= addr < region.end):
+            region = self.map.lookup(addr)
+            self._fetch_region = region
+        if region.kind is not RegionKind.SIMD_SPACE:
+            return None
+        queue = self.queue
+        if queue is None or self.pe_slot in queue._requests:
+            return None  # generator path raises the structured error
+        self._simd_ws = region.wait_states
+        arrival = self.env.now + self._local
+        self._local = 0.0
+        self.lockstep_rendezvous += 1
+        ev = self._req_ev
+        if ev is not None and ev.callbacks is None:
+            # Recycle: the previous request was delivered (carrier-fired,
+            # never heap-scheduled), so the object is free again.
+            ev.callbacks = []
+            ev._value = PENDING
+            ev._ok = True
+        else:
+            ev = self.env.event(name=f"req:{self.name}")
+            self._req_ev = ev
+        return queue.register_request_inline(self.pe_slot, arrival, ev)
+
+    def finish_queue_fetch(self, pair) -> Instruction:
+        """Complete a :meth:`try_queue_fetch` from its ``(item, t_r)`` pair."""
+        item, released = pair
+        payload = item.payload
+        if payload is None:
+            raise SimulationError(
+                f"{self.name}: fetched a bare sync word as an instruction"
+            )
+        n = item.words
+        self.queue_fetches += n
+        self.stream_accesses += n
+        # Rebase on the recorded release instant (env.now may lag behind
+        # during queue fast-forward) and charge the fetch accesses —
+        # static RAM, no refresh.
+        self._local = released - self.env.now + n * (4 + self._simd_ws)
+        self.local_charges += 1
+        return payload
 
     # -- generator protocol ---------------------------------------------
     def fetch_instruction(self, addr: int):
@@ -229,15 +301,28 @@ class PEBus(LocalTimeBus):
         if region.kind is RegionKind.SIMD_SPACE:
             if self.queue is None:
                 raise BusError(f"{self.name}: no Fetch Unit attached")
-            # Shared interaction: flush so the queue request is made at
-            # true time; the queue-access charge afterwards is private.
-            yield from self.sync()
-            if self.trace_waits:
+            if self.lockstep:
+                # Lockstep rendezvous: no flush — pass the bus-true time
+                # as the arrival stamp; the queue computes the release
+                # instant and resumes us there with the clock rebased.
+                arrival = self.env.now + self._local
+                self._local = 0.0
+                self.lockstep_rendezvous += 1
+                item, released = yield from self.queue.request_at(
+                    self.pe_slot, arrival)
+                self._local = released - self.env.now
+                if self.trace_waits and released > arrival:
+                    self.wait_spans.append(("queue_wait", arrival, released))
+            elif self.trace_waits:
+                # Shared interaction: flush so the queue request is made at
+                # true time; the queue-access charge afterwards is private.
+                yield from self.sync()
                 t0 = self.env.now
                 item = yield from self.queue.request(self.pe_slot)
                 if self.env.now > t0:
                     self.wait_spans.append(("queue_wait", t0, self.env.now))
             else:
+                yield from self.sync()
                 item = yield from self.queue.request(self.pe_slot)
             if item.payload is None:
                 raise SimulationError(
@@ -287,13 +372,24 @@ class PEBus(LocalTimeBus):
         if kind is RegionKind.SIMD_SPACE:
             # Barrier: a data read from SIMD space consumes one queue word
             # and completes only when all enabled PEs have read it.
-            yield from self.sync()
-            if self.trace_waits:
+            if self.lockstep:
+                arrival = self.env.now + self._local
+                self._local = 0.0
+                self.lockstep_rendezvous += 1
+                item, released = yield from self.queue.request_at(
+                    self.pe_slot, arrival)
+                self._local = released - self.env.now
+                if self.trace_waits and released > arrival:
+                    self.wait_spans.append(
+                        ("barrier_wait", arrival, released))
+            elif self.trace_waits:
+                yield from self.sync()
                 t0 = self.env.now
                 item = yield from self.queue.request(self.pe_slot)
                 if self.env.now > t0:
                     self.wait_spans.append(("barrier_wait", t0, self.env.now))
             else:
+                yield from self.sync()
                 item = yield from self.queue.request(self.pe_slot)
             if item.payload is not None:
                 raise SimulationError(
@@ -405,6 +501,7 @@ class ProcessingElement:
         queue: FetchUnitQueue | None = None,
         pe_slot: int | None = None,
         fast_path: bool | None = None,
+        lockstep: bool = False,
     ) -> None:
         self.env = env
         self.config = config
@@ -419,6 +516,7 @@ class ProcessingElement:
             pe_slot if pe_slot is not None else physical_id,
             name=f"PE{physical_id}",
             fast_path=fast_path,
+            lockstep=lockstep,
         )
         self.cpu = CPU(env, self.bus, name=f"PE{physical_id}")
 

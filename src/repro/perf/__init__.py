@@ -95,17 +95,34 @@ def machine_counters(machine: "PASMMachine") -> dict[str, int | bool]:
     """
     local_charges = 0
     sync_flushes = 0
+    lockstep_rendezvous = 0
     buses = 0
     for bus in _iter_buses(machine):
         buses += 1
         local_charges += getattr(bus, "local_charges", 0)
         sync_flushes += getattr(bus, "sync_flushes", 0)
+        lockstep_rendezvous += getattr(bus, "lockstep_rendezvous", 0)
+    lockstep_releases = 0
+    lockstep_batch_pes = 0
+    lockstep_carriers = 0
+    for queue in getattr(machine, "queues", {}).values():
+        lockstep_releases += getattr(queue, "lockstep_releases", 0)
+        lockstep_batch_pes += getattr(queue, "lockstep_batch_pes", 0)
+        lockstep_carriers += getattr(queue, "lockstep_carriers", 0)
     out: dict[str, int | bool] = {
         "fast_path": bool(getattr(machine, "pes", None)
                           and machine.pes[0].bus.fast_path),
+        "lockstep": bool(getattr(machine, "lockstep", False)),
         "buses": buses,
         "local_charges": local_charges,
         "sync_flushes": sync_flushes,
+        # Lockstep tier: stamped PE requests, computed-rendezvous releases,
+        # PE resumptions delivered in batch, and carrier events scheduled
+        # (the ~1 heap event that replaces ~2·p on the event rendezvous).
+        "lockstep_rendezvous": lockstep_rendezvous,
+        "lockstep_releases": lockstep_releases,
+        "lockstep_batch_pes": lockstep_batch_pes,
+        "lockstep_carriers": lockstep_carriers,
     }
     out.update(kernel_counters(machine.env))
     return out

@@ -28,6 +28,13 @@ preserved.
 Set ``REPRO_PURE_EVENTS=1`` to disable the fast path globally and push
 every charge through the event queue (the reference behaviour that the
 equivalence suite compares against).
+
+This is the *middle* engine tier.  One interaction stays expensive here:
+the SIMD broadcast-fetch rendezvous, where every enabled PE still flushes
+(one event) and parks on a queue request (a second event) per broadcast
+instruction.  The lockstep tier (:mod:`repro.sim.lockstep`) removes that
+too, by stamping requests with the bus-true arrival time instead of
+flushing and computing the max-over-PEs release instant directly.
 """
 
 from __future__ import annotations

@@ -37,7 +37,7 @@ def ones_count(value, width: int = 16):
     if isinstance(value, np.ndarray):
         v = value.astype(np.uint64) & np.uint64(mask)
         return _popcount_array(v)
-    return bin(int(value) & mask).count("1")
+    return (int(value) & mask).bit_count()
 
 
 def _popcount_array(v: np.ndarray) -> np.ndarray:
@@ -70,7 +70,7 @@ def transitions_count(value, width: int = 16):
         return _popcount_array(x & np.uint64(bit_length_mask(width)))
     v = (int(value) & mask) << 1
     x = v ^ (v >> 1)
-    return bin(x & bit_length_mask(width)).count("1")
+    return (x & bit_length_mask(width)).bit_count()
 
 
 def sign_extend(value: int, width: int) -> int:

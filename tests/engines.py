@@ -1,0 +1,93 @@
+"""Shared engine-matrix helpers for the differential test suites.
+
+The repo has three micro-engine tiers that must be bit-identical in
+everything perf-visible (see DESIGN.md, "Engine tiers"):
+
+* ``pure-events`` — every charge is a heap event (``fast_path=False``);
+* ``local-time``  — private charges accrue on per-bus local clocks and
+  flush at shared interactions (``fast_path=True``);
+* ``lockstep``    — local-time plus the batched SIMD rendezvous: the
+  queue computes each release instant directly and resumes the enabled
+  set as a batch (``fast_path=True, lockstep=True``).
+
+:func:`signature` captures everything a user of the simulator can
+observe — cycle counts, per-PE finish times and category breakdowns,
+instruction counts, the result matrix, queue statistics, and MC busy
+accounting — so ``signature(e1) == signature(e2)`` is the full
+equivalence claim, not just makespan equality.
+"""
+
+from __future__ import annotations
+
+from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.programs.data import generate_matrices
+from repro.programs.loader import build_matmul, run_matmul
+
+CFG = PrototypeConfig.calibrated()
+
+#: Engine tier name -> PASMMachine constructor flags.
+ENGINES = {
+    "pure-events": {"fast_path": False, "lockstep": False},
+    "local-time": {"fast_path": True, "lockstep": False},
+    "lockstep": {"fast_path": True, "lockstep": True},
+}
+
+#: The canonical (mode, partition size) matrix.
+ALL_MODES = [
+    (ExecutionMode.SERIAL, 1),
+    (ExecutionMode.SIMD, 4),
+    (ExecutionMode.SMIMD, 4),
+    (ExecutionMode.MIMD, 4),
+]
+
+MODE_IDS = [m.name for m, _ in ALL_MODES]
+
+
+def make_machine(p: int, engine: str = "lockstep", *, cfg=None,
+                 fault_plan=None) -> PASMMachine:
+    """A machine configured for the named engine tier."""
+    return PASMMachine(cfg or CFG, partition_size=p, fault_plan=fault_plan,
+                       **ENGINES[engine])
+
+
+def run_matmul_on(mode: ExecutionMode, n: int, p: int, engine: str, *,
+                  m: int = 0, cfg=None, fault_plan=None, b_bits=None):
+    """Run the pinned matmul workload on one engine tier.
+
+    Returns ``(machine, run)`` so callers can inspect counters beyond
+    the :class:`MachineResult`.  ``m`` adds data-dependent multiplies to
+    the inner loop (the Figure 7 knob); ``b_bits`` widens the B-matrix
+    operands (more MULU timing variance).
+    """
+    cfg = cfg or CFG
+    kwargs = {} if b_bits is None else {"b_bits": b_bits, "b_max": 1 << b_bits}
+    a, b = generate_matrices(n, **kwargs)
+    bundle = build_matmul(mode, n, p, added_multiplies=m,
+                          device_symbols=cfg.device_symbols())
+    machine = make_machine(p, engine, cfg=cfg, fault_plan=fault_plan)
+    run = run_matmul(machine, bundle, a, b)
+    return machine, run
+
+
+def result_signature(machine: PASMMachine, result) -> dict:
+    """The perf-visible fingerprint of a finished machine + result."""
+    p = machine.p
+    return {
+        "cycles": result.cycles,
+        "per_pe": result.per_pe_cycles,
+        "cats": result.per_pe_categories,
+        "icount": [machine.pe(i).cpu.instruction_count for i in range(p)],
+        "finish": [machine.pe(i).cpu.finish_time for i in range(p)],
+        "queue_stats": result.queue_stats,
+        "mc_stats": result.mc_stats,
+    }
+
+
+def signature(mode: ExecutionMode, n: int, p: int, engine: str, *,
+              m: int = 0, cfg=None, fault_plan=None, b_bits=None) -> dict:
+    """Everything an engine tier could possibly perturb, in one dict."""
+    machine, run = run_matmul_on(mode, n, p, engine, m=m, cfg=cfg,
+                                 fault_plan=fault_plan, b_bits=b_bits)
+    sig = result_signature(machine, run.result)
+    sig["product"] = run.product.tolist()
+    return sig

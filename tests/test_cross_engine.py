@@ -5,25 +5,26 @@ These tests are the license for using the macro model at paper scale
 few percent, per mode and per timing category.
 """
 
-import numpy as np
 import pytest
 
-from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
-from repro.programs import build_matmul, generate_matrices
-from repro.programs.loader import run_matmul
+from repro.machine import ExecutionMode, PrototypeConfig
+from repro.programs.data import generate_matrices
 from repro.timing_model import predict_matmul
+from tests.engines import run_matmul_on
 
 CFG = PrototypeConfig()
+
+#: The micro engine tier the macro model is validated against.  The
+#: differential suites prove all three tiers bit-identical, so any tier
+#: would do; lockstep is the one the experiment runner uses by default.
+MICRO_ENGINE = "lockstep"
 
 
 def compare(mode, n, p, *, m=0, cfg=CFG, b_bits=None):
     kwargs = {} if b_bits is None else {"b_bits": b_bits, "b_max": 1 << b_bits}
-    a, b = generate_matrices(n, **kwargs)
-    machine = PASMMachine(cfg, partition_size=p)
-    bundle = build_matmul(
-        mode, n, p, added_multiplies=m, device_symbols=cfg.device_symbols()
-    )
-    run = run_matmul(machine, bundle, a, b)
+    _, b = generate_matrices(n, **kwargs)
+    _, run = run_matmul_on(mode, n, p, MICRO_ENGINE, m=m, cfg=cfg,
+                           b_bits=b_bits)
     pred = predict_matmul(mode, cfg, n, p, added_multiplies=m, b=b)
     return run.result, pred
 

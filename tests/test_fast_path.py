@@ -1,12 +1,15 @@
 """The fast path's one invariant, tested from every angle: local-time
 execution and the decoded/handler caches are *invisible*.
 
-A machine with ``fast_path=True`` (the default) must produce, bit for
-bit, everything the pure-event schedule produces — cycle counts, per-PE
-finish times, instruction counts, per-category cycle accounting, and the
-result matrices — across all four execution modes, under hypothesis-
-chosen shapes, and with an active fault plan (the fail-stop watchdog
-must fire at the same instant either way).
+A machine with ``fast_path=True`` must produce, bit for bit, everything
+the pure-event schedule produces — cycle counts, per-PE finish times,
+instruction counts, per-category cycle accounting, queue/MC statistics,
+and the result matrices — across all four execution modes, under
+hypothesis-chosen shapes, and with an active fault plan (the fail-stop
+watchdog must fire at the same instant either way).  The third engine
+tier (lockstep) gets the same treatment in
+``test_lockstep_differential.py``; both suites share
+:mod:`tests.engines`.
 
 Plus unit tests for the machinery itself: the kernel's sleep-event free
 list, the local-clock counters, the closed-form inline refresh stall,
@@ -17,9 +20,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.engines import ALL_MODES, CFG, MODE_IDS, signature
 from repro.errors import PEFailStopError
 from repro.faults import FaultPlan, PEFailStop
-from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
+from repro.machine import ExecutionMode, PASMMachine
 from repro.machine.partition import Partition
 from repro.memory.dram import RefreshModel
 from repro.perf import kernel_counters, machine_counters, percentile
@@ -28,41 +32,13 @@ from repro.programs.loader import build_matmul, run_matmul
 from repro.sim import Environment
 from repro.sim.localtime import resolve_fast_path
 
-CFG = PrototypeConfig.calibrated()
-
-ALL_MODES = [
-    (ExecutionMode.SERIAL, 1),
-    (ExecutionMode.SIMD, 4),
-    (ExecutionMode.SMIMD, 4),
-    (ExecutionMode.MIMD, 4),
-]
-
-
-def _signature(mode: ExecutionMode, n: int, p: int, fast: bool,
-               plan: FaultPlan | None = None):
-    """Everything the fast path could possibly perturb, in one dict."""
-    bundle = build_matmul(mode, n, p, device_symbols=CFG.device_symbols())
-    a, b = generate_matrices(n)
-    machine = PASMMachine(CFG, partition_size=p, fast_path=fast,
-                          fault_plan=plan)
-    run = run_matmul(machine, bundle, a, b)
-    return {
-        "cycles": run.result.cycles,
-        "per_pe": run.result.per_pe_cycles,
-        "icount": [machine.pe(i).cpu.instruction_count for i in range(p)],
-        "cats": [dict(machine.pe(i).cpu.category_cycles) for i in range(p)],
-        "finish": [machine.pe(i).cpu.finish_time for i in range(p)],
-        "product": run.product.tolist(),
-    }
-
 
 # ---------------------------------------------------------------------------
 # Equivalence across the four modes
-@pytest.mark.parametrize("mode,p", ALL_MODES,
-                         ids=[m.name for m, _ in ALL_MODES])
+@pytest.mark.parametrize("mode,p", ALL_MODES, ids=MODE_IDS)
 def test_fast_path_bit_identical(mode, p):
-    fast = _signature(mode, 16, p, fast=True)
-    pure = _signature(mode, 16, p, fast=False)
+    fast = signature(mode, 16, p, "local-time")
+    pure = signature(mode, 16, p, "pure-events")
     assert fast == pure
 
 
@@ -74,8 +50,8 @@ def test_fast_path_bit_identical_random_shapes(data):
         [ExecutionMode.SIMD, ExecutionMode.SMIMD, ExecutionMode.MIMD]))
     p = data.draw(st.sampled_from([4, 8, 16]))
     n = data.draw(st.sampled_from([k for k in (4, 8, 12, 16) if k % p == 0]))
-    assert (_signature(mode, n, p, fast=True)
-            == _signature(mode, n, p, fast=False))
+    assert (signature(mode, n, p, "local-time")
+            == signature(mode, n, p, "pure-events"))
 
 
 # ---------------------------------------------------------------------------
@@ -91,9 +67,9 @@ def _failstop_plan(p: int, logical: int) -> FaultPlan:
 def test_failstop_detection_identical_under_fast_path(mode):
     plan = _failstop_plan(4, logical=1)
     outcomes = []
-    for fast in (True, False):
+    for engine in ("local-time", "pure-events"):
         with pytest.raises(PEFailStopError) as exc_info:
-            _signature(mode, 16, 4, fast=fast, plan=plan)
+            signature(mode, 16, 4, engine, fault_plan=plan)
         outcomes.append((exc_info.value.pes, exc_info.value.detected_at))
     assert outcomes[0] == outcomes[1]
     assert outcomes[0][0] == (plan.failstops[0].pe,)
@@ -103,8 +79,10 @@ def test_late_strike_equivalent_under_fast_path():
     """A strike after completion must not disturb either schedule."""
     plan = FaultPlan(failstops=(
         PEFailStop(Partition(CFG, 4).physical_pe(1), 10_000_000.0),))
-    fast = _signature(ExecutionMode.SMIMD, 16, 4, fast=True, plan=plan)
-    pure = _signature(ExecutionMode.SMIMD, 16, 4, fast=False, plan=plan)
+    fast = signature(ExecutionMode.SMIMD, 16, 4, "local-time",
+                     fault_plan=plan)
+    pure = signature(ExecutionMode.SMIMD, 16, 4, "pure-events",
+                     fault_plan=plan)
     assert fast == pure
 
 

@@ -1,0 +1,303 @@
+"""The lockstep engine's license to exist: differential proof of
+bit-identity against both event engines.
+
+``repro.sim.lockstep`` replaces the SIMD rendezvous discovered by event
+interleaving with one computed directly (max over the enabled PEs'
+stamped arrivals), batches controller transfers, and fast-forwards
+releases past the heap when nothing can interleave.  None of that is
+allowed to *show*: every perf-visible quantity — makespan, per-PE cycle
+and category accounting, instruction counts, finish times, result
+matrices, queue statistics, MC busy accounting, and fault-detection
+instants — must equal the pure-event schedule bit for bit, across all
+four execution modes, under data-dependent timing variance, degraded
+network routing, and fail-stop faults.
+
+The hypothesis section generates random straight-line SIMD programs
+(random blocks, masks, loop trips, and per-PE operand seeds) and holds
+the same equality, plus the paper's core property in isolation: a
+broadcast MULU completes at the *slowest* enabled PE's pace, so a run
+is exactly as fast as its worst multiplier.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PEFailStopError
+from repro.faults import FaultPlan, PEFailStop, representative_fault_plan
+from repro.m68k.assembler import assemble
+from repro.machine import ExecutionMode, PASMMachine
+from repro.machine.partition import Partition
+from repro.mc import EnqueueBlock, Loop, SetMask, WaitController
+from repro.network import ExtraStageCubeTopology
+from repro.perf import machine_counters
+from repro.sim.lockstep import resolve_lockstep
+from tests.engines import (
+    ALL_MODES,
+    CFG,
+    ENGINES,
+    MODE_IDS,
+    make_machine,
+    result_signature,
+    signature,
+)
+
+ENGINE_TRIO = list(ENGINES)
+
+
+# ---------------------------------------------------------------------------
+# The core claim: three engines, four modes, one signature
+@pytest.mark.parametrize("mode,p", ALL_MODES, ids=MODE_IDS)
+def test_three_engines_identical(mode, p):
+    sigs = [signature(mode, 16, p, engine) for engine in ENGINE_TRIO]
+    assert sigs[0] == sigs[1] == sigs[2]
+
+
+@pytest.mark.parametrize("mode", [ExecutionMode.SIMD, ExecutionMode.SMIMD],
+                         ids=lambda m: m.name)
+def test_added_multiplies_identical(mode):
+    """The Figure 7 knob (data-dependent inner-loop MULUs) can't split
+    the engines: more timing variance, same schedule."""
+    sigs = [signature(mode, 8, 4, engine, m=5) for engine in ENGINE_TRIO]
+    assert sigs[0] == sigs[1] == sigs[2]
+
+
+def test_wide_operands_identical():
+    """Full 16-bit operands maximise MULU cycle variance across PEs."""
+    sigs = [signature(ExecutionMode.SIMD, 8, 4, engine, b_bits=16)
+            for engine in ENGINE_TRIO]
+    assert sigs[0] == sigs[1] == sigs[2]
+
+
+def test_multi_mc_groups_identical():
+    """Two MC groups drift independently; both engines drift alike."""
+    sigs = [signature(ExecutionMode.SIMD, 16, 8, engine)
+            for engine in ENGINE_TRIO]
+    assert sigs[0] == sigs[1] == sigs[2]
+
+
+# ---------------------------------------------------------------------------
+# Faults: degraded routing and fail-stop detection
+def _shift_plan(p: int) -> FaultPlan:
+    topo = ExtraStageCubeTopology(CFG.n_pes)
+    return representative_fault_plan(
+        topo, Partition(CFG, p).shift_permutation()
+    )
+
+
+def test_degraded_routing_identical():
+    """A representative degraded plan (extra-stage rerouting active)
+    produces the same schedule and the same verified product on every
+    engine tier."""
+    plan = _shift_plan(4)
+    sigs = [signature(ExecutionMode.SMIMD, 16, 4, engine, fault_plan=plan)
+            for engine in ENGINE_TRIO]
+    assert sigs[0] == sigs[1] == sigs[2]
+
+
+@pytest.mark.parametrize("mode", [ExecutionMode.SIMD, ExecutionMode.MIMD],
+                         ids=lambda m: m.name)
+def test_failstop_detection_instant_identical(mode):
+    """The watchdog must strike at the same simulated instant whether the
+    schedule was assembled by events or computed by the lockstep batch —
+    including the lockstep engine's cancelled-request bookkeeping."""
+    victim = Partition(CFG, 4).physical_pe(1)
+    plan = FaultPlan(failstops=(PEFailStop(victim, 0.0),),
+                     failstop_timeout=10_000.0)
+    outcomes = []
+    for engine in ENGINE_TRIO:
+        with pytest.raises(PEFailStopError) as exc_info:
+            signature(mode, 16, 4, engine, fault_plan=plan)
+        outcomes.append((exc_info.value.pes, exc_info.value.detected_at,
+                         exc_info.value.timeout))
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+    assert outcomes[0][0] == (victim,)
+
+
+def test_mid_run_strike_identical():
+    """A strike landing mid-broadcast (not at t=0) is the adversarial
+    case for release fast-forwarding: the assassin's deadline sits on
+    the heap and must bound every fast-forwarded release."""
+    victim = Partition(CFG, 4).physical_pe(2)
+    plan = FaultPlan(failstops=(PEFailStop(victim, 20_000.0),),
+                     failstop_timeout=8_000.0)
+    outcomes = []
+    for engine in ENGINE_TRIO:
+        with pytest.raises(PEFailStopError) as exc_info:
+            signature(ExecutionMode.SIMD, 16, 4, engine, fault_plan=plan)
+        outcomes.append((exc_info.value.pes, exc_info.value.detected_at))
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+# ---------------------------------------------------------------------------
+# The lockstep machinery is observably *on* (and off when asked)
+def test_lockstep_counters_report_batching():
+    machine = make_machine(4, "lockstep")
+    from repro.programs.data import generate_matrices
+    from repro.programs.loader import build_matmul, run_matmul
+
+    bundle = build_matmul(ExecutionMode.SIMD, 16, 4,
+                          device_symbols=CFG.device_symbols())
+    a, b = generate_matrices(16)
+    run_matmul(machine, bundle, a, b)
+    counters = machine_counters(machine)
+    assert counters["lockstep"] is True
+    assert counters["lockstep_rendezvous"] > 1_000
+    assert counters["lockstep_releases"] > 1_000
+    # Batching is real: p PEs resume per release, and carriers (the one
+    # heap event a rendezvous may still need) are strictly rarer than
+    # releases — fast-forwarded and inline releases need none at all.
+    assert counters["lockstep_batch_pes"] >= counters["lockstep_releases"]
+    assert counters["lockstep_carriers"] < counters["lockstep_releases"]
+
+    off = make_machine(4, "local-time")
+    bundle = build_matmul(ExecutionMode.SIMD, 16, 4,
+                          device_symbols=CFG.device_symbols())
+    run_matmul(off, bundle, a, b)
+    off_counters = machine_counters(off)
+    assert off_counters["lockstep"] is False
+    assert off_counters["lockstep_rendezvous"] == 0
+    # The batched engine needs far fewer heap events for the same run.
+    assert (counters["events_scheduled"]
+            < off_counters["events_scheduled"] / 2)
+
+
+def test_resolve_lockstep_env(monkeypatch):
+    monkeypatch.delenv("REPRO_LOCKSTEP", raising=False)
+    assert resolve_lockstep(None, True) is True    # default: on
+    assert resolve_lockstep(None, False) is False  # needs the fast path
+    assert resolve_lockstep(True, False) is False  # even when forced
+    assert resolve_lockstep(False, True) is False
+    monkeypatch.setenv("REPRO_LOCKSTEP", "0")
+    assert resolve_lockstep(None, True) is False
+    assert resolve_lockstep(True, True) is True    # explicit flag wins
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random SIMD programs, masks, and operand seeds
+_BODY_VOCAB = (
+    "    ADDQ.W  #1,D2",
+    "    MULU    D1,D2",
+    "    MULU    D1,D3",
+    "    MOVE.W  D2,D3",
+    "    ADD.W   D3,D2",
+    "    LSR.W   #2,D2",
+)
+
+
+def _simd_signature(engine: str, plan, blocks_src, seeds):
+    """Run a generated SIMD program on one engine tier; fingerprint it."""
+    machine = make_machine(4, engine)
+    data_programs = [
+        assemble(
+            f"    HALT\n    .data\n    .org $4000\nmul: .dc.w {seed}",
+            predefined=CFG.device_symbols(),
+        )
+        for seed in seeds
+    ]
+    blocks = {
+        name: assemble(src, predefined=CFG.device_symbols()).instruction_list()
+        for name, src in blocks_src.items()
+    }
+    result = machine.run_simd(plan, blocks, data_programs=data_programs)
+    sig = result_signature(machine, result)
+    sig["memory"] = [machine.pe(lp).cpu.regs.d[2] & 0xFFFF for lp in range(4)]
+    return sig
+
+
+@settings(deadline=None, max_examples=8)
+@given(data=st.data())
+def test_random_simd_programs_identical(data):
+    """Random straight-line blocks, loop trip counts, masks, and per-PE
+    multiplier seeds: the lockstep schedule equals the pure-event
+    schedule, signature for signature.
+
+    Mask changes are ordered behind ``WaitController`` — on the
+    prototype (and in the MC DSL discipline) the enabled mask is not
+    retargeted while a block transfer is in flight.
+    """
+    n_blocks = data.draw(st.integers(1, 3), label="n_blocks")
+    blocks_src = {"init": "    MOVE.W  $4000,D1"}
+    plan = [EnqueueBlock("init")]
+    for i in range(n_blocks):
+        body = data.draw(
+            st.lists(st.sampled_from(_BODY_VOCAB), min_size=1, max_size=3),
+            label=f"body{i}",
+        )
+        blocks_src[f"b{i}"] = "\n".join(body)
+        mask = data.draw(
+            st.sets(st.integers(0, 3), min_size=1, max_size=4),
+            label=f"mask{i}",
+        )
+        trips = data.draw(st.integers(1, 6), label=f"trips{i}")
+        plan += [WaitController(), SetMask(tuple(sorted(mask))),
+                 Loop(trips, (EnqueueBlock(f"b{i}"),))]
+    blocks_src["fini"] = "    HALT"
+    plan += [WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    seeds = [data.draw(st.integers(0, 0xFFFF), label=f"seed{lp}")
+             for lp in range(4)]
+
+    lockstep = _simd_signature("lockstep", plan, blocks_src, seeds)
+    pure = _simd_signature("pure-events", plan, blocks_src, seeds)
+    assert lockstep == pure
+
+
+@pytest.mark.parametrize("trips", [3, 5])
+def test_single_pe_mask_occupancy_identical(trips):
+    """Regression (hypothesis-found): a one-PE mask consuming MULU pairs
+    slower than the controller transfers them makes the staged queue
+    admit words whose computed admit times leapfrog earlier (still
+    uncomputed) releases.  The stats settlement must re-serialize them:
+    trips=3 caught strict leapfrogging (high_water one too high),
+    trips=5 caught the equal-instant tie, where an *independent* admit
+    coinciding with an already-enabled release must count after it."""
+    blocks_src = {"init": "    MOVE.W  $4000,D1",
+                  "b0": "    MULU    D1,D2\n    MULU    D1,D2",
+                  "fini": "    HALT"}
+    plan = [EnqueueBlock("init"),
+            WaitController(), SetMask((0,)),
+            Loop(trips, (EnqueueBlock("b0"),)),
+            WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    seeds = [0, 0, 0, 0]
+    lockstep = _simd_signature("lockstep", plan, blocks_src, seeds)
+    pure = _simd_signature("pure-events", plan, blocks_src, seeds)
+    assert lockstep == pure
+
+
+@settings(deadline=None, max_examples=8)
+@given(mults=st.lists(st.integers(0, 0xFFFF), min_size=4, max_size=4))
+def test_mulu_broadcast_paced_by_slowest_pe(mults):
+    """The paper's instruction-level max-coupling, exactly: a broadcast
+    MULU loop costs what it would cost if *every* PE held the multiplier
+    with the most 1 bits (MULU = 38 + 2·ones).  Checked on the lockstep
+    engine against the pure-event engine for the mixed operands, then
+    against the all-worst run for the max property itself."""
+    cfg = CFG.with_overrides(refresh=CFG.refresh.__class__(250, 0))
+    worst = max(mults, key=lambda m: (m & 0xFFFF).bit_count())
+
+    def run(engine, seeds):
+        machine = PASMMachine(cfg, partition_size=4, **ENGINES[engine])
+        data_programs = [
+            assemble(
+                f"    HALT\n    .data\n    .org $4000\nmul: .dc.w {seed}",
+                predefined=cfg.device_symbols(),
+            )
+            for seed in seeds
+        ]
+        blocks = {
+            "init": assemble("    MOVE.W  $4000,D1",
+                             predefined=cfg.device_symbols()).instruction_list(),
+            "body": assemble("    MULU    D1,D2",
+                             predefined=cfg.device_symbols()).instruction_list(),
+            "fini": assemble("    HALT",
+                             predefined=cfg.device_symbols()).instruction_list(),
+        }
+        mc_program = [EnqueueBlock("init"),
+                      Loop(12, (EnqueueBlock("body"),)),
+                      EnqueueBlock("fini")]
+        return machine.run_simd(mc_program, blocks,
+                                data_programs=data_programs).cycles
+
+    mixed = run("lockstep", mults)
+    assert mixed == run("pure-events", mults)
+    assert mixed == run("lockstep", [worst] * 4)

@@ -16,11 +16,13 @@ from repro.errors import (
 )
 from repro.exec import SimJobSpec, execute_job, matmul_spec
 from repro.faults import FaultPlan, PEFailStop, representative_fault_plan
+from repro.faults.campaign import iter_single_faults
 from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
 from repro.machine.partition import Partition
 from repro.network import ExtraStageCubeTopology, Fault, FaultKind
 from repro.programs import build_matmul, generate_matrices
 from repro.programs.loader import run_matmul
+from tests.engines import signature
 
 CFG = PrototypeConfig.calibrated()
 
@@ -90,6 +92,41 @@ def test_unroutable_plan_raises_structured_error():
     with pytest.raises(NetworkFaultError) as exc_info:
         machine.connect_shift_circuit()
     assert "link@stage1" in str(exc_info.value)
+
+
+# ---------------------------------------------------------------------------
+# Single-fault sweep, differentially: every degraded schedule the network
+# can produce must be bit-identical on the lockstep and pure-event engines
+_ALL_SINGLE_FAULTS = list(iter_single_faults(ExtraStageCubeTopology(CFG.n_pes)))
+
+
+def _assert_fault_identical(fault: Fault) -> None:
+    plan = FaultPlan(faults=(fault,))
+    lockstep = signature(ExecutionMode.SMIMD, 8, 4, "lockstep",
+                         fault_plan=plan)
+    pure = signature(ExecutionMode.SMIMD, 8, 4, "pure-events",
+                     fault_plan=plan)
+    assert lockstep == pure
+    # Degraded or not, the product must stay correct.
+    clean = signature(ExecutionMode.SMIMD, 8, 4, "lockstep")
+    assert lockstep["product"] == clean["product"]
+
+
+@pytest.mark.parametrize("fault", _ALL_SINGLE_FAULTS[::8],
+                         ids=lambda f: f"{f.kind.value}@s{f.stage}l{f.line}")
+def test_single_fault_sample_identical_across_engines(fault):
+    """Tier-1 sample of the single-fault universe (every 8th fault): a
+    degraded S/MIMD run — extra-stage rerouting, transit penalties, and
+    all — must produce the same signature on both engine extremes."""
+    _assert_fault_identical(fault)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fault", _ALL_SINGLE_FAULTS,
+                         ids=lambda f: f"{f.kind.value}@s{f.stage}l{f.line}")
+def test_single_fault_sweep_identical_across_engines(fault):
+    """The exhaustive sweep (104 faults x 2 engines), for the slow lane."""
+    _assert_fault_identical(fault)
 
 
 # ---------------------------------------------------------------------------
