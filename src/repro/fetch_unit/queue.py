@@ -71,9 +71,18 @@ class FetchUnitQueue:
         self._space_waiters: deque[tuple[Event, QueueItem]] = deque()
         # -- lockstep rendezvous state -------------------------------------
         self._arrivals: dict[int, float] = {}  #: stamped bus-true arrivals
+        #: Schedule instants of the stamped arrivals: the time the pure
+        #: event engine *scheduled* the charge event that completes at
+        #: the arrival (``arrival - last charge duration``).  Heap order
+        #: at equal timestamps follows schedule order, so this is what
+        #: breaks admit-vs-release ties in :meth:`_settle_admits`.
+        self._scheds: dict[int, float] = {}
         self._carrier_pending = False  #: a carrier event is on the heap
         self._releasing = False  #: inside the carrier's release loop
-        self._empty_since = 0.0  #: env time the queue last became empty
+        #: Release time at which the settled occupancy last hit zero —
+        #: the event-schedule instant the queue became empty (clamps the
+        #: empty-stall latch in :meth:`_settle_admits`).
+        self._stats_empty_since = 0.0
         self._ls_stall_start: float | None = None  #: latched stall origin
         #: Per-item admit times, parallel to ``_items`` (lockstep only) —
         #: the release-time floor, since fast-forwarded admits may be
@@ -84,6 +93,15 @@ class FetchUnitQueue:
         self._staged: deque[tuple[QueueItem, float]] = deque()
         self._stage_clock = 0.0  #: admit-chain time of the staged block
         self._stage_done: Event | None = None  #: fired when staging drains
+        # -- vectorized tier (repro.sim.vectorized) ------------------------
+        #: Attached VectorExecutor, or None (plain lockstep).
+        self._vec = None
+        #: Slots whose pending request came through
+        #: :meth:`register_request_inline` — i.e. PEs streaming through
+        #: the CPU loop's recycled-event park, which understands the
+        #: vectorized ``(None, t)`` sentinel.  Generator-path requests
+        #: (trace_waits fetches, barrier data reads) are never batched.
+        self._inline_slots: set[int] = set()
         # -- statistics ---------------------------------------------------
         self.releases = 0
         self.words_enqueued = 0
@@ -98,47 +116,104 @@ class FetchUnitQueue:
         #: words long before the lazy rendezvous computation pops earlier
         #: releases, and applying them eagerly would show occupancy peaks
         #: the event schedule never reaches.  Entries are
-        #: ``(t, words, sample)`` kept sorted by ``t``; ``sample`` is
-        #: False for space-waiter refills, which the event engine admits
-        #: without an occupancy sample.
-        self._pending_admits: list[tuple[float, int, bool]] = []
+        #: ``(t, words, sample, sched)`` kept sorted by ``t``; ``sample``
+        #: is False for space-waiter refills, which the event engine
+        #: admits without an occupancy sample.  ``sched`` is the schedule
+        #: instant of the admit's transfer-timeout event (staged free
+        #: admits), or None for admits that happen *inside* an already
+        #: executing event — space-bound refills, release cascades, and
+        #: real-time enqueues — which therefore precede any tied release
+        #: still sitting on the heap.
+        self._pending_admits: list[tuple[float, int, bool, float | None]] = []
         self._stats_words = 0  #: settled occupancy (lockstep stats view)
         self.lockstep_releases = 0  #: items released via computed rendezvous
         self.lockstep_batch_pes = 0  #: PE resumptions delivered by carriers
         self.lockstep_carriers = 0  #: carrier events scheduled
+        self.vectorized_instructions = 0  #: words executed by vector batches
+        self.vectorized_batches = 0  #: batches delivered (1 resumption/PE)
+        self.scalar_fallbacks = 0  #: instruction words released scalar
+        #: while a VectorExecutor was attached
 
     def _sample(self) -> None:
         self._occ.append((self.env.now, self._words_used))
 
     # -- statistics settlement (lockstep) ------------------------------
-    def _push_admit(self, t: float, words: int, sample: bool = True) -> None:
+    def _push_admit(self, t: float, words: int, sample: bool = True,
+                    sched: float | None = None) -> None:
         pend = self._pending_admits
         i = len(pend)
         while i > 0 and pend[i - 1][0] > t:
             i -= 1
-        pend.insert(i, (t, words, sample))
+        pend.insert(i, (t, words, sample, sched))
 
-    def _settle_admits(self, limit: float, inclusive: bool = True) -> None:
+    def _settle_admits(self, limit: float, inclusive: bool = True,
+                       enabler_sched: float = float("-inf"),
+                       stall_view: tuple | None = None) -> None:
         """Apply pending admits up to ``limit`` to the stats view.
 
         The equal-time tie-break is causal, matching the event engine's
-        heap order: an admit that *enables* a release (the head admitted
+        heap order.  An admit that *enables* a release (the head admitted
         exactly at the release instant) is that release's last enabling
-        event and processes first (``inclusive``); an independent admit
-        coinciding with an already-enabled release processes after it —
-        the enabling PE request was scheduled a whole instruction
-        earlier, the controller's transfer timeout only a word earlier,
-        so the request's heap sequence wins (``inclusive=False``).
+        event and processes first (``inclusive``).  An independent admit
+        coinciding with an already-enabled release replays the heap's
+        schedule order: at equal timestamps the event scheduled earlier
+        pops first, so the admit's transfer timeout (scheduled one word
+        transfer before ``t``) beats a release enabled by a *short*
+        final charge and loses to one enabled by a *long* final charge.
+        ``enabler_sched`` is the release's side of that comparison — the
+        schedule instant of its last enabling arrival event; admits with
+        ``sched`` None happened inside an already-executing event and
+        always settle first.
+
+        ``stall_view`` is ``(amin, asched)`` — the earliest arrival
+        among the requesters registered in the event schedule and the
+        schedule instant of that arrival's charge event — supplied when
+        the settled occupancy is zero: the admit that turns it non-zero
+        is the event engine's empty->non-empty transition, and any
+        request registered against the empty queue before it starts the
+        empty-stall clock (the pure engine latches ``_all_arrived_at``
+        at its first such registration, clamped to the release that
+        emptied the queue).  A request tying the admit's timestamp
+        registered first only if its charge event was scheduled first
+        (``asched < sched``).  A cascade admit — ``sched`` None landing
+        exactly at the emptying release — refills synchronously inside
+        that release's event and latches nothing.
         """
         pend = self._pending_admits
-        while pend and (pend[0][0] <= limit if inclusive
-                        else pend[0][0] < limit):
-            t, words, sample = pend.pop(0)
+        while pend:
+            t, words, sample, sched = pend[0]
+            if t > limit:
+                break
+            if (t == limit and not inclusive
+                    and sched is not None and sched > enabler_sched):
+                break
+            pend.pop(0)
+            if (stall_view is not None and self._stats_words == 0
+                    and self._ls_stall_start is None
+                    and not (sched is None
+                             and t == self._stats_empty_since)):
+                amin, asched = stall_view
+                if amin < t or (amin == t and sched is not None
+                                and asched < sched):
+                    self._ls_stall_start = max(self._stats_empty_since,
+                                               amin)
             self._stats_words += words
             if self._stats_words > self._hw:
                 self._hw = self._stats_words
             if sample:
                 self._occ.append((t, self._stats_words))
+
+    def _has_admit_tie(self, t_r: float) -> bool:
+        """True when some pending *scheduled* admit lands exactly at
+        ``t_r`` (entries are sorted; earlier ones settle unconditionally,
+        so the tie entry need not be at the front)."""
+        for entry in self._pending_admits:
+            t = entry[0]
+            if t > t_r:
+                return False
+            if t == t_r and entry[3] is not None:
+                return True
+        return False
 
     @property
     def high_water(self) -> int:
@@ -189,26 +264,23 @@ class FetchUnitQueue:
     def _admit(self, item: QueueItem) -> None:
         self._admit_at(item, self.env.now)
 
-    def _admit_at(self, item: QueueItem, t: float) -> None:
+    def _admit_at(self, item: QueueItem, t: float,
+                  sched: float | None = None) -> None:
         """Admit ``item`` at recorded time ``t`` (>= env.now for staged
-        admits whose transfer completes in the simulated future)."""
-        if self.lockstep and not self._items and self._requests:
-            # Empty->non-empty transition with stamped requests pending:
-            # latch the instant the pure-event engine would have recorded
-            # as the start of the empty-queue stall (its first request
-            # registration on an empty queue — i.e. the earliest true
-            # arrival, clamped to when the queue became empty).  Arrivals
-            # at or after this admit register against a non-empty queue
-            # in the event schedule and latch nothing.
-            a_min = min(self._arrivals.values(), default=t)
-            if a_min < t and self._ls_stall_start is None:
-                self._ls_stall_start = max(self._empty_since, a_min)
+        admits whose transfer completes in the simulated future).
+
+        ``sched`` is the schedule instant of the admit's heap event
+        (staged transfers only); None marks an admit performed inside an
+        already-executing event — see :meth:`_settle_admits`.  The
+        empty-stall latch happens there too, when this admit *settles*
+        in event-schedule order, not here at the (possibly leapfrogged)
+        env step that computed it."""
         self._items.append(item)
         self._words_used += item.words
         self.words_enqueued += item.words
         if self.lockstep:
             self._admit_times.append(t)
-            self._push_admit(t, item.words)
+            self._push_admit(t, item.words, sched=sched)
         else:
             self._hw = max(self._hw, self._words_used)
             self._occ.append((t, self._words_used))
@@ -255,28 +327,40 @@ class FetchUnitQueue:
         self._stage_done = ev
         return None, ev
 
-    def _pump_staging(self, free_at: float) -> None:
+    def _pump_staging(self, free_at: float) -> float | None:
         """Admit staged items whose transfer is done and that fit now.
 
         ``free_at`` is the (computed) time the triggering release freed
         space; an item whose transfer completed earlier is admitted at
         that instant, exactly when the blocking enqueue would unblock.
+        Returns the earliest admit time performed, or None if nothing
+        was admitted (empty-stall latch support: an admit at ``free_at``
+        is synchronous with the triggering release's cascade).
         """
         staged = self._staged
+        first: float | None = None
         while staged:
             item, cycles = staged[0]
             if item.words > self.capacity_words - self._words_used:
-                return
-            ready = self._stage_clock + cycles
-            if ready < free_at:
+                return first
+            start = self._stage_clock
+            ready = start + cycles
+            bound = ready < free_at
+            if bound:
                 ready = free_at
             staged.popleft()
             self._stage_clock = ready
-            self._admit_at(item, ready)
+            if first is None:
+                first = ready
+            # A free admit's heap event (the transfer timeout) was
+            # scheduled at the transfer start; a space-bound admit runs
+            # inside the release cascade that freed its space (None).
+            self._admit_at(item, ready, sched=None if bound else start)
         ev = self._stage_done
         if ev is not None:
             self._stage_done = None
             fire_event(ev, self._stage_clock)
+        return first
 
     def stall_horizon(self) -> float:
         """Simulated time implied by a stalled staged transfer (-inf when
@@ -301,12 +385,15 @@ class FetchUnitQueue:
         return item
 
     def register_request_at(self, pe_slot: int, arrival: float,
-                            ev: Event | None = None) -> Event:
+                            ev: Event | None = None,
+                            sched: float | None = None) -> Event:
         """Register a stamped lockstep request; return the event to park on.
 
         Non-generator entry so the CPU's hot loop can park on the request
         with a single ``yield`` (no sub-generator frames).  ``ev`` lets
-        the caller supply a recycled event object.
+        the caller supply a recycled event object.  ``sched`` is the
+        schedule instant of the arrival's final charge event (defaults
+        to -inf: ties break release-first, the pre-sched behaviour).
         """
         if pe_slot in self._requests:
             raise SimulationError(
@@ -316,11 +403,12 @@ class FetchUnitQueue:
             ev = self.env.event(name=f"req:{self.name}:{pe_slot}")
         self._requests[pe_slot] = ev
         self._arrivals[pe_slot] = arrival
+        self._scheds[pe_slot] = float("-inf") if sched is None else sched
         self._try_release()
         return ev
 
     def register_request_inline(self, pe_slot: int, arrival: float,
-                                ev: Event) -> Event:
+                                ev: Event, sched: float) -> Event:
         """Stamped request that may resolve the rendezvous *synchronously*.
 
         When this registration completes the head's mask and the release
@@ -339,11 +427,14 @@ class FetchUnitQueue:
             )
         self._requests[pe_slot] = ev
         self._arrivals[pe_slot] = arrival
+        self._scheds[pe_slot] = sched
+        self._inline_slots.add(pe_slot)
         if not self._releasing and not self._carrier_pending and self._items:
             self._run_releases()
         return ev
 
-    def request_at(self, pe_slot: int, arrival: float):
+    def request_at(self, pe_slot: int, arrival: float,
+                   sched: float | None = None):
         """Generator (PE side, lockstep): stamped fetch request.
 
         The PE does *not* flush its local clock first: ``arrival`` is its
@@ -354,7 +445,7 @@ class FetchUnitQueue:
         behind it during queue fast-forward) and the caller rebases its
         local clock from it.
         """
-        pair = yield self.register_request_at(pe_slot, arrival)
+        pair = yield self.register_request_at(pe_slot, arrival, sched=sched)
         return pair
 
     def cancel_lockstep_request(self, pe_slot: int, after: float) -> None:
@@ -371,7 +462,15 @@ class FetchUnitQueue:
         arrival = self._arrivals.get(pe_slot)
         if arrival is not None and arrival > after:
             del self._arrivals[pe_slot]
+            self._scheds.pop(pe_slot, None)
             del self._requests[pe_slot]
+        # Either way the PE is dead: it can no longer stream inline, so
+        # the vector engine must not batch (and re-register) on its
+        # behalf even when its last stamp stood.  A standing request is
+        # still released scalar — the stale succeed is absorbed, and the
+        # dead PE simply never stamps again, exactly as in the event
+        # schedule.
+        self._inline_slots.discard(pe_slot)
 
     def pending_arrival_max(self) -> float:
         """Latest stamped arrival among pending requests (-inf if none).
@@ -481,6 +580,22 @@ class FetchUnitQueue:
                                       or not t_r < env.peek()):
                     self._schedule_carrier(t_r)
                     return
+                vec = self._vec
+                if vec is not None:
+                    if vec.try_batch(self, t_r):
+                        # A whole run of broadcast words just executed
+                        # vectorized; resume the cascade after its last
+                        # recorded release.
+                        t_cursor = vec.last_release
+                        continue
+                    if not self._items[0].mask <= self._requests.keys():
+                        # try_batch flushed a live batch, and the PE whose
+                        # in-flight registration call entered this loop
+                        # consumed its sentinel synchronously (it had not
+                        # parked yet), vacating its request.  It re-stamps
+                        # the identical arrival the moment the call
+                        # unwinds, re-forming this exact rendezvous.
+                        return
                 self._release_head_now(t_r)
                 t_cursor = t_r
         finally:
@@ -499,46 +614,147 @@ class FetchUnitQueue:
         pair so it can rebase its local clock when ``t_r`` is ahead of
         env.now.
         """
-        head = self._items.popleft()
-        head_admit = self._admit_times.popleft()
+        head = self._items[0]
+        waiters = [self._requests[slot] for slot in head.mask]
+        if self._vec is not None and head.payload is not None:
+            self.scalar_fallbacks += 1
+        self._pop_head_vector(t_r)
+        self.lockstep_batch_pes += len(waiters)
+        value = (head, t_r)
+        for ev in waiters:
+            fire_event(ev, value)
+
+    def _pop_head_vector(self, t_r: float,
+                         vec_mask: frozenset | None = None,
+                         enabler_sched: float | None = None,
+                         batch_view: tuple | None = None) -> QueueItem:
+        """Pop the head at release time ``t_r`` with the exact scalar
+        release accounting, but *without* resuming the waiting PEs.
+
+        The vectorized tier (:meth:`~repro.sim.vectorized.VectorExecutor
+        .try_batch`) calls this once per batched word — every stats and
+        staging side effect lands at the same relative point as in
+        :meth:`_release_head_now`, while PE resumption is deferred to a
+        single end-of-batch sentinel delivery.
+
+        With ``vec_mask`` (== ``head.mask``) the mask's request/arrival
+        slots are *kept registered*: the PEs stay parked across the whole
+        batch, their re-registration after each word would rewrite the
+        identical entries, so the dict churn is skipped.
+
+        ``enabler_sched`` overrides the admit-tie comparison point (the
+        schedule instant of the release's last enabling arrival event):
+        the vector executor passes it from its live batch state, whose
+        completion stamps supersede the registered arrival dicts.
+        ``batch_view`` likewise supplies the batch's earliest live
+        arrival stamp (and its charge event's schedule instant) for
+        the empty-stall latch when the settled occupancy is zero going
+        into this pop.
+        """
+        head = self._items[0]
+        head_admit = self._admit_times[0]
+        inclusive = head_admit == t_r
+        staged = self._staged
+        # Pre-release staging probe: does the next staged transfer
+        # complete *exactly* at this release, fitting without the head's
+        # space?  Then its timeout event and the release's enabling
+        # arrival tie on the heap and schedule order decides who goes
+        # first — the event engine may admit it before the release.
+        probe = bool(
+            staged and not inclusive
+            and self._stage_clock + staged[0][1] == t_r
+            and staged[0][0].words <= self.capacity_words - self._words_used
+        )
+        if enabler_sched is None:
+            enabler_sched = float("-inf")
+            if not inclusive and (probe or self._has_admit_tie(t_r)):
+                # An admit ties with this release: find the schedule
+                # instant of the latest arrival attaining t_r (the
+                # enabling event) to replay the heap order.
+                arrivals = self._arrivals
+                scheds = self._scheds
+                enabler_sched = max(
+                    (scheds.get(s, float("-inf")) for s in head.mask
+                     if arrivals.get(s) == t_r),
+                    default=float("-inf"))
+        stall_view = None
+        if self._stats_words == 0 and self._ls_stall_start is None:
+            # The first settle below is the event engine's empty->
+            # non-empty transition: give _settle_admits the earliest
+            # registered arrival (and the schedule instant of its charge
+            # event) so it can latch the empty-stall origin.  During a
+            # live batch the mask slots' dict entries are stale — the
+            # executor's batch_view carries the current stamps; fold in
+            # any foreign requesters.
+            if vec_mask is not None and len(self._arrivals) <= len(vec_mask):
+                stall_view = batch_view  # no foreign requesters
+            else:
+                scheds = self._scheds
+                neg_inf = float("-inf")
+                amin, asched = batch_view if batch_view else (None, None)
+                for s, a in self._arrivals.items():
+                    if vec_mask is not None and s in vec_mask:
+                        continue
+                    sc = scheds.get(s, neg_inf)
+                    if amin is None or a < amin or (a == amin
+                                                   and sc < asched):
+                        amin, asched = a, sc
+                if amin is not None:
+                    stall_view = (amin, asched)
+        self._settle_admits(t_r, inclusive=inclusive,
+                            enabler_sched=enabler_sched,
+                            stall_view=stall_view)
+        if probe and self._stage_clock <= enabler_sched:
+            # Admit-before-release: run the staged admission now, while
+            # the head still occupies the queue, and settle it against
+            # the same enabler — the occupancy peak spans both.
+            item, cycles = staged.popleft()
+            start = self._stage_clock
+            self._stage_clock = t_r
+            self._admit_at(item, t_r, sched=start)
+            self._settle_admits(t_r, inclusive=False,
+                                enabler_sched=enabler_sched,
+                                stall_view=stall_view)
+        self._items.popleft()
+        self._admit_times.popleft()
         if self._ls_stall_start is not None:
             self.empty_stall_cycles += t_r - self._ls_stall_start
             self._ls_stall_start = None
         self._words_used -= head.words
         self.releases += 1
         self.lockstep_releases += 1
-        self._settle_admits(t_r, inclusive=head_admit == t_r)
         self._stats_words -= head.words
         self._occ.append((t_r, self._stats_words))
-        if not self._items:
-            self._empty_since = t_r
-        waiters = [self._requests.pop(slot) for slot in head.mask]
-        for slot in head.mask:
-            self._arrivals.pop(slot, None)
-        if self._staged:
+        # Settled occupancy is the event-schedule view: zero here means
+        # the queue is empty *in the event engine* right after this
+        # release, even when leapfrogged computed admits (times <= t_r
+        # but heap-ordered after the release) already sit in ``_items``.
+        # The empty-stall clock restarts at whichever settle next turns
+        # the stats non-zero (see _settle_admits), clamped to this
+        # instant — requesters already registered (masked-out PEs, early
+        # stampers) are what the pure engine's release-time latch sees.
+        if self._stats_words == 0:
+            self._stats_empty_since = t_r
+        if vec_mask is None:
+            for slot in head.mask:
+                del self._requests[slot]
+                self._arrivals.pop(slot, None)
+                self._scheds.pop(slot, None)
+                self._inline_slots.discard(slot)
+        if self._staged or self._stage_done is not None:
+            # The probe above may have drained staging; pumping with an
+            # empty deque still fires the stage-done event.
             self._pump_staging(t_r)
         else:
             self._refill_from_waiters()
-        if (self._ls_stall_start is None and self._requests
-                and (not self._items or self._admit_times[0] > t_r)):
-            # In the event schedule the queue is empty from this release
-            # until the next item's transfer completes, with requests
-            # still pending (masked-out PEs, early stampers) — the event
-            # engine starts its empty-stall clock at the release instant.
-            # Items admitted *at* t_r (space-blocked transfers unblocking
-            # on this release) refill synchronously there, so they keep
-            # the queue non-empty and latch nothing.
-            self._ls_stall_start = t_r
-        self.lockstep_batch_pes += len(waiters)
-        value = (head, t_r)
-        for ev in waiters:
-            fire_event(ev, value)
+        return head
 
-    def _refill_from_waiters(self) -> None:
+    def _refill_from_waiters(self) -> float | None:
+        first: float | None = None
         while self._space_waiters:
             ev, item = self._space_waiters[0]
             if item.words > self.capacity_words - self._words_used:
-                return
+                return first
             self._space_waiters.popleft()
             self._items.append(item)
             self._words_used += item.words
@@ -548,4 +764,7 @@ class FetchUnitQueue:
                 self._push_admit(self.env.now, item.words, sample=False)
             else:
                 self._hw = max(self._hw, self._words_used)
+            if first is None:
+                first = self.env.now
             ev.succeed()
+        return first

@@ -90,6 +90,11 @@ class PEBus(LocalTimeBus):
         self.lockstep_rendezvous = 0  #: stamped requests issued
         self._req_ev = None  #: recycled request event (one pending max)
         self._simd_ws = 0  #: SIMD-space wait states, stashed at request
+        #: Vectorized tier (repro.sim.vectorized): True while this PE's
+        #: CPU loop is streaming uncapped and untraced, i.e. whole
+        #: batches may be executed on its behalf and delivered as a
+        #: ``(None, t)`` sentinel.  Set by the CPU at run() entry.
+        self.vec_stream_ok = False
         # -- tracing ---------------------------------------------------------
         #: When set, the four blocking sites below record (kind, t0, t1)
         #: wait intervals.  ``sync()`` precedes every site, so env.now is
@@ -164,6 +169,7 @@ class PEBus(LocalTimeBus):
             if phase < steal:
                 cycles += steal - phase
         self._local += cycles
+        self._lc = cycles
         self.local_charges += 1
         return instr
 
@@ -173,9 +179,11 @@ class PEBus(LocalTimeBus):
         region = self._fregion(addr)
         self.stream_accesses += n
         if region.kind is RegionKind.MAIN_RAM:
-            self._local += self._ram_access(n, region.wait_states)
+            cycles = self._ram_access(n, region.wait_states)
         else:
-            self._local += n * (4 + region.wait_states)
+            cycles = n * (4 + region.wait_states)
+        self._local += cycles
+        self._lc = cycles
         self.local_charges += 1
         return True
 
@@ -197,6 +205,7 @@ class PEBus(LocalTimeBus):
             if phase < steal:
                 cycles += steal - phase
         self._local += cycles
+        self._lc = cycles
         self.local_charges += 1
         return self.memory.read(addr, size)
 
@@ -217,6 +226,7 @@ class PEBus(LocalTimeBus):
             if phase < steal:
                 cycles += steal - phase
         self._local += cycles
+        self._lc = cycles
         self.local_charges += 1
         self.memory.write(addr, value, size)
         return True
@@ -259,11 +269,25 @@ class PEBus(LocalTimeBus):
         else:
             ev = self.env.event(name=f"req:{self.name}")
             self._req_ev = ev
-        return queue.register_request_inline(self.pe_slot, arrival, ev)
+        # arrival - _lc = the schedule instant of the final charge event
+        # on the pure-event path — the heap position of the succeed this
+        # stamp may enable (same-timestamp tie-breaking in the queue).
+        return queue.register_request_inline(self.pe_slot, arrival, ev,
+                                             arrival - self._lc)
 
-    def finish_queue_fetch(self, pair) -> Instruction:
-        """Complete a :meth:`try_queue_fetch` from its ``(item, t_r)`` pair."""
+    def finish_queue_fetch(self, pair) -> Instruction | None:
+        """Complete a :meth:`try_queue_fetch` from its ``(item, t_r)`` pair.
+
+        A ``(None, t)`` pair is the vectorized-batch sentinel: the batch
+        already executed this PE's instructions and accounted every
+        charge (registers, memory, counters, categories) — only the
+        local clock needs rebasing on the batch completion stamp.
+        Returns ``None``; the CPU loop re-enters its fetch.
+        """
         item, released = pair
+        if item is None:
+            self._local = released - self.env.now
+            return None
         payload = item.payload
         if payload is None:
             raise SimulationError(
@@ -275,7 +299,9 @@ class PEBus(LocalTimeBus):
         # Rebase on the recorded release instant (env.now may lag behind
         # during queue fast-forward) and charge the fetch accesses —
         # static RAM, no refresh.
-        self._local = released - self.env.now + n * (4 + self._simd_ws)
+        cycles = n * (4 + self._simd_ws)
+        self._local = released - self.env.now + cycles
+        self._lc = cycles
         self.local_charges += 1
         return payload
 
@@ -294,6 +320,7 @@ class PEBus(LocalTimeBus):
             cycles = self._ram_access(n, region.wait_states)
             if self.fast_path:
                 self._local += cycles
+                self._lc = cycles
                 self.local_charges += 1
                 return instr
             yield self.env.sleep(cycles)
@@ -306,10 +333,11 @@ class PEBus(LocalTimeBus):
                 # as the arrival stamp; the queue computes the release
                 # instant and resumes us there with the clock rebased.
                 arrival = self.env.now + self._local
+                sched = arrival - self._lc
                 self._local = 0.0
                 self.lockstep_rendezvous += 1
                 item, released = yield from self.queue.request_at(
-                    self.pe_slot, arrival)
+                    self.pe_slot, arrival, sched)
                 self._local = released - self.env.now
                 if self.trace_waits and released > arrival:
                     self.wait_spans.append(("queue_wait", arrival, released))
@@ -335,6 +363,7 @@ class PEBus(LocalTimeBus):
             cycles = n * (4 + region.wait_states)
             if self.fast_path:
                 self._local += cycles
+                self._lc = cycles
                 self.local_charges += 1
                 return item.payload
             yield self.env.sleep(cycles)
@@ -352,6 +381,7 @@ class PEBus(LocalTimeBus):
             cycles = n * (4 + region.wait_states)
         if self.fast_path:
             self._local += cycles
+            self._lc = cycles
             self.local_charges += 1
             return
         yield self.env.sleep(cycles)
@@ -365,6 +395,7 @@ class PEBus(LocalTimeBus):
             cycles = self._ram_access(n, region.wait_states)
             if self.fast_path:
                 self._local += cycles
+                self._lc = cycles
                 self.local_charges += 1
                 return self.memory.read(addr, size)
             yield self.env.sleep(cycles)
@@ -374,10 +405,11 @@ class PEBus(LocalTimeBus):
             # and completes only when all enabled PEs have read it.
             if self.lockstep:
                 arrival = self.env.now + self._local
+                sched = arrival - self._lc
                 self._local = 0.0
                 self.lockstep_rendezvous += 1
                 item, released = yield from self.queue.request_at(
-                    self.pe_slot, arrival)
+                    self.pe_slot, arrival, sched)
                 self._local = released - self.env.now
                 if self.trace_waits and released > arrival:
                     self.wait_spans.append(
@@ -400,6 +432,7 @@ class PEBus(LocalTimeBus):
             self.data_accesses += 1
             if self.fast_path:
                 self._local += 4 + region.wait_states
+                self._lc = 4 + region.wait_states
                 self.local_charges += 1
                 return 0
             yield self.env.sleep(4 + region.wait_states)
@@ -417,6 +450,7 @@ class PEBus(LocalTimeBus):
             self.data_accesses += 1
             if self.fast_path:
                 self._local += 4 + region.wait_states
+                self._lc = 4 + region.wait_states
                 self.local_charges += 1
                 return value
             yield self.env.sleep(4 + region.wait_states)
@@ -436,6 +470,7 @@ class PEBus(LocalTimeBus):
             # local clock, flush everything, then sample env.now.
             if self.fast_path:
                 self._local += n * (4 + region.wait_states)
+                self._lc = n * (4 + region.wait_states)
                 yield from self.sync()
             else:
                 yield self.env.sleep(n * (4 + region.wait_states))
@@ -451,6 +486,7 @@ class PEBus(LocalTimeBus):
             cycles = self._ram_access(n, region.wait_states)
             if self.fast_path:
                 self._local += cycles
+                self._lc = cycles
                 self.local_charges += 1
                 self.memory.write(addr, value, size)
                 return
@@ -475,6 +511,7 @@ class PEBus(LocalTimeBus):
             self.data_accesses += 1
             if self.fast_path:
                 self._local += 4 + region.wait_states
+                self._lc = 4 + region.wait_states
                 self.local_charges += 1
                 return
             yield self.env.sleep(4 + region.wait_states)
@@ -484,6 +521,7 @@ class PEBus(LocalTimeBus):
     def internal(self, cycles: float):
         if self.fast_path:
             self._local += cycles
+            self._lc = cycles
             self.local_charges += 1
             return
         yield self.env.sleep(cycles)

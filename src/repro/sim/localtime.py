@@ -71,6 +71,13 @@ class LocalTimeBus:
     def _init_local_clock(self, fast_path: bool | None) -> None:
         self.fast_path = resolve_fast_path(fast_path)
         self._local = 0.0  #: cycles accrued ahead of env.now
+        #: Duration of the most recent charge.  On the pure-event path
+        #: every charge is its own heap event, scheduled at the charge's
+        #: *start*; the lockstep tier needs that schedule instant
+        #: (``bus-true now - _lc``) to replay the heap's same-timestamp
+        #: ordering for rendezvous arrivals (see FetchUnitQueue
+        #: ``_settle_admits``).
+        self._lc = 0.0
         self.local_charges = 0  #: charges absorbed without a heap event
         self.sync_flushes = 0  #: local-clock flushes at interaction points
 
@@ -89,6 +96,7 @@ class LocalTimeBus:
         """
         if self.fast_path:
             self._local += cycles
+            self._lc = cycles
             self.local_charges += 1
             return True
         return False

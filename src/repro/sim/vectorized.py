@@ -1,0 +1,1135 @@
+"""Vectorized broadcast execution across PEs (lockstep phase 2).
+
+The fourth engine tier.  The lockstep engine (:mod:`repro.sim.lockstep`)
+computes the SIMD rendezvous analytically, but each broadcast instruction
+is still decoded, dispatched, and timed once *per PE* — profiling showed
+that shared per-instruction execution is why lockstep stopped at ~1.4x
+over the plain fast path.  This module executes each broadcast
+instruction **once** over numpy-backed per-PE state:
+
+* the enabled PEs' register files, condition codes, and bus-true clocks
+  become ``(8, p)`` / ``(p,)`` int64/float64 arrays in a
+  :class:`_BatchState`;
+* the instruction is compiled once (cached on the instruction object)
+  into a :class:`_Plan` whose ``commit`` replays the scalar interpreter's
+  exact sequence of bus charges, register/memory effects, and flag
+  updates as array operations — including the data-dependent
+  ``38 + 2*popcount`` / 10-01-pattern MULU/MULS internal times, computed
+  for all PEs in one vectorized pass;
+* the queue's release loop consumes consecutive vectorizable head words
+  in one batch, so the rendezvous instant for each following word is a
+  single max-over-PEs reduction over the completion stamps.
+
+The vector/scalar **seam**: execution diverges back to the scalar
+lockstep path (per-PE handlers, one release at a time) whenever
+
+* the instruction is data-dependent control flow (branches, DBcc, HALT),
+  a family outside the compiled set, or touches a non-main-RAM /
+  misaligned address (``_Plan.precheck`` — the scalar path then raises
+  the same structured error at the same PE and instant);
+* the head item's mask differs from the running batch's mask, or a PE in
+  the mask is not streaming inline (fail-stopped, tracing, generator
+  path);
+* a foreign heap event (controller resync, fault kicker, network
+  activity, space waiter) precedes the next release — the same heap
+  bound the lockstep fast-forward honours.
+
+Fallbacks are observable: the queue counts ``vectorized_instructions``,
+``vectorized_batches``, and ``scalar_fallbacks`` (instruction words
+released scalar while vectorization was on), surfaced through
+``repro.perf.machine_counters``.
+
+Set ``REPRO_VECTORIZED=0`` to disable (the machine then runs the plain
+lockstep tier).  The vectorized tier requires lockstep: enabling it
+explicitly without lockstep raises a structured
+:class:`~repro.errors.ConfigurationError`.
+
+The equivalence contract is the differential harness's: every
+perf-visible signature (cycles, per-PE finish times and category totals,
+queue/MC statistics, fault instants, result matrices) is bit-identical
+across all four tiers (``tests/test_lockstep_differential.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.m68k.addressing import Mode, ea_timing
+from repro.m68k.cpu import _alu_base
+from repro.m68k.instructions import (
+    ALU_ADDR,
+    ALU_ALL,
+    MULDIV,
+    QUICK,
+    SHIFTS,
+    UNARY,
+    Instruction,
+)
+from repro.m68k.timing import instruction_timing
+from repro.memory.map import RegionKind
+from repro.utils.bitops import ones_count, sign_extend, to_signed, to_unsigned, transitions_count
+
+#: Environment variable that disables the vectorized tier when set to a
+#: falsy value ("0", "false", "no", "off").  Default: enabled (when the
+#: lockstep tier is active).
+VECTORIZED_ENV = "REPRO_VECTORIZED"
+
+_FALSY = ("0", "false", "no", "off")
+
+_M32 = 0xFFFF_FFFF
+
+
+def resolve_vectorized(flag: bool | None, lockstep: bool) -> bool:
+    """Resolve the vectorized setting: needs lockstep; flag > env > on.
+
+    ``lockstep`` is the machine's *resolved* lockstep setting.  Unlike
+    :func:`repro.sim.lockstep.resolve_lockstep` (which silently resolves
+    to off without its prerequisite), explicitly requesting
+    ``vectorized=True`` without the lockstep engine is a configuration
+    contradiction and raises a structured error — batches ride on the
+    lockstep release path, there is nothing to vectorize without it.
+    """
+    if flag is not None:
+        if flag and not lockstep:
+            raise ConfigurationError(
+                "vectorized=True requires the lockstep engine: enable "
+                "lockstep (REPRO_LOCKSTEP=1 / lockstep=True with the fast "
+                "path) or drop the vectorized flag"
+            )
+        return bool(flag)
+    if not lockstep:
+        return False
+    return os.environ.get(VECTORIZED_ENV, "").strip().lower() not in _FALSY
+
+
+# ----------------------------------------------------------------------
+# Batch state: the enabled PEs' architectural state as arrays.
+
+
+class _BatchState:
+    """Numpy-backed state for one mask's worth of PEs.
+
+    Register rows are ``(8, p)`` int64 (column j = PE ``slots[j]``), CCR
+    flags are ``(p,)`` bool arrays (always rebound, never mutated in
+    place, so shared constant arrays are safe), and ``t`` is the per-PE
+    bus-true clock (float64) the scalar tier keeps in ``env.now +
+    bus._local``.  Bus counters are plain ints: every PE in the batch
+    executes the identical access sequence, so the increments are shared.
+    """
+
+    __slots__ = (
+        "ex", "slots", "buses", "mems", "cpus", "p",
+        "d", "a", "x", "n", "z", "v", "c", "t", "lc", "word_start",
+        "false_", "true_",
+        "n_stream", "n_data", "n_charges", "icount", "pc_off", "cats",
+    )
+
+    def __init__(self, ex, slots, buses, mems, cpus, arrivals) -> None:
+        self.ex = ex
+        self.slots = slots
+        self.buses = buses
+        self.mems = mems
+        self.cpus = cpus
+        p = len(slots)
+        self.p = p
+        regs = [cpu.regs for cpu in cpus]
+        self.d = np.array([r.d for r in regs], dtype=np.int64).T.copy()
+        self.a = np.array([r.a for r in regs], dtype=np.int64).T.copy()
+        self.x = np.array([r.ccr.x for r in regs], dtype=bool)
+        self.n = np.array([r.ccr.n for r in regs], dtype=bool)
+        self.z = np.array([r.ccr.z for r in regs], dtype=bool)
+        self.v = np.array([r.ccr.v for r in regs], dtype=bool)
+        self.c = np.array([r.ccr.c for r in regs], dtype=bool)
+        self.t = np.array([arrivals[s] for s in slots], dtype=np.float64)
+        #: Per-PE duration of the most recent charge (the scalar tier's
+        #: ``bus._lc``): ``t - lc`` is the schedule instant of each PE's
+        #: final charge event, the queue's admit-tie comparison point.
+        #: A plain float whenever the charge is uniform across lanes
+        #: (the common case) — avoids a per-word array allocation.
+        self.lc: float | np.ndarray = \
+            np.array([b._lc for b in buses], dtype=np.float64)
+        self.word_start = self.t
+        self.false_ = np.zeros(p, dtype=bool)
+        self.true_ = np.ones(p, dtype=bool)
+        self.n_stream = 0
+        self.n_data = 0
+        self.n_charges = 0
+        self.icount = 0
+        self.pc_off = 0
+        self.cats: dict[str, np.ndarray] = {}
+
+    # -- helpers --------------------------------------------------------
+    def arr(self, value):
+        """Broadcast a scalar to a per-PE int64 array (arrays pass through)."""
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(self.p, value, dtype=np.int64)
+
+    # -- registers (MC68000 partial-write semantics) --------------------
+    def read_d(self, r: int, size: int):
+        row = self.d[r]
+        if size == 4:
+            return row.copy()  # view-safety: later row writes must not alias
+        return row & (0xFFFF if size == 2 else 0xFF)
+
+    def write_d(self, r: int, value, size: int) -> None:
+        if size == 4:
+            self.d[r] = value & _M32
+        else:
+            low = (1 << (size * 8)) - 1
+            self.d[r] = (self.d[r] & (_M32 ^ low)) | (value & low)
+
+    def read_a(self, r: int, size: int):
+        row = self.a[r]
+        if size == 4:
+            return row.copy()
+        return row & (0xFFFF if size == 2 else 0xFF)
+
+    def write_a(self, r: int, value, size: int) -> None:
+        if size == 2:
+            value = ((value & 0xFFFF) ^ 0x8000) - 0x8000
+        self.a[r] = value & _M32
+
+    # -- condition codes ------------------------------------------------
+    def set_nz(self, value, size: int) -> None:
+        bits = size * 8
+        v = self.arr(value) & ((1 << bits) - 1)
+        self.n = (v >> (bits - 1)) != 0
+        self.z = v == 0
+        self.v = self.false_
+        self.c = self.false_
+
+    def add_flags(self, a, b, result, size: int) -> None:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        r = result & mask
+        self.z = r == 0
+        self.n = (r >> (bits - 1)) != 0
+        carry = result > mask
+        self.c = carry
+        self.x = carry
+        sa, sb, sr = a >> (bits - 1), b >> (bits - 1), r >> (bits - 1)
+        self.v = (sa == sb) & (sr != sa)
+
+    def sub_flags(self, a, b, size: int, *, set_x: bool) -> None:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        r = (a - b) & mask
+        self.z = r == 0
+        self.n = (r >> (bits - 1)) != 0
+        carry = b > a
+        self.c = carry
+        if set_x:
+            self.x = carry
+        sa, sb, sr = a >> (bits - 1), b >> (bits - 1), r >> (bits - 1)
+        self.v = (sa != sb) & (sr != sa)
+
+    # -- bus charges (mirror PEBus.try_read/try_write arithmetic) -------
+    def charge_data(self, size: int) -> None:
+        ex = self.ex
+        n = 2 if size == 4 else 1
+        cycles = n * ex.data_step
+        t = self.t
+        steal = ex.ref_steal
+        if steal:
+            phase = t % ex.ref_period
+            add = np.where(phase < steal, cycles + (steal - phase),
+                           float(cycles))
+            t += add
+            self.lc = add
+        else:
+            t += cycles
+            self.lc = float(cycles)
+        self.n_data += n
+        self.n_charges += 1
+
+    def add_internal(self, cycles) -> None:
+        self.t += cycles
+        if isinstance(cycles, np.ndarray):
+            self.lc = cycles.astype(np.float64)
+        else:
+            self.lc = float(cycles)
+        self.n_charges += 1
+
+    # -- per-PE memory ---------------------------------------------------
+    def mem_read(self, addrs, size: int):
+        out = np.empty(self.p, dtype=np.int64)
+        mems = self.mems
+        if isinstance(addrs, np.ndarray):
+            for j in range(self.p):
+                out[j] = mems[j].read(int(addrs[j]), size)
+        else:
+            addr = int(addrs)
+            for j in range(self.p):
+                out[j] = mems[j].read(addr, size)
+        return out
+
+    def mem_write(self, addrs, values, size: int) -> None:
+        mems = self.mems
+        a_arr = isinstance(addrs, np.ndarray)
+        v_arr = isinstance(values, np.ndarray)
+        for j in range(self.p):
+            mems[j].write(
+                int(addrs[j]) if a_arr else int(addrs),
+                int(values[j]) if v_arr else int(values),
+                size,
+            )
+
+    # -- per-word bracketing ---------------------------------------------
+    def start_word(self, t_r: float, words: int) -> None:
+        """Fetch accounting: rebase every PE's clock on the release instant
+        and charge the queue-fetch accesses (static RAM, no refresh) —
+        exactly ``PEBus.finish_queue_fetch``."""
+        self.word_start = self.t.copy()
+        self.t[:] = t_r + words * self.ex.fetch_step
+        self.lc = float(words * self.ex.fetch_step)
+        self.n_stream += words
+        self.n_charges += 1
+
+    def finish_word(self, timecat: str, words: int) -> None:
+        delta = self.t - self.word_start
+        acc = self.cats.get(timecat)
+        if acc is None:
+            self.cats[timecat] = delta
+        else:
+            acc += delta
+        self.icount += 1
+        self.pc_off += 2 * words
+
+    # -- writeback --------------------------------------------------------
+    def writeback(self) -> None:
+        """Flush the batch state into the scalar PEs (before delivery, so
+        resumed PEs observe registers/pc/flags immediately)."""
+        d_cols = self.d.T.tolist()  # tolist: one bulk conversion to Python
+        a_cols = self.a.T.tolist()  # ints instead of p*8 scalar casts
+        x, n = self.x.tolist(), self.n.tolist()
+        z, v, c = self.z.tolist(), self.v.tolist(), self.c.tolist()
+        n_stream, n_data, n_charges = self.n_stream, self.n_data, self.n_charges
+        icount, pc_off = self.icount, self.pc_off
+        lc = self.lc
+        lc = (lc.tolist() if isinstance(lc, np.ndarray)
+              else [lc] * self.p)
+        for j, cpu in enumerate(self.cpus):
+            regs = cpu.regs
+            regs.d[:] = d_cols[j]
+            regs.a[:] = a_cols[j]
+            regs.pc = regs.pc + pc_off
+            ccr = regs.ccr
+            ccr.x = x[j]
+            ccr.n = n[j]
+            ccr.z = z[j]
+            ccr.v = v[j]
+            ccr.c = c[j]
+            cpu.instruction_count += icount
+            bus = self.buses[j]
+            bus.stream_accesses += n_stream
+            bus.queue_fetches += n_stream
+            bus.data_accesses += n_data
+            bus.local_charges += n_charges
+            bus._lc = lc[j]
+        for cat, arr in self.cats.items():
+            vals = arr.tolist()
+            for j, cpu in enumerate(self.cpus):
+                cats = cpu.category_cycles
+                cats[cat] = cats.get(cat, 0.0) + vals[j]
+
+
+# ----------------------------------------------------------------------
+# Plan compiler: one instruction -> (precheck, commit) closures.
+
+
+class _Unsupported(Exception):
+    """Raised by plan builders for shapes the vector tier does not cover."""
+
+
+class _Plan:
+    """Compiled vector execution of one instruction.
+
+    ``addr_fns`` are pure ``(fn(st) -> addresses, size)`` pairs used by
+    :meth:`precheck` to prove every memory access lands aligned inside
+    main RAM *before any state is mutated*; ``commit`` then replays the
+    scalar handler's bus-charge / effect / flag sequence over the arrays.
+    """
+
+    __slots__ = ("mnemonic", "addr_fns", "commit")
+
+    def __init__(self, mnemonic, addr_fns, commit) -> None:
+        self.mnemonic = mnemonic
+        self.addr_fns = addr_fns
+        self.commit = commit
+
+    def precheck(self, st: _BatchState) -> bool:
+        if not self.addr_fns:
+            return True
+        ex = st.ex
+        lo, hi = ex.mem_lo, ex.mem_hi
+        for fn, size in self.addr_fns:
+            addrs = fn(st)
+            if isinstance(addrs, np.ndarray):
+                if ((addrs < lo) | (addrs + size > hi)).any():
+                    return False
+                if size >= 2 and (addrs & 1).any():
+                    return False
+            else:
+                if addrs < lo or addrs + size > hi:
+                    return False
+                if size >= 2 and addrs & 1:
+                    return False
+        return True
+
+
+def _sext16_u32(v):
+    """``to_unsigned(sign_extend(v, 16), 4)`` for scalars or arrays."""
+    return (((v & 0xFFFF) ^ 0x8000) - 0x8000) & _M32
+
+
+def _mem_addr(op, size: int, bumps: dict):
+    """Address closures for a memory operand: ``(pure, effect)``.
+
+    ``pure`` computes the access address without side effects, folding in
+    the post-increment byte offsets earlier operands of the *same*
+    instruction will have applied by commit time (``bumps``) — this is
+    what makes ``MOVE (A0)+,(A0)+`` precheck correctly.  ``effect``
+    computes the address against live state and applies this operand's
+    own post-increment, exactly once, matching ``CPU._ea_address``.
+    """
+    mode = op.mode
+    r = op.reg
+    pre = bumps.get(r, 0)
+    if mode is Mode.IND:
+        if pre:
+            pure = lambda st: (st.a[r] + pre) & _M32
+        else:
+            pure = lambda st: st.a[r]
+        eff = lambda st: st.a[r].copy()
+        return pure, eff
+    if mode is Mode.POSTINC:
+        step = 2 if (r == 7 and size == 1) else size
+        if pre:
+            pure = lambda st: (st.a[r] + pre) & _M32
+        else:
+            pure = lambda st: st.a[r]
+
+        def eff(st):
+            addr = st.a[r].copy()
+            st.a[r] = (addr + step) & _M32
+            return addr
+
+        bumps[r] = pre + step
+        return pure, eff
+    if mode is Mode.DISP:
+        sd = sign_extend(op.disp, 16)
+        total = pre + sd
+        pure = lambda st: (st.a[r] + total) & _M32
+        eff = lambda st: (st.a[r] + sd) & _M32
+        return pure, eff
+    raise _Unsupported(mode)
+
+
+def _src_reader(op, size: int, bumps: dict, addr_fns: list):
+    """Reader closure for a source operand: ``(read(st) -> value, reads16)``.
+
+    Register/immediate sources are charge-free; memory sources append
+    their pure address fn to ``addr_fns`` and charge one bus access
+    (effect → charge → read, the ``_read_operand_now`` + ``try_read``
+    order).
+    """
+    mode = op.mode
+    if mode is Mode.DREG:
+        r = op.reg
+        return (lambda st: st.read_d(r, size)), 0
+    if mode is Mode.AREG:
+        r = op.reg
+        return (lambda st: st.read_a(r, size)), 0
+    if mode is Mode.IMM:
+        value = to_unsigned(int(op.value), size)
+        return (lambda st: value), 0
+    pure, eff = _mem_addr(op, size, bumps)
+    addr_fns.append((pure, size))
+
+    def read(st):
+        addrs = eff(st)
+        st.charge_data(size)
+        return st.mem_read(addrs, size)
+
+    return read, (2 if size == 4 else 1)
+
+
+def _finish_plan(instr, body, addr_fns, reads16: int, writes16: int,
+                 timing=None):
+    """Wrap ``body`` with the static internal charge after verifying the
+    plan's access counts against the manual timing decomposition.
+
+    The checks guarantee the replay is access-exact: no extra stream
+    words beyond the encoded length (so the run loop's
+    ``fetch_stream_words`` top-up never fires on this instruction), and
+    the planned 16-bit data reads/writes match the timing table's, so
+    wait states and refresh land on the same accesses.
+    """
+    t = timing if timing is not None else instruction_timing(instr)
+    if t.stream_words != instr.encoded_words():
+        return None
+    if t.data_reads != reads16 or t.data_writes != writes16:
+        return None
+    internal = t.internal_cycles
+    if internal < 0:
+        return None
+    if internal:
+        def commit(st, _body=body, _internal=internal):
+            _body(st)
+            st.add_internal(_internal)
+    else:
+        commit = body
+    return _Plan(instr.mnemonic, addr_fns, commit)
+
+
+_MEM_MODES = (Mode.IND, Mode.POSTINC, Mode.DISP)
+
+
+def _plan_move(instr):
+    src, dst = instr.operands
+    size = instr.size_bytes
+    bumps: dict = {}
+    addr_fns: list = []
+    if src.mode not in (Mode.DREG, Mode.AREG, Mode.IMM) + _MEM_MODES:
+        raise _Unsupported(src.mode)
+    read, reads16 = _src_reader(src, size, bumps, addr_fns)
+    writes16 = 0
+    if instr.mnemonic == "MOVEA" or dst.mode is Mode.AREG:
+        rd = dst.reg
+
+        def body(st):
+            st.write_a(rd, read(st), size)
+    elif dst.mode is Mode.DREG:
+        rd = dst.reg
+
+        def body(st):
+            value = read(st)
+            st.write_d(rd, value, size)
+            st.set_nz(value, size)
+    elif dst.mode in _MEM_MODES:
+        pure, eff = _mem_addr(dst, size, bumps)
+        addr_fns.append((pure, size))
+        writes16 = 2 if size == 4 else 1
+
+        def body(st):
+            value = read(st)
+            addrs = eff(st)
+            st.charge_data(size)
+            st.mem_write(addrs, value, size)
+            st.set_nz(value, size)
+    else:
+        raise _Unsupported(dst.mode)
+    return _finish_plan(instr, body, addr_fns, reads16, writes16)
+
+
+def _plan_alu(instr):
+    m = instr.mnemonic
+    size = instr.size_bytes
+    src, dst = instr.operands
+    base = _alu_base(m)
+    bumps: dict = {}
+    addr_fns: list = []
+    if src.mode not in (Mode.DREG, Mode.AREG, Mode.IMM) + _MEM_MODES:
+        raise _Unsupported(src.mode)
+    read, reads16 = _src_reader(src, size, bumps, addr_fns)
+
+    if m in ALU_ADDR:
+        rd = dst.reg
+        if base == "CMP":
+            def body(st):
+                sv = read(st)
+                sv32 = _sext16_u32(sv) if size == 2 else sv
+                st.sub_flags(st.read_a(rd, 4), sv32, 4, set_x=False)
+        else:
+            add = base == "ADD"
+
+            def body(st):
+                sv = read(st)
+                sv32 = _sext16_u32(sv) if size == 2 else sv
+                dv = st.read_a(rd, 4)
+                st.write_a(rd, dv + sv32 if add else dv - sv32, 4)
+        return _finish_plan(instr, body, addr_fns, reads16, 0)
+
+    if dst.mode is Mode.AREG:
+        # Only ADDQ/SUBQ #n,An is legal here (no flags, raw delta).
+        if m not in QUICK:
+            raise _Unsupported(m)
+        delta = int(src.value)
+        rd = dst.reg
+        add = base == "ADD"
+
+        def body(st):
+            dv = st.read_a(rd, 4)
+            st.write_a(rd, dv + delta if add else dv - delta, 4)
+        return _finish_plan(instr, body, addr_fns, reads16, 0)
+
+    # Shared compute core, mirroring CPU._alu_compute.
+    store = base != "CMP"
+    if base == "ADD":
+        def compute(st, dv, sv):
+            result = dv + sv
+            st.add_flags(dv, sv, result, size)
+            return result
+    elif base == "SUB":
+        def compute(st, dv, sv):
+            st.sub_flags(dv, sv, size, set_x=True)
+            return dv - sv
+    elif base == "CMP":
+        def compute(st, dv, sv):
+            st.sub_flags(dv, sv, size, set_x=False)
+            return dv
+    elif base == "AND":
+        def compute(st, dv, sv):
+            result = dv & sv
+            st.set_nz(result, size)
+            return result
+    elif base == "OR":
+        def compute(st, dv, sv):
+            result = dv | sv
+            st.set_nz(result, size)
+            return result
+    elif base == "EOR":
+        def compute(st, dv, sv):
+            result = dv ^ sv
+            st.set_nz(result, size)
+            return result
+    else:  # pragma: no cover
+        raise _Unsupported(base)
+
+    if dst.mode is Mode.DREG:
+        rd = dst.reg
+        if store:
+            def body(st):
+                result = compute(st, st.read_d(rd, size), read(st))
+                st.write_d(rd, result, size)
+        else:
+            def body(st):
+                compute(st, st.read_d(rd, size), read(st))
+        return _finish_plan(instr, body, addr_fns, reads16, 0)
+
+    if dst.mode in _MEM_MODES:
+        pure, eff = _mem_addr(dst, size, bumps)
+        addr_fns.append((pure, size))
+        acc = 2 if size == 4 else 1
+        reads16 += acc
+        writes16 = acc if store else 0
+
+        def body(st):
+            sv = read(st)
+            addrs = eff(st)
+            st.charge_data(size)
+            dv = st.mem_read(addrs, size)
+            result = compute(st, dv, sv)
+            if store:
+                st.charge_data(size)
+                st.mem_write(addrs, result & ((1 << (size * 8)) - 1), size)
+        return _finish_plan(instr, body, addr_fns, reads16, writes16)
+
+    raise _Unsupported(dst.mode)
+
+
+def _plan_mul(instr):
+    m = instr.mnemonic
+    if m not in ("MULU", "MULS"):
+        raise _Unsupported(m)  # DIVU/DIVS: scalar (zero-divide traps)
+    src, dst = instr.operands
+    bumps: dict = {}
+    addr_fns: list = []
+    if src.mode not in (Mode.DREG, Mode.IMM) + _MEM_MODES:
+        raise _Unsupported(src.mode)
+    read, reads16 = _src_reader(src, 2, bumps, addr_fns)
+    ea = ea_timing(src, 2)
+    if 1 + ea.stream_words != instr.encoded_words():
+        return None
+    if ea.data_reads != reads16:
+        return None
+    # instruction_timing(MUL): internal = base + k, base = 38 + 2n.
+    k = ea.cycles - 4 * (1 + ea.stream_words + ea.data_reads)
+    if 38 + k < 0:
+        return None
+    rd = dst.reg
+    signed = m == "MULS"
+
+    def body(st):
+        sv = st.arr(read(st))
+        dv = st.read_d(rd, 2)
+        if signed:
+            product = (((sv ^ 0x8000) - 0x8000)) * ((dv ^ 0x8000) - 0x8000)
+            base = 38 + 2 * transitions_count(sv, 16)
+        else:
+            product = sv * dv
+            base = 38 + 2 * ones_count(sv, 16)
+        result = product & _M32
+        st.write_d(rd, result, 4)
+        st.set_nz(result, 4)
+        st.add_internal(base + k)
+    return _Plan(m, addr_fns, body)
+
+
+def _plan_unary(instr):
+    m = instr.mnemonic
+    size = instr.size_bytes
+    dst = instr.operands[0]
+    bumps: dict = {}
+    addr_fns: list = []
+    if m == "TST":
+        if dst.mode not in (Mode.DREG, Mode.AREG, Mode.IMM) + _MEM_MODES:
+            raise _Unsupported(dst.mode)
+        read, reads16 = _src_reader(dst, size, bumps, addr_fns)
+
+        def body(st):
+            st.set_nz(read(st), size)
+        return _finish_plan(instr, body, addr_fns, reads16, 0)
+    if m not in ("CLR", "NOT", "NEG"):
+        raise _Unsupported(m)  # NEGX/TAS: scalar
+    bits = size * 8
+    mask = (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+
+    if m == "CLR":
+        def result_of(st, old):
+            return 0
+
+        def flags_of(st, old, new):
+            st.n = st.false_
+            st.z = st.true_
+            st.v = st.false_
+            st.c = st.false_
+    elif m == "NOT":
+        def result_of(st, old):
+            return ~old & mask
+
+        def flags_of(st, old, new):
+            st.set_nz(new, size)
+    else:  # NEG
+        def result_of(st, old):
+            return -old & mask
+
+        def flags_of(st, old, new):
+            st.set_nz(new, size)
+            carry = st.arr(new) != 0
+            st.c = carry
+            st.x = carry
+            st.v = old == sign_bit
+
+    if dst.mode is Mode.DREG:
+        rd = dst.reg
+
+        def body(st):
+            old = st.read_d(rd, size)
+            new = result_of(st, old)
+            st.write_d(rd, new, size)
+            flags_of(st, old, new)
+        return _finish_plan(instr, body, addr_fns, 0, 0)
+    if dst.mode in _MEM_MODES:
+        pure, eff = _mem_addr(dst, size, bumps)
+        addr_fns.append((pure, size))
+        acc = 2 if size == 4 else 1
+
+        def body(st):
+            addrs = eff(st)
+            st.charge_data(size)
+            old = st.mem_read(addrs, size)
+            new = result_of(st, old)
+            st.charge_data(size)
+            st.mem_write(addrs, new, size)
+            flags_of(st, old, new)
+        return _finish_plan(instr, body, addr_fns, acc, acc)
+    raise _Unsupported(dst.mode)
+
+
+def _plan_shift(instr):
+    m = instr.mnemonic
+    if m not in ("LSL", "LSR", "ASL", "ASR"):
+        raise _Unsupported(m)  # rotates / X-rotates: scalar
+    count_op, reg_op = instr.operands
+    if count_op.mode is not Mode.IMM:
+        raise _Unsupported(count_op.mode)  # register counts: runtime-valued
+    count = int(count_op.value)
+    size = instr.size_bytes
+    bits = size * 8
+    if not 1 <= count < bits:
+        raise _Unsupported(count)  # 0 / full-width: scalar edge cases
+    timing = instruction_timing(instr, shift_count=count)
+    mask = (1 << bits) - 1
+    rd = reg_op.reg
+
+    if m in ("LSL", "ASL"):
+        asl = m == "ASL"
+
+        def body(st):
+            value = st.read_d(rd, size)
+            new = (value << count) & mask
+            carry = ((value >> (bits - count)) & 1) != 0
+            st.set_nz(new, size)
+            st.c = carry
+            st.x = carry
+            if asl:
+                # Overflow iff the top count+1 bits are not homogeneous
+                # (the sign bit changed at some step of the scalar loop).
+                window = value >> (bits - 1 - count)
+                st.v = ~((window == 0) | (window == (1 << (count + 1)) - 1))
+            st.write_d(rd, new, size)
+    elif m == "LSR":
+        def body(st):
+            value = st.read_d(rd, size)
+            new = value >> count
+            carry = ((value >> (count - 1)) & 1) != 0
+            st.set_nz(new, size)
+            st.c = carry
+            st.x = carry
+            st.write_d(rd, new, size)
+    else:  # ASR
+        def body(st):
+            value = st.read_d(rd, size)
+            signed = (value ^ (1 << (bits - 1))) - (1 << (bits - 1))
+            new = (signed >> count) & mask
+            carry = ((signed >> (count - 1)) & 1) != 0
+            st.set_nz(new, size)
+            st.c = carry
+            st.x = carry
+            st.write_d(rd, new, size)
+    return _finish_plan(instr, body, [], 0, 0, timing=timing)
+
+
+def _plan_lea(instr):
+    src, dst = instr.operands
+    rd = dst.reg
+    if src.mode is Mode.IND:
+        rs = src.reg
+
+        def body(st):
+            st.write_a(rd, st.a[rs].copy(), 4)
+    elif src.mode is Mode.DISP:
+        rs = src.reg
+        sd = sign_extend(src.disp, 16)
+
+        def body(st):
+            st.write_a(rd, (st.a[rs] + sd) & _M32, 4)
+    elif src.mode is Mode.ABS_W:
+        addr = sign_extend(int(src.value), 16) & _M32
+
+        def body(st):
+            st.write_a(rd, addr, 4)
+    elif src.mode is Mode.ABS_L:
+        addr = int(src.value) & _M32
+
+        def body(st):
+            st.write_a(rd, addr, 4)
+    else:
+        raise _Unsupported(src.mode)  # INDEX/PCDISP: scalar
+    return _finish_plan(instr, body, [], 0, 0)
+
+
+def _plan_moveq(instr):
+    ops = instr.operands
+    value = to_signed(int(ops[0].value) & 0xFF, 1) & _M32
+    rd = ops[1].reg
+
+    def body(st):
+        st.write_d(rd, value, 4)
+        st.set_nz(value, 4)
+    return _finish_plan(instr, body, [], 0, 0)
+
+
+def _plan_nop(instr):
+    def body(st):
+        return None
+    return _finish_plan(instr, body, [], 0, 0)
+
+
+def _build_plan(instr: Instruction):
+    m = instr.mnemonic
+    if m == "MOVE" or m == "MOVEA":
+        return _plan_move(instr)
+    if m in ALU_ALL:
+        return _plan_alu(instr)
+    if m in MULDIV:
+        return _plan_mul(instr)
+    if m in UNARY:
+        return _plan_unary(instr)
+    if m in SHIFTS:
+        return _plan_shift(instr)
+    if m == "LEA":
+        return _plan_lea(instr)
+    if m == "MOVEQ":
+        return _plan_moveq(instr)
+    if m == "NOP":
+        return _plan_nop(instr)
+    raise _Unsupported(m)  # branches, DBcc, HALT, DIV, MOVEM, ... : scalar
+
+
+def compile_plan(instr: Instruction):
+    """Compile ``instr`` once; cache on the instruction.
+
+    Returns the :class:`_Plan`, or ``False`` when the instruction (or
+    this operand shape) must run scalar.  Any surprise during compilation
+    is itself a fallback, never an error — the scalar tier is always
+    semantically complete.
+    """
+    try:
+        plan = _build_plan(instr)
+    except Exception:
+        plan = None
+    if plan is None:
+        plan = False
+    instr._vec_plan = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The executor: consumes consecutive vectorizable head words in a batch.
+
+
+class VectorExecutor:
+    """Per-queue vector engine, attached by the machine as ``queue._vec``.
+
+    :meth:`try_batch` is called from the queue's lockstep release loop
+    with a head release instant already past the heap-bound check.  It
+    either executes a maximal run of vectorizable broadcast words across
+    the whole mask and returns True, or touches nothing and returns
+    False (the caller then releases scalar).
+
+    Batches stay *live* across heap-bound breaks: when a foreign heap
+    event interrupts the fast-forward, the vector state is kept (PEs
+    stay parked on their request events, with completion stamps
+    re-registered as arrivals) and the next release cascade continues
+    the same batch without rebuilding state.  Writeback plus the
+    one-sentinel-per-PE delivery happen only at a *flush* — the moment
+    the head word stops being continuable (scalar fallback, sync word,
+    mask change, or a withdrawn request after a fail-stop).  This is
+    what makes the tier profitable: PE generator resumptions scale with
+    vector/scalar seams, not with heap traffic.
+    """
+
+    def __init__(self, queue, pes: dict, config) -> None:
+        self.queue = queue
+        self.pes = pes
+        mm = config.memory_map()
+        main = mm.find(RegionKind.MAIN_RAM)
+        simd = mm.find(RegionKind.SIMD_SPACE)
+        self.data_step = 4 + main.wait_states
+        self.fetch_step = 4 + simd.wait_states
+        self.ref_period, self.ref_steal = config.refresh.inline_constants()
+        # Data accesses must land inside main RAM *and* every PE's module.
+        lo, hi = main.start, main.end
+        for pe in pes.values():
+            mem = pe.memory
+            lo = max(lo, mem.base)
+            hi = min(hi, mem.base + len(mem.data))
+        self.mem_lo = lo
+        self.mem_hi = hi
+        #: Recorded release time of the last word the batch consumed (the
+        #: release loop resumes its cursor from here).
+        self.last_release = 0.0
+        self._mask_cache: dict = {}
+        #: Undelivered live batch: ``(mask, slots, st, evs)`` or None.
+        self._live = None
+
+    def _mask_group(self, mask):
+        cached = self._mask_cache.get(mask)
+        if cached is None:
+            slots = tuple(mask)  # frozenset order == scalar release order
+            pes = [self.pes[s] for s in slots]
+            cached = (
+                slots,
+                [pe.bus for pe in pes],
+                [pe.memory for pe in pes],
+                [pe.cpu for pe in pes],
+            )
+            self._mask_cache[mask] = cached
+        return cached
+
+    def try_batch(self, q, t_r: float) -> bool:
+        """Execute (or continue) a vectorizable run starting at the head.
+
+        Caller contract: lockstep release loop, head mask complete, and
+        ``t_r`` (the head's computed release instant) already validated
+        against the heap bound.  Returns False when the head word cannot
+        be vectorized — after flushing any live batch, so the scalar
+        release the caller then performs sees fully written-back PEs.
+        """
+        head = q._items[0]
+        payload = head.payload
+        live = self._live
+        if live is not None:
+            # Continuation: same mask, requests untouched since the last
+            # word (a withdrawn request after a fail-stop breaks the
+            # identity check), and a compiled plan that prechecks clean.
+            mask, slots, st, evs = live
+            if payload is not None and head.mask == mask:
+                plan = payload._vec_plan
+                if plan is None:
+                    plan = compile_plan(payload)
+                if plan is not False:
+                    requests = q._requests
+                    intact = True
+                    for j, s in enumerate(slots):
+                        if requests.get(s) is not evs[j]:
+                            intact = False
+                            break
+                    if intact and plan.precheck(st):
+                        self._run_words(q, t_r, plan, st, evs, slots, mask)
+                        return True
+            self.flush(q)
+        if payload is None:
+            return False  # sync word: barrier readers use the generator path
+        plan = payload._vec_plan
+        if plan is None:
+            plan = compile_plan(payload)
+        if plan is False:
+            return False
+        mask = head.mask
+        if not mask <= q._inline_slots:
+            return False  # some PE is not streaming inline (trace, faults)
+        group = self._mask_cache.get(mask)
+        if group is None:
+            if not mask <= self.pes.keys():
+                return False
+            group = self._mask_group(mask)
+        slots, buses, mems, cpus = group
+        for bus in buses:
+            if not bus.vec_stream_ok:
+                return False  # instruction cap or tracing armed
+        st = _BatchState(self, slots, buses, mems, cpus, q._arrivals)
+        if not plan.precheck(st):
+            return False
+        evs = [q._requests[s] for s in slots]
+        self._run_words(q, t_r, plan, st, evs, slots, mask)
+        return True
+
+    def _run_words(self, q, t_r, plan, st, evs, slots, mask) -> None:
+        """Consume consecutive same-mask vectorizable head words, then
+        park the batch live (no writeback, no resumptions)."""
+        items = q._items
+        env = q.env
+        arrivals = q._arrivals
+        admit_times = q._admit_times
+        pend = q._pending_admits
+        neg_inf = float("-inf")
+        while True:
+            head = items[0]
+            # Admit-tie comparison point: a staged free admit coinciding
+            # with this release needs the schedule instant of the latest
+            # completion stamp attaining t_r (the registered arrival
+            # dicts are stale while the batch is live — st carries the
+            # current stamps).
+            es = neg_inf
+            if admit_times[0] != t_r and (pend or q._staged):
+                tie = q._has_admit_tie(t_r)
+                if not tie:
+                    staged = q._staged
+                    tie = bool(staged
+                               and q._stage_clock + staged[0][1] == t_r)
+                if tie:
+                    sel = st.t == t_r
+                    if sel.any():
+                        lc = st.lc
+                        es = t_r - (lc if isinstance(lc, float)
+                                    else float(lc[sel].min()))
+            bv = None
+            if q._stats_words == 0 and q._ls_stall_start is None:
+                # Empty stats view going into this pop: the settle will
+                # cross the event engine's empty->non-empty transition
+                # and needs the batch's earliest live arrival stamp (and
+                # the schedule instant of its charge event) for the
+                # empty-stall latch — the registered dicts are stale
+                # while the batch is live.
+                amin = float(st.t.min())
+                lc = st.lc
+                if isinstance(lc, float):
+                    asched = amin - lc
+                else:
+                    asched = amin - float(lc[st.t == amin].max())
+                bv = (amin, asched)
+            # Keep-mask pop: the PEs stay parked across the batch, so
+            # their request/arrival slots are left registered instead of
+            # being removed and rewritten identically every word.
+            q._pop_head_vector(t_r, mask, es, bv)
+            st.start_word(t_r, head.words)
+            plan.commit(st)
+            st.finish_word(head.payload.timecat, head.words)
+            q.vectorized_instructions += 1
+            self.last_release = t_r
+            if not items:
+                break
+            nxt_head = items[0]
+            nxt_payload = nxt_head.payload
+            if nxt_payload is None or nxt_head.mask != mask:
+                break
+            nxt_plan = nxt_payload._vec_plan
+            if nxt_plan is None:
+                nxt_plan = compile_plan(nxt_payload)
+            if nxt_plan is False:
+                break
+            # Inline _head_release_time: the next head's mask equals the
+            # batch mask, whose arrivals are the completion stamps in st.t.
+            nxt = admit_times[0]
+            t_max = float(st.t.max())
+            if t_max > nxt:
+                nxt = t_max
+            if nxt < t_r:
+                nxt = t_r
+            if nxt > env.now and (q._space_waiters or not nxt < env.peek()):
+                break  # a foreign heap event precedes this release
+            if not nxt_plan.precheck(st):
+                break
+            plan = nxt_plan
+            t_r = nxt
+        # Publish the final completion stamps: between batch runs the
+        # queue's release path reads arrivals via _head_release_time.
+        t_list = st.t.tolist()
+        lc = st.lc
+        scheds = q._scheds
+        if isinstance(lc, float):
+            for j, s in enumerate(slots):
+                arrivals[s] = t_list[j]
+                scheds[s] = t_list[j] - lc
+        else:
+            lc_list = lc.tolist()
+            for j, s in enumerate(slots):
+                arrivals[s] = t_list[j]
+                scheds[s] = t_list[j] - lc_list[j]
+        self._live = (mask, slots, st, evs)
+
+    def flush(self, q) -> None:
+        """Deliver the live batch: write the vector state back into the
+        scalar PEs and resume each one once with a ``(None, t)`` sentinel
+        (everything is already accounted; the PE just rebases its local
+        clock and streams on).  No-op without a live batch."""
+        live = self._live
+        if live is None:
+            return
+        self._live = None
+        mask, slots, st, evs = live
+        q.vectorized_batches += 1
+        q.lockstep_batch_pes += len(slots)
+        requests, arrivals, inline = q._requests, q._arrivals, q._inline_slots
+        scheds = q._scheds
+        for s in slots:
+            # pop, not del: a fail-stopped PE's request is already
+            # withdrawn; its stale sentinel below is absorbed harmlessly.
+            requests.pop(s, None)
+            arrivals.pop(s, None)
+            scheds.pop(s, None)
+            inline.discard(s)
+        st.writeback()
+        t_list = st.t.tolist()
+        for j in range(len(slots)):
+            _fire(evs[j], (None, t_list[j]))
+
+
+def _fire(ev, value) -> None:
+    """Local alias of :func:`repro.sim.lockstep.fire_event` (import-cycle
+    free; keep in sync)."""
+    ev._value = value
+    ev._ok = True
+    callbacks = ev.callbacks
+    ev.callbacks = None
+    if callbacks:
+        for cb in callbacks:
+            cb(ev)

@@ -1,6 +1,6 @@
 """Shared engine-matrix helpers for the differential test suites.
 
-The repo has three micro-engine tiers that must be bit-identical in
+The repo has four micro-engine tiers that must be bit-identical in
 everything perf-visible (see DESIGN.md, "Engine tiers"):
 
 * ``pure-events`` — every charge is a heap event (``fast_path=False``);
@@ -8,16 +8,28 @@ everything perf-visible (see DESIGN.md, "Engine tiers"):
   flush at shared interactions (``fast_path=True``);
 * ``lockstep``    — local-time plus the batched SIMD rendezvous: the
   queue computes each release instant directly and resumes the enabled
-  set as a batch (``fast_path=True, lockstep=True``).
+  set as a batch (``fast_path=True, lockstep=True``), here pinned to
+  scalar per-PE execution (``vectorized=False``);
+* ``vectorized``  — lockstep plus ``repro.sim.vectorized``: broadcast
+  words decode once and execute across the whole enabled mask over
+  numpy-backed per-PE state, falling back to scalar release at any
+  word the vector engine cannot prove equivalent.
 
 :func:`signature` captures everything a user of the simulator can
 observe — cycle counts, per-PE finish times and category breakdowns,
 instruction counts, the result matrix, queue statistics, and MC busy
 accounting — so ``signature(e1) == signature(e2)`` is the full
 equivalence claim, not just makespan equality.
+
+The module doubles as a pytest plugin: the :func:`engine` /
+:func:`engine_pair` / :func:`mode_and_p` fixtures parametrize over the
+matrix with stable IDs (``vectorized``, ``SIMD`` …) so a failing case
+names its tier and mode directly in the test ID.
 """
 
 from __future__ import annotations
+
+import pytest
 
 from repro.machine import ExecutionMode, PASMMachine, PrototypeConfig
 from repro.programs.data import generate_matrices
@@ -25,12 +37,23 @@ from repro.programs.loader import build_matmul, run_matmul
 
 CFG = PrototypeConfig.calibrated()
 
-#: Engine tier name -> PASMMachine constructor flags.
+#: Engine tier name -> PASMMachine constructor flags.  Every tier pins
+#: all three flags explicitly so the matrix is immune to REPRO_LOCKSTEP
+#: / REPRO_VECTORIZED environment overrides leaking into tests.
 ENGINES = {
-    "pure-events": {"fast_path": False, "lockstep": False},
-    "local-time": {"fast_path": True, "lockstep": False},
-    "lockstep": {"fast_path": True, "lockstep": True},
+    "pure-events": {"fast_path": False, "lockstep": False,
+                    "vectorized": False},
+    "local-time": {"fast_path": True, "lockstep": False,
+                   "vectorized": False},
+    "lockstep": {"fast_path": True, "lockstep": True, "vectorized": False},
+    "vectorized": {"fast_path": True, "lockstep": True, "vectorized": True},
 }
+
+#: All tier names, in cost order (the differential suites iterate this).
+ENGINE_TIERS = list(ENGINES)
+
+#: Reference tier every other tier is compared against.
+BASELINE_ENGINE = "pure-events"
 
 #: The canonical (mode, partition size) matrix.
 ALL_MODES = [
@@ -41,6 +64,26 @@ ALL_MODES = [
 ]
 
 MODE_IDS = [m.name for m, _ in ALL_MODES]
+
+
+@pytest.fixture(params=ENGINE_TIERS, ids=ENGINE_TIERS)
+def engine(request) -> str:
+    """Each engine tier in turn; the test ID carries the tier name."""
+    return request.param
+
+
+@pytest.fixture(params=[t for t in ENGINE_TIERS if t != BASELINE_ENGINE],
+                ids=[t for t in ENGINE_TIERS if t != BASELINE_ENGINE])
+def engine_pair(request) -> tuple[str, str]:
+    """(baseline, candidate) pairs for differential tests — every
+    non-baseline tier against ``pure-events``, IDs naming the candidate."""
+    return BASELINE_ENGINE, request.param
+
+
+@pytest.fixture(params=ALL_MODES, ids=MODE_IDS)
+def mode_and_p(request) -> tuple[ExecutionMode, int]:
+    """The canonical (mode, partition size) matrix as a fixture."""
+    return request.param
 
 
 def make_machine(p: int, engine: str = "lockstep", *, cfg=None,

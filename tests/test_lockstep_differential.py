@@ -1,16 +1,22 @@
-"""The lockstep engine's license to exist: differential proof of
-bit-identity against both event engines.
+"""The lockstep and vectorized engines' license to exist: differential
+proof of bit-identity against both event engines.
 
 ``repro.sim.lockstep`` replaces the SIMD rendezvous discovered by event
 interleaving with one computed directly (max over the enabled PEs'
 stamped arrivals), batches controller transfers, and fast-forwards
-releases past the heap when nothing can interleave.  None of that is
+releases past the heap when nothing can interleave.
+``repro.sim.vectorized`` goes one tier further: consecutive broadcast
+words decode once and execute across the whole enabled mask over
+numpy-backed per-PE state, with per-PE cycle counts computed as array
+arithmetic and the rendezvous as a max-reduction.  None of that is
 allowed to *show*: every perf-visible quantity — makespan, per-PE cycle
 and category accounting, instruction counts, finish times, result
 matrices, queue statistics, MC busy accounting, and fault-detection
 instants — must equal the pure-event schedule bit for bit, across all
 four execution modes, under data-dependent timing variance, degraded
-network routing, and fail-stop faults.
+network routing, and fail-stop faults.  The four-tier matrix lives in
+:mod:`tests.engines`; the ``engine_pair`` fixture names the candidate
+tier in each test ID.
 
 The hypothesis section generates random straight-line SIMD programs
 (random blocks, masks, loop trips, and per-PE operand seeds) and holds
@@ -18,6 +24,8 @@ the same equality, plus the paper's core property in isolation: a
 broadcast MULU completes at the *slowest* enabled PE's pace, so a run
 is exactly as fast as its worst multiplier.
 """
+
+from functools import lru_cache
 
 import pytest
 from hypothesis import given, settings
@@ -35,45 +43,56 @@ from repro.sim.lockstep import resolve_lockstep
 from tests.engines import (
     ALL_MODES,
     CFG,
+    ENGINE_TIERS,
     ENGINES,
     MODE_IDS,
+    engine_pair,  # noqa: F401  (fixture)
     make_machine,
+    mode_and_p,  # noqa: F401  (fixture)
     result_signature,
     signature,
 )
 
-ENGINE_TRIO = list(ENGINES)
+
+@lru_cache(maxsize=None)
+def _cached_signature(mode, n, p, engine, m=0, b_bits=None):
+    """Fault-free signatures memoised across the parametrized matrix, so
+    the pure-events baseline runs once per workload, not once per tier."""
+    return signature(mode, n, p, engine, m=m, b_bits=b_bits)
 
 
 # ---------------------------------------------------------------------------
-# The core claim: three engines, four modes, one signature
-@pytest.mark.parametrize("mode,p", ALL_MODES, ids=MODE_IDS)
-def test_three_engines_identical(mode, p):
-    sigs = [signature(mode, 16, p, engine) for engine in ENGINE_TRIO]
-    assert sigs[0] == sigs[1] == sigs[2]
+# The core claim: four engines, four modes, one signature
+def test_engine_tiers_identical(engine_pair, mode_and_p):
+    baseline, candidate = engine_pair
+    mode, p = mode_and_p
+    assert (_cached_signature(mode, 16, p, candidate)
+            == _cached_signature(mode, 16, p, baseline))
 
 
 @pytest.mark.parametrize("mode", [ExecutionMode.SIMD, ExecutionMode.SMIMD],
                          ids=lambda m: m.name)
-def test_added_multiplies_identical(mode):
+def test_added_multiplies_identical(mode, engine_pair):
     """The Figure 7 knob (data-dependent inner-loop MULUs) can't split
     the engines: more timing variance, same schedule."""
-    sigs = [signature(mode, 8, 4, engine, m=5) for engine in ENGINE_TRIO]
-    assert sigs[0] == sigs[1] == sigs[2]
+    baseline, candidate = engine_pair
+    assert (_cached_signature(mode, 8, 4, candidate, m=5)
+            == _cached_signature(mode, 8, 4, baseline, m=5))
 
 
-def test_wide_operands_identical():
+def test_wide_operands_identical(engine_pair):
     """Full 16-bit operands maximise MULU cycle variance across PEs."""
-    sigs = [signature(ExecutionMode.SIMD, 8, 4, engine, b_bits=16)
-            for engine in ENGINE_TRIO]
-    assert sigs[0] == sigs[1] == sigs[2]
+    baseline, candidate = engine_pair
+    assert (_cached_signature(ExecutionMode.SIMD, 8, 4, candidate, b_bits=16)
+            == _cached_signature(ExecutionMode.SIMD, 8, 4, baseline,
+                                 b_bits=16))
 
 
-def test_multi_mc_groups_identical():
-    """Two MC groups drift independently; both engines drift alike."""
-    sigs = [signature(ExecutionMode.SIMD, 16, 8, engine)
-            for engine in ENGINE_TRIO]
-    assert sigs[0] == sigs[1] == sigs[2]
+def test_multi_mc_groups_identical(engine_pair):
+    """Two MC groups drift independently; all engines drift alike."""
+    baseline, candidate = engine_pair
+    assert (_cached_signature(ExecutionMode.SIMD, 16, 8, candidate)
+            == _cached_signature(ExecutionMode.SIMD, 16, 8, baseline))
 
 
 # ---------------------------------------------------------------------------
@@ -91,57 +110,84 @@ def test_degraded_routing_identical():
     engine tier."""
     plan = _shift_plan(4)
     sigs = [signature(ExecutionMode.SMIMD, 16, 4, engine, fault_plan=plan)
-            for engine in ENGINE_TRIO]
-    assert sigs[0] == sigs[1] == sigs[2]
+            for engine in ENGINE_TIERS]
+    assert all(s == sigs[0] for s in sigs)
 
 
 @pytest.mark.parametrize("mode", [ExecutionMode.SIMD, ExecutionMode.MIMD],
                          ids=lambda m: m.name)
 def test_failstop_detection_instant_identical(mode):
     """The watchdog must strike at the same simulated instant whether the
-    schedule was assembled by events or computed by the lockstep batch —
-    including the lockstep engine's cancelled-request bookkeeping."""
+    schedule was assembled by events, computed by the lockstep batch, or
+    executed as a live vector batch — including the lockstep engine's
+    cancelled-request bookkeeping and the vector engine's pre-strike
+    batch flush."""
     victim = Partition(CFG, 4).physical_pe(1)
     plan = FaultPlan(failstops=(PEFailStop(victim, 0.0),),
                      failstop_timeout=10_000.0)
     outcomes = []
-    for engine in ENGINE_TRIO:
+    for engine in ENGINE_TIERS:
         with pytest.raises(PEFailStopError) as exc_info:
             signature(mode, 16, 4, engine, fault_plan=plan)
         outcomes.append((exc_info.value.pes, exc_info.value.detected_at,
                          exc_info.value.timeout))
-    assert outcomes[0] == outcomes[1] == outcomes[2]
+    assert all(o == outcomes[0] for o in outcomes)
     assert outcomes[0][0] == (victim,)
 
 
 def test_mid_run_strike_identical():
     """A strike landing mid-broadcast (not at t=0) is the adversarial
-    case for release fast-forwarding: the assassin's deadline sits on
-    the heap and must bound every fast-forwarded release."""
+    case for release fast-forwarding and for live vector batches: the
+    assassin's deadline sits on the heap, must bound every
+    fast-forwarded release, and must see the victim's scalar state at
+    the strike instant even if it died inside a vector batch."""
     victim = Partition(CFG, 4).physical_pe(2)
     plan = FaultPlan(failstops=(PEFailStop(victim, 20_000.0),),
                      failstop_timeout=8_000.0)
     outcomes = []
-    for engine in ENGINE_TRIO:
+    for engine in ENGINE_TIERS:
         with pytest.raises(PEFailStopError) as exc_info:
             signature(ExecutionMode.SIMD, 16, 4, engine, fault_plan=plan)
         outcomes.append((exc_info.value.pes, exc_info.value.detected_at))
-    assert outcomes[0] == outcomes[1] == outcomes[2]
+    assert all(o == outcomes[0] for o in outcomes)
+
+
+@pytest.mark.parametrize("strike_at", [5_000.0, 12_500.0, 33_000.0])
+def test_failstop_strike_sweep_identical(strike_at):
+    """Single-fault sweep: strikes planted at different depths of the
+    run (early transfer, mid-compute, late compute) — each lands inside
+    a different vector-batch/scalar-seam neighbourhood, and every tier
+    must detect at the same instant with the same victim set."""
+    victim = Partition(CFG, 4).physical_pe(3)
+    plan = FaultPlan(failstops=(PEFailStop(victim, strike_at),),
+                     failstop_timeout=6_000.0)
+    outcomes = []
+    for engine in ENGINE_TIERS:
+        with pytest.raises(PEFailStopError) as exc_info:
+            signature(ExecutionMode.SIMD, 16, 4, engine, fault_plan=plan)
+        outcomes.append((exc_info.value.pes, exc_info.value.detected_at,
+                         exc_info.value.timeout))
+    assert all(o == outcomes[0] for o in outcomes)
+    assert outcomes[0][0] == (victim,)
 
 
 # ---------------------------------------------------------------------------
-# The lockstep machinery is observably *on* (and off when asked)
-def test_lockstep_counters_report_batching():
-    machine = make_machine(4, "lockstep")
+# The lockstep/vectorized machinery is observably *on* (and off when asked)
+def _run_simd_matmul(machine):
     from repro.programs.data import generate_matrices
     from repro.programs.loader import build_matmul, run_matmul
 
-    bundle = build_matmul(ExecutionMode.SIMD, 16, 4,
+    bundle = build_matmul(ExecutionMode.SIMD, 16, machine.p,
                           device_symbols=CFG.device_symbols())
     a, b = generate_matrices(16)
     run_matmul(machine, bundle, a, b)
-    counters = machine_counters(machine)
+    return machine_counters(machine)
+
+
+def test_lockstep_counters_report_batching():
+    counters = _run_simd_matmul(make_machine(4, "lockstep"))
     assert counters["lockstep"] is True
+    assert counters["vectorized"] is False
     assert counters["lockstep_rendezvous"] > 1_000
     assert counters["lockstep_releases"] > 1_000
     # Batching is real: p PEs resume per release, and carriers (the one
@@ -149,17 +195,38 @@ def test_lockstep_counters_report_batching():
     # releases — fast-forwarded and inline releases need none at all.
     assert counters["lockstep_batch_pes"] >= counters["lockstep_releases"]
     assert counters["lockstep_carriers"] < counters["lockstep_releases"]
+    # The scalar-lockstep tier never touches the vector engine.
+    assert counters["vectorized_instructions"] == 0
+    assert counters["vectorized_batches"] == 0
+    assert counters["scalar_fallbacks"] == 0
 
-    off = make_machine(4, "local-time")
-    bundle = build_matmul(ExecutionMode.SIMD, 16, 4,
-                          device_symbols=CFG.device_symbols())
-    run_matmul(off, bundle, a, b)
-    off_counters = machine_counters(off)
+    off_counters = _run_simd_matmul(make_machine(4, "local-time"))
     assert off_counters["lockstep"] is False
     assert off_counters["lockstep_rendezvous"] == 0
     # The batched engine needs far fewer heap events for the same run.
     assert (counters["events_scheduled"]
             < off_counters["events_scheduled"] / 2)
+
+
+def test_vectorized_counters_report_batching():
+    """The vector engine is observably on: broadcast compute words run
+    through numpy batches, the words it cannot prove equivalent fall
+    back to scalar release, and both are counted."""
+    counters = _run_simd_matmul(make_machine(4, "vectorized"))
+    assert counters["lockstep"] is True
+    assert counters["vectorized"] is True
+    assert counters["vectorized_instructions"] > 1_000
+    assert counters["vectorized_batches"] > 0
+    # Live batches span many words: that is the whole point.
+    assert (counters["vectorized_instructions"]
+            > 2 * counters["vectorized_batches"])
+    # This workload has network-port MOVEs the vector engine must not
+    # touch — the fallback path is genuinely exercised here.
+    assert counters["scalar_fallbacks"] > 0
+    # Every lockstep release was either a vector word or a scalar
+    # fallback; nothing is double-counted or dropped.
+    assert (counters["vectorized_instructions"] + counters["scalar_fallbacks"]
+            == counters["lockstep_releases"])
 
 
 def test_resolve_lockstep_env(monkeypatch):
@@ -171,6 +238,30 @@ def test_resolve_lockstep_env(monkeypatch):
     monkeypatch.setenv("REPRO_LOCKSTEP", "0")
     assert resolve_lockstep(None, True) is False
     assert resolve_lockstep(True, True) is True    # explicit flag wins
+
+
+def test_resolve_vectorized_env(monkeypatch):
+    from repro.errors import ConfigurationError
+    from repro.sim.vectorized import resolve_vectorized
+
+    monkeypatch.delenv("REPRO_VECTORIZED", raising=False)
+    assert resolve_vectorized(None, True) is True    # default: on
+    assert resolve_vectorized(None, False) is False  # needs lockstep
+    assert resolve_vectorized(False, True) is False
+    monkeypatch.setenv("REPRO_VECTORIZED", "0")
+    assert resolve_vectorized(None, True) is False
+    assert resolve_vectorized(True, True) is True    # explicit flag wins
+    # Contradiction: explicitly vectorized without the lockstep engine.
+    with pytest.raises(ConfigurationError):
+        resolve_vectorized(True, False)
+
+
+def test_vectorized_without_lockstep_raises():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        PASMMachine(CFG, partition_size=4, fast_path=True,
+                    lockstep=False, vectorized=True)
 
 
 # ---------------------------------------------------------------------------
@@ -237,9 +328,9 @@ def test_random_simd_programs_identical(data):
     seeds = [data.draw(st.integers(0, 0xFFFF), label=f"seed{lp}")
              for lp in range(4)]
 
-    lockstep = _simd_signature("lockstep", plan, blocks_src, seeds)
     pure = _simd_signature("pure-events", plan, blocks_src, seeds)
-    assert lockstep == pure
+    for engine in ("lockstep", "vectorized"):
+        assert _simd_signature(engine, plan, blocks_src, seeds) == pure
 
 
 @pytest.mark.parametrize("trips", [3, 5])
@@ -259,9 +350,9 @@ def test_single_pe_mask_occupancy_identical(trips):
             Loop(trips, (EnqueueBlock("b0"),)),
             WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
     seeds = [0, 0, 0, 0]
-    lockstep = _simd_signature("lockstep", plan, blocks_src, seeds)
     pure = _simd_signature("pure-events", plan, blocks_src, seeds)
-    assert lockstep == pure
+    for engine in ("lockstep", "vectorized"):
+        assert _simd_signature(engine, plan, blocks_src, seeds) == pure
 
 
 @settings(deadline=None, max_examples=8)
@@ -300,4 +391,5 @@ def test_mulu_broadcast_paced_by_slowest_pe(mults):
 
     mixed = run("lockstep", mults)
     assert mixed == run("pure-events", mults)
+    assert mixed == run("vectorized", mults)
     assert mixed == run("lockstep", [worst] * 4)

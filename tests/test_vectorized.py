@@ -1,0 +1,264 @@
+"""Vectorized-tier unit and seam tests.
+
+Two concerns the four-tier differential suite
+(``tests/test_lockstep_differential.py``) covers only implicitly:
+
+* the numpy cycle formulas themselves — ``MULU``/``MULS`` data-dependent
+  internal times computed over whole operand arrays must match
+  :mod:`repro.m68k.timing`'s scalar model element for element;
+* the vector/scalar **seam** — one regression per fallback trigger
+  (mid-stream mask change, data-dependent control flow, device/non-RAM
+  access, PE fail-stop inside a live batch), each asserting both that
+  the fallback observably fires (queue counters) and that the schedule
+  still equals the pure-event engine bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PEFailStopError
+from repro.faults import FaultPlan, PEFailStop
+from repro.m68k.assembler import assemble
+from repro.m68k.timing import muls_cycles, mulu_cycles
+from repro.machine import ExecutionMode
+from repro.machine.partition import Partition
+from repro.mc import EnqueueBlock, Loop, SetMask, WaitController
+from repro.perf import machine_counters
+from repro.programs.data import generate_matrices
+from repro.programs.loader import build_matmul, run_matmul
+from repro.utils.bitops import ones_count, transitions_count
+from tests.engines import CFG, make_machine, result_signature
+
+# ---------------------------------------------------------------------------
+# Satellite: the numpy timing formulas vs the scalar timing model.
+operand_arrays = st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=64)
+
+
+@settings(deadline=None, max_examples=50)
+@given(mults=operand_arrays)
+def test_vectorized_mulu_cycles_match_scalar(mults):
+    """``38 + 2*popcount`` over an int64 array equals
+    :func:`repro.m68k.timing.mulu_cycles` element-wise — the unsigned
+    multiply's data-dependent internal time, exactly as the vector
+    engine computes it in ``_plan_mul``."""
+    arr = np.asarray(mults, dtype=np.int64)
+    vec = 38 + 2 * ones_count(arr, 16)
+    assert vec.tolist() == [mulu_cycles(v) for v in mults]
+
+
+@settings(deadline=None, max_examples=50)
+@given(mults=operand_arrays)
+def test_vectorized_muls_cycles_match_scalar(mults):
+    """``38 + 2*(10/01 pattern count)`` over an array equals
+    :func:`repro.m68k.timing.muls_cycles` element-wise."""
+    arr = np.asarray(mults, dtype=np.int64)
+    vec = 38 + 2 * transitions_count(arr, 16)
+    assert vec.tolist() == [muls_cycles(v) for v in mults]
+
+
+@settings(deadline=None, max_examples=50)
+@given(mults=operand_arrays)
+def test_bit_counting_int_array_agreement(mults):
+    """The bitops primitives agree between their int and array paths
+    (the scalar tier uses the former, the vector tier the latter)."""
+    arr = np.asarray(mults, dtype=np.int64)
+    assert ones_count(arr, 16).tolist() == [ones_count(v, 16) for v in mults]
+    assert (transitions_count(arr, 16).tolist()
+            == [transitions_count(v, 16) for v in mults])
+
+
+# ---------------------------------------------------------------------------
+# Seam regressions: one per scalar-fallback trigger.
+def _run_simd(engine, plan, blocks_src, seeds, p=4):
+    """Run a hand-written SIMD plan on one tier; return (signature,
+    counters) so tests can assert both equality and fallback activity."""
+    machine = make_machine(p, engine)
+    data_programs = [
+        assemble(
+            f"    HALT\n    .data\n    .org $4000\nmul: .dc.w {seed}",
+            predefined=CFG.device_symbols(),
+        )
+        for seed in seeds
+    ]
+    blocks = {
+        name: assemble(src, predefined=CFG.device_symbols()).instruction_list()
+        for name, src in blocks_src.items()
+    }
+    result = machine.run_simd(plan, blocks, data_programs=data_programs)
+    sig = result_signature(machine, result)
+    sig["d2"] = [machine.pe(lp).cpu.regs.d[2] & 0xFFFF for lp in range(p)]
+    sig["d3"] = [machine.pe(lp).cpu.regs.d[3] & 0xFFFF for lp in range(p)]
+    return sig, machine_counters(machine)
+
+
+_INIT = "    MOVE.W  $4000,D1"
+_SEEDS = [3, 0x5555, 7, 0xFFFE]
+
+
+def _assert_identical_with_fallback(plan, blocks_src, *, seeds=_SEEDS,
+                                    min_batches=1):
+    """The vectorized tier matches pure events on this plan AND its
+    fallback/batch counters show the seam was actually crossed."""
+    pure, _ = _run_simd("pure-events", plan, blocks_src, seeds)
+    vec, counters = _run_simd("vectorized", plan, blocks_src, seeds)
+    assert vec == pure
+    assert counters["vectorized_instructions"] > 0
+    assert counters["vectorized_batches"] >= min_batches
+    assert counters["scalar_fallbacks"] > 0
+    return counters
+
+
+def test_fallback_mask_change_mid_stream():
+    """A mask change between broadcast blocks forces the live batch to
+    flush at the seam: the narrower mask's words form a new batch, and
+    the signatures still match (HALT words are the scalar fallback)."""
+    blocks_src = {
+        "init": _INIT,
+        "wide": "    MULU    D1,D2\n    ADDQ.W  #1,D2",
+        "narrow": "    MULU    D1,D2\n    LSR.W   #1,D2",
+        "fini": "    HALT",
+    }
+    plan = [EnqueueBlock("init"),
+            WaitController(), SetMask((0, 1, 2, 3)),
+            Loop(3, (EnqueueBlock("wide"),)),
+            WaitController(), SetMask((1, 2)),
+            Loop(3, (EnqueueBlock("narrow"),)),
+            WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    counters = _assert_identical_with_fallback(plan, blocks_src,
+                                               min_batches=2)
+    # Both mask groups vectorized: every compute word ran in a batch.
+    assert counters["vectorized_instructions"] >= 12
+
+
+def test_fallback_data_dependent_control_flow():
+    """DIVU sits outside the compiled plan set (zero divisors trap, a
+    data-dependent control-flow edge) — the word releases scalar, the
+    batch splits around it, and per-PE quotients still agree."""
+    blocks_src = {
+        "init": _INIT,
+        "b0": ("    ADDQ.W  #1,D2\n"
+               "    MULU    D1,D2\n"
+               "    DIVU    D1,D2\n"
+               "    ADDQ.W  #3,D2"),
+        "fini": "    HALT",
+    }
+    plan = [EnqueueBlock("init"), WaitController(), SetMask((0, 1, 2, 3)),
+            Loop(3, (EnqueueBlock("b0"),)),
+            WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    counters = _assert_identical_with_fallback(plan, blocks_src,
+                                               min_batches=2)
+    # Three DIVU words plus the HALTs released scalar.
+    assert counters["scalar_fallbacks"] >= 3
+
+
+def test_fallback_flag_dependent_store():
+    """Scc materialises the condition codes data-dependently per PE —
+    outside the compiled set, so it must split the batch scalar while
+    the surrounding MULU/ADDQ words stay vectorized."""
+    blocks_src = {
+        "init": _INIT,
+        "b0": ("    ADDQ.W  #1,D2\n"
+               "    SNE     D3\n"
+               "    MULU    D1,D2"),
+        "fini": "    HALT",
+    }
+    plan = [EnqueueBlock("init"), WaitController(), SetMask((0, 1, 2, 3)),
+            Loop(3, (EnqueueBlock("b0"),)),
+            WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    _assert_identical_with_fallback(plan, blocks_src, min_batches=2)
+
+
+def test_fallback_device_access():
+    """A device read (TIMER — outside main RAM) fails the plan's
+    address precheck: the access must go through the scalar bus path
+    with its shared-resource interaction, never the vector batch."""
+    blocks_src = {
+        "init": _INIT,
+        "b0": ("    ADDQ.W  #1,D2\n"
+               "    MOVE.W  TIMER,D3\n"
+               "    MULU    D1,D2"),
+        "fini": "    HALT",
+    }
+    plan = [EnqueueBlock("init"), WaitController(), SetMask((0, 1, 2, 3)),
+            Loop(3, (EnqueueBlock("b0"),)),
+            WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    _assert_identical_with_fallback(plan, blocks_src, min_batches=2)
+
+
+def test_fallback_failstop_mid_batch():
+    """A PE fail-stopping while broadcast batches are in flight: the
+    assassin flushes the live batch before the strike, so the victim
+    dies holding its exact scalar state and every tier detects the
+    fault at the same instant with the same victim set."""
+    victim = Partition(CFG, 4).physical_pe(1)
+    fplan = FaultPlan(failstops=(PEFailStop(victim, 20_000.0),),
+                      failstop_timeout=8_000.0)
+    bundle = build_matmul(ExecutionMode.SIMD, 16, 4,
+                          device_symbols=CFG.device_symbols())
+    a, b = generate_matrices(16)
+
+    outcomes = []
+    vec_machine = None
+    for engine in ("pure-events", "vectorized"):
+        machine = make_machine(4, engine, fault_plan=fplan)
+        with pytest.raises(PEFailStopError) as exc_info:
+            run_matmul(machine, bundle, a, b)
+        outcomes.append((exc_info.value.pes, exc_info.value.detected_at))
+        if engine == "vectorized":
+            vec_machine = machine
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] == (victim,)
+    # The strike genuinely landed in vectorized territory: batches had
+    # formed before the fault aborted the run.
+    counters = machine_counters(vec_machine)
+    assert counters["vectorized_batches"] > 0
+    assert counters["vectorized_instructions"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis seam stress: random programs straddling the seam.
+_VEC_VOCAB = (
+    "    ADDQ.W  #1,D2",
+    "    MULU    D1,D2",
+    "    MULS    D1,D3",
+    "    ADD.W   D3,D2",
+    "    LSR.W   #2,D2",
+)
+_FALLBACK_VOCAB = (
+    "    SNE     D3",
+    "    MOVE.W  TIMER,D3",
+)
+
+
+@settings(deadline=None, max_examples=8)
+@given(data=st.data())
+def test_random_seam_programs_identical(data):
+    """Random interleavings of vectorizable and fallback instructions,
+    random masks per block, random loop trips: however the stream
+    fractures into batches and scalar words, the vectorized schedule
+    equals the pure-event schedule signature for signature."""
+    n_blocks = data.draw(st.integers(1, 3), label="n_blocks")
+    blocks_src = {"init": _INIT}
+    plan = [EnqueueBlock("init")]
+    for i in range(n_blocks):
+        body = data.draw(
+            st.lists(st.sampled_from(_VEC_VOCAB + _FALLBACK_VOCAB),
+                     min_size=1, max_size=4),
+            label=f"body{i}",
+        )
+        blocks_src[f"b{i}"] = "\n".join(body)
+        mask = data.draw(st.sets(st.integers(0, 3), min_size=1, max_size=4),
+                         label=f"mask{i}")
+        trips = data.draw(st.integers(1, 4), label=f"trips{i}")
+        plan += [WaitController(), SetMask(tuple(sorted(mask))),
+                 Loop(trips, (EnqueueBlock(f"b{i}"),))]
+    blocks_src["fini"] = "    HALT"
+    plan += [WaitController(), SetMask((0, 1, 2, 3)), EnqueueBlock("fini")]
+    seeds = [data.draw(st.integers(0, 0xFFFF), label=f"seed{lp}")
+             for lp in range(4)]
+
+    pure, _ = _run_simd("pure-events", plan, blocks_src, seeds)
+    vec, _ = _run_simd("vectorized", plan, blocks_src, seeds)
+    assert vec == pure
