@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Open-loop load generator for the serving layer.
+"""Open-loop load generator for the serving layer — single host or fleet.
 
-Embeds a full service (:class:`repro.serve.ServerThread`) on an
-ephemeral port and drives it with ``ServeClient`` the way real traffic
-would:
+Single-instance mode embeds a full service
+(:class:`repro.serve.ServerThread`) on an ephemeral port and drives it
+with ``ServeClient`` the way real traffic would:
 
 * **interactive** — distinct jobs arrive at a fixed rate regardless of
   completions (open loop, so queueing delay is *measured*, not hidden
@@ -13,9 +13,18 @@ would:
 * **warm** — the interactive set resubmitted; every answer must come
   from the memo/disk cache without touching the pool.
 
-Latency percentiles, throughput and dedup/cache hit rates are recorded
-into ``BENCH_serve.json`` under a ``quick`` or ``full`` profile key.
-Correctness failures (wrong payloads, broken single-flight) exit
+``--fleet N`` launches N real ``pasm-serve`` OS processes sharing one
+content-addressed store plus a ``pasm-router`` front door, runs the
+same open-loop workload through the router, and reports aggregate
+throughput and latency against a single-instance baseline measured in
+the same run with the same workload.  The fleet phases also assert the
+fleet-wide contracts: one computation for K identical submissions
+through the router, and a warm re-run served without recomputing.
+
+Latency percentiles (p50/p95/p99, cold and warm separately),
+throughput and dedup/cache hit rates are recorded into
+``BENCH_serve.json`` under a ``quick``/``full``/``fleetN`` profile
+key.  Correctness failures (wrong payloads, broken single-flight) exit
 non-zero; a p95 latency drift beyond 25 % of the committed record only
 warns — wall times do not transfer between machines — unless
 ``REPRO_PERF_STRICT=1``.
@@ -24,6 +33,7 @@ Usage::
 
     python benchmarks/bench_serve.py --quick
     python benchmarks/bench_serve.py            # full profile
+    python benchmarks/bench_serve.py --fleet 4  # fleet vs baseline
 """
 
 from __future__ import annotations
@@ -32,7 +42,10 @@ import argparse
 import concurrent.futures
 import json
 import os
+import socket
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -52,6 +65,17 @@ PROFILES = {
              "pool_jobs": 4},
 }
 
+#: The fleet workload: fixed-service-time jobs (50 ms holds on a pool
+#: worker) arriving faster than one instance can serve them, so the
+#: throughput ceiling — not the arrival rate — is what gets measured.
+FLEET_KNOBS = {
+    "unique_jobs": 48,
+    "rate_hz": 400.0,
+    "work_s": 0.05,
+    "pool_jobs": 2,
+    "dedup_clients": 40,
+}
+
 
 def _spec(value, seconds: float = 0.0) -> SimJobSpec:
     params = {"action": "sleep", "value": value, "seconds": seconds} \
@@ -69,7 +93,7 @@ def _metric(text: str, name: str) -> float:
     return total
 
 
-def _run_open_loop(server, specs, rate_hz):
+def _run_open_loop(port, specs, rate_hz):
     """Submit specs at a fixed arrival rate; return per-job latencies."""
     interval = 1.0 / rate_hz
     latencies = []
@@ -77,7 +101,7 @@ def _run_open_loop(server, specs, rate_hz):
 
     def one(item):
         i, spec = item
-        client = ServeClient(port=server.port, max_retries=8,
+        client = ServeClient(port=port, max_retries=8,
                              backoff_base=0.02, backoff_cap=0.5, timeout=60)
         target = start + i * interval
         now = time.perf_counter()
@@ -96,10 +120,19 @@ def _run_open_loop(server, specs, rate_hz):
     return latencies, wall, failures
 
 
+def _pcts(latencies) -> dict:
+    """p50/p95/p99/max of a latency sample, in milliseconds."""
+    return {
+        "p50_ms": round(1e3 * percentile(latencies, 50), 2),
+        "p95_ms": round(1e3 * percentile(latencies, 95), 2),
+        "p99_ms": round(1e3 * percentile(latencies, 99), 2),
+        "max_ms": round(1e3 * max(latencies), 2),
+    }
+
+
 def run_profile(name: str) -> tuple[dict, list[str]]:
     knobs = PROFILES[name]
     failures: list[str] = []
-    import tempfile
 
     with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
         config = ServeConfig(port=0, jobs=knobs["pool_jobs"],
@@ -107,11 +140,11 @@ def run_profile(name: str) -> tuple[dict, list[str]]:
         with ServerThread(config) as server:
             probe = ServeClient(port=server.port)
 
-            # Phase 1: open-loop distinct jobs ---------------------------
+            # Phase 1: open-loop distinct jobs (cold) --------------------
             specs = [_spec(f"{name}-job-{i}")
                      for i in range(knobs["unique_jobs"])]
             latencies, wall, bad = _run_open_loop(
-                server, specs, knobs["rate_hz"])
+                server.port, specs, knobs["rate_hz"])
             if bad:
                 failures.append(f"{len(bad)} wrong payload(s) in open loop")
 
@@ -141,7 +174,7 @@ def run_profile(name: str) -> tuple[dict, list[str]]:
             # Phase 3: warm re-run of the open-loop set ------------------
             warm_before = _metric(probe.metrics(),
                                   "pasm_serve_computed_total")
-            warm_lat, _, bad = _run_open_loop(server, specs,
+            warm_lat, _, bad = _run_open_loop(server.port, specs,
                                               knobs["rate_hz"])
             if bad:
                 failures.append(f"{len(bad)} wrong payload(s) in warm loop")
@@ -152,6 +185,8 @@ def run_profile(name: str) -> tuple[dict, list[str]]:
                     f"warm re-run recomputed {warm_computed:g} job(s)")
             hit_ratio = _metric(probe.metrics(), "pasm_serve_cache_hit_ratio")
 
+    cold = _pcts(latencies)
+    warm = _pcts(warm_lat)
     record = {
         "pool_jobs": knobs["pool_jobs"],
         "cpus": os.cpu_count(),
@@ -160,13 +195,180 @@ def run_profile(name: str) -> tuple[dict, list[str]]:
         "dedup_clients": knobs["dedup_clients"],
         "wall_s": round(wall, 3),
         "throughput_hz": round(len(specs) / wall, 1),
-        "latency_p50_ms": round(1e3 * percentile(latencies, 50), 2),
-        "latency_p95_ms": round(1e3 * percentile(latencies, 95), 2),
-        "latency_max_ms": round(1e3 * max(latencies), 2),
-        "warm_p50_ms": round(1e3 * percentile(warm_lat, 50), 2),
-        "warm_p95_ms": round(1e3 * percentile(warm_lat, 95), 2),
+        "latency_p50_ms": cold["p50_ms"],
+        "latency_p95_ms": cold["p95_ms"],
+        "latency_p99_ms": cold["p99_ms"],
+        "latency_max_ms": cold["max_ms"],
+        "warm_p50_ms": warm["p50_ms"],
+        "warm_p95_ms": warm["p95_ms"],
+        "warm_p99_ms": warm["p99_ms"],
+        "cold_vs_warm_p50": round(cold["p50_ms"] / max(warm["p50_ms"],
+                                                       1e-6), 2),
         "dedup_rate": round(dedup_rate, 4),
         "cache_hit_ratio": round(hit_ratio, 4),
+    }
+    return record, failures
+
+
+# ---------------------------------------------------------------------------
+# Fleet mode: N pasm-serve OS processes + pasm-router, one shared store
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn(module: str, *args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", module, *args],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_healthy(port: int, timeout_s: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            ServeClient(port=port, max_retries=0, timeout=5).healthz()
+            return
+        except Exception:
+            time.sleep(0.2)
+    raise TimeoutError(f"port {port} not healthy after {timeout_s:g}s")
+
+
+class Fleet:
+    """N ``pasm-serve`` subprocesses + one ``pasm-router`` subprocess."""
+
+    def __init__(self, n: int, store_dir: str, pool_jobs: int) -> None:
+        self.ports = [_free_port() for _ in range(n)]
+        self.procs = [
+            _spawn("repro.serve.app",
+                   "--port", str(port), "--jobs", str(pool_jobs),
+                   "--cache-dir", store_dir, "--queue-limit", "512",
+                   "--name", f"fleet-{i}")
+            for i, port in enumerate(self.ports)
+        ]
+        self.router_port = _free_port()
+        self.router = _spawn(
+            "repro.serve.router", "--port", str(self.router_port),
+            "--instance", ",".join(f"http://127.0.0.1:{p}"
+                                   for p in self.ports),
+        )
+
+    def wait_ready(self) -> None:
+        for port in self.ports:
+            _wait_healthy(port)
+        _wait_healthy(self.router_port)
+
+    def stop(self) -> None:
+        for proc in [self.router, *self.procs]:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in [self.router, *self.procs]:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def run_fleet_profile(n: int) -> tuple[dict, list[str]]:
+    knobs = FLEET_KNOBS
+    failures: list[str] = []
+    specs = [_spec(f"fleet-job-{i}", seconds=knobs["work_s"])
+             for i in range(knobs["unique_jobs"])]
+
+    # Baseline: one instance, same workload, driven directly ------------
+    with tempfile.TemporaryDirectory(prefix="bench-base-") as base_dir:
+        fleet = Fleet(1, base_dir, knobs["pool_jobs"])
+        try:
+            fleet.wait_ready()
+            _, base_wall, bad = _run_open_loop(
+                fleet.ports[0], specs, knobs["rate_hz"])
+            if bad:
+                failures.append(f"{len(bad)} wrong payload(s) in baseline")
+        finally:
+            fleet.stop()
+
+    # The fleet: N instances behind the router, one shared store --------
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as store_dir:
+        fleet = Fleet(n, store_dir, knobs["pool_jobs"])
+        try:
+            fleet.wait_ready()
+            probe = ServeClient(port=fleet.router_port, timeout=60)
+
+            cold_lat, wall, bad = _run_open_loop(
+                fleet.router_port, specs, knobs["rate_hz"])
+            if bad:
+                failures.append(f"{len(bad)} wrong payload(s) via router")
+
+            # Fleet-wide single flight: K clients, one computation.
+            before = _metric(probe.metrics(), "pasm_serve_computed_total")
+            shared = _spec("fleet-shared", seconds=0.2)
+
+            def fan_in(_):
+                client = ServeClient(port=fleet.router_port, max_retries=8,
+                                     timeout=60)
+                return client.run(shared, timeout=60)
+
+            with concurrent.futures.ThreadPoolExecutor(
+                    knobs["dedup_clients"]) as pool:
+                payloads = list(pool.map(fan_in,
+                                         range(knobs["dedup_clients"])))
+            if any(p != payloads[0] for p in payloads):
+                failures.append("fleet dedup fan-in payloads differ")
+            computed = _metric(probe.metrics(),
+                               "pasm_serve_computed_total") - before
+            if computed != 1:
+                failures.append(
+                    f"fleet single-flight broken: {computed:g} computations "
+                    f"for {knobs['dedup_clients']} identical requests")
+            dedup_rate = 1.0 - computed / knobs["dedup_clients"]
+
+            # Warm re-run through the router: the shared store and the
+            # per-instance registries must serve everything.
+            warm_before = _metric(probe.metrics(),
+                                  "pasm_serve_computed_total")
+            warm_lat, _, bad = _run_open_loop(
+                fleet.router_port, specs, knobs["rate_hz"])
+            if bad:
+                failures.append(f"{len(bad)} wrong warm payload(s)")
+            warm_computed = _metric(probe.metrics(),
+                                    "pasm_serve_computed_total") - warm_before
+            if warm_computed != 0:
+                failures.append(
+                    f"fleet warm re-run recomputed {warm_computed:g} job(s)")
+        finally:
+            fleet.stop()
+
+    cold = _pcts(cold_lat)
+    warm = _pcts(warm_lat)
+    throughput = len(specs) / wall
+    baseline = len(specs) / base_wall
+    record = {
+        "instances": n,
+        "pool_jobs": knobs["pool_jobs"],
+        "cpus": os.cpu_count(),
+        "unique_jobs": knobs["unique_jobs"],
+        "rate_hz": knobs["rate_hz"],
+        "work_ms": round(1e3 * knobs["work_s"], 1),
+        "dedup_clients": knobs["dedup_clients"],
+        "wall_s": round(wall, 3),
+        "throughput_hz": round(throughput, 1),
+        "baseline_throughput_hz": round(baseline, 1),
+        "speedup_vs_single": round(throughput / baseline, 2),
+        "dedup_rate": round(dedup_rate, 4),
+        "latency_p50_ms": cold["p50_ms"],
+        "latency_p95_ms": cold["p95_ms"],
+        "latency_p99_ms": cold["p99_ms"],
+        "warm_p50_ms": warm["p50_ms"],
+        "warm_p95_ms": warm["p95_ms"],
+        "warm_p99_ms": warm["p99_ms"],
+        "cold_vs_warm_p50": round(cold["p50_ms"] / max(warm["p50_ms"],
+                                                       1e-6), 2),
     }
     return record, failures
 
@@ -177,28 +379,57 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="small profile for CI smoke (fewer jobs, "
                              "fewer clients)")
+    parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                        help="benchmark N pasm-serve processes behind "
+                             "pasm-router against a single-instance "
+                             "baseline (same workload, same run)")
     parser.add_argument("--no-record", action="store_true",
                         help="measure and report only; leave "
                              "BENCH_serve.json untouched")
     args = parser.parse_args(argv)
-    profile = "quick" if args.quick else "full"
     strict = os.environ.get("REPRO_PERF_STRICT", "") == "1"
 
     reference = (json.loads(BENCH_PATH.read_text())
                  if BENCH_PATH.exists() else {})
-    record, failures = run_profile(profile)
 
-    print(f"profile={profile} pool={record['pool_jobs']} "
-          f"cpus={record['cpus']}")
-    print(f"  open loop : {record['unique_jobs']} jobs @ "
-          f"{record['rate_hz']:g}/s -> p50 {record['latency_p50_ms']}ms, "
-          f"p95 {record['latency_p95_ms']}ms, "
-          f"{record['throughput_hz']}/s served")
-    print(f"  warm loop : p50 {record['warm_p50_ms']}ms, "
-          f"p95 {record['warm_p95_ms']}ms (0 recomputed)")
-    print(f"  dedup     : {record['dedup_clients']} clients -> "
-          f"rate {record['dedup_rate']:.2%}, "
-          f"service hit ratio {record['cache_hit_ratio']:.2%}")
+    if args.fleet is not None:
+        if args.fleet < 2:
+            parser.error("--fleet needs N >= 2")
+        profile = f"fleet{args.fleet}"
+        record, failures = run_fleet_profile(args.fleet)
+        print(f"profile={profile} instances={record['instances']} "
+              f"pool={record['pool_jobs']}/instance cpus={record['cpus']}")
+        print(f"  baseline  : {record['baseline_throughput_hz']}/s "
+              f"(1 instance, same workload)")
+        print(f"  fleet     : {record['throughput_hz']}/s -> "
+              f"{record['speedup_vs_single']}x, "
+              f"p50 {record['latency_p50_ms']}ms, "
+              f"p95 {record['latency_p95_ms']}ms, "
+              f"p99 {record['latency_p99_ms']}ms")
+        print(f"  dedup     : {record['dedup_clients']} clients through "
+              f"the router -> rate {record['dedup_rate']:.2%}")
+        print(f"  warm      : p50 {record['warm_p50_ms']}ms, "
+              f"p95 {record['warm_p95_ms']}ms, "
+              f"p99 {record['warm_p99_ms']}ms "
+              f"(cold/warm p50 {record['cold_vs_warm_p50']}x)")
+    else:
+        profile = "quick" if args.quick else "full"
+        record, failures = run_profile(profile)
+        print(f"profile={profile} pool={record['pool_jobs']} "
+              f"cpus={record['cpus']}")
+        print(f"  open loop : {record['unique_jobs']} jobs @ "
+              f"{record['rate_hz']:g}/s -> p50 {record['latency_p50_ms']}ms, "
+              f"p95 {record['latency_p95_ms']}ms, "
+              f"p99 {record['latency_p99_ms']}ms, "
+              f"{record['throughput_hz']}/s served")
+        print(f"  warm loop : p50 {record['warm_p50_ms']}ms, "
+              f"p95 {record['warm_p95_ms']}ms, "
+              f"p99 {record['warm_p99_ms']}ms "
+              f"(cold/warm p50 {record['cold_vs_warm_p50']}x, "
+              f"0 recomputed)")
+        print(f"  dedup     : {record['dedup_clients']} clients -> "
+              f"rate {record['dedup_rate']:.2%}, "
+              f"service hit ratio {record['cache_hit_ratio']:.2%}")
 
     if failures:
         print("\nFAIL (correctness):")

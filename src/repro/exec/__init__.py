@@ -35,6 +35,7 @@ from repro.exec.jobs import (
 )
 from repro.exec.pool import JOBS_ENV, resolve_jobs, run_parallel
 from repro.exec.spec import SimJobSpec, canonical_json, content_hash_of
+from repro.exec.store import STORE_ENV, SharedStore, default_store_root
 
 __all__ = [
     "CACHE_MAX_ENV",
@@ -44,9 +45,12 @@ __all__ = [
     "ExecutionEngine",
     "JOBS_ENV",
     "ResultCache",
+    "STORE_ENV",
+    "SharedStore",
     "SimJobSpec",
     "canonical_json",
     "content_hash_of",
+    "default_store_root",
     "execute_job",
     "faultsweep_spec",
     "matmul_spec",

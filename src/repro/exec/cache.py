@@ -1,33 +1,39 @@
 """On-disk result cache keyed by job content hash + package version.
 
-Entries live under ``<root>/<version>/<content_hash>.json`` so a package
-version bump invalidates every cached result at once (the directory is
-simply never consulted again).  The root defaults to ``.repro_cache/`` in
-the working directory, overridable with the ``REPRO_CACHE_DIR``
-environment variable.
+Since the fleet-serving work, this module is a thin adapter: the
+actual storage — atomic payload files under ``<root>/<version>/``,
+the sqlite recency index, integrity digests, LRU eviction — lives in
+:class:`repro.exec.store.SharedStore`, which is safe for concurrent
+writers across processes.  ``ResultCache`` binds a store root to *this
+package's version* and speaks :class:`~repro.exec.spec.SimJobSpec`, so
+the execution engine, the CLI and every ``pasm-serve`` instance of a
+fleet dedupe through one shared store.
 
-Writes are atomic (temp file + ``os.replace``) so a crashed or
-interrupted run never leaves a truncated entry; corrupt or foreign files
-are treated as misses, never as errors.
+Entries live under ``<root>/<version>/<content_hash>.json`` so a
+package version bump invalidates every cached result at once (the
+directory is simply never consulted again).  The root defaults to
+``.repro_cache/`` in the working directory, overridable with
+``REPRO_CACHE_DIR`` (this process) or ``REPRO_STORE`` (fleet-wide
+shared location; the cache-specific variable wins when both are set).
 
 The store is optionally **size-bounded**: with ``max_mb`` (or
 ``$REPRO_CACHE_MAX_MB``) set, every write prunes the *whole root* —
 all versions, so dead generations go first by age — evicting
-oldest-access entries until the total is back under the cap.  Access
-times are maintained explicitly on load (``relatime`` mounts would
-otherwise starve the signal), and eviction tolerates corrupt, foreign
+least-recently-accessed entries until the total is back under the cap.
+Recency is the index's ``last_access`` column, maintained on every
+load; file atimes are never consulted, so eviction order is correct on
+``noatime``/``relatime`` mounts.  Eviction tolerates corrupt, foreign
 or concurrently-deleted files the same way loads do: skip, never fail.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import shutil
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.exec.spec import SimJobSpec, content_hash_of
+from repro.exec.spec import SimJobSpec
+from repro.exec.store import STORE_ENV, SharedStore
 from repro.faults.chaos import maybe_corrupt_entry
 
 #: Default cache root, relative to the working directory.
@@ -79,18 +85,24 @@ class ResultCache:
                  version: str | None = None,
                  max_mb: float | None = None) -> None:
         if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
-        self.root = Path(root)
+            root = (os.environ.get("REPRO_CACHE_DIR")
+                    or os.environ.get(STORE_ENV)
+                    or DEFAULT_CACHE_DIR)
         self.version = str(version) if version is not None else _package_version()
+        self.backend = SharedStore(root, version=self.version)
         self.max_bytes = resolve_cache_max_bytes(max_mb)
+
+    @property
+    def root(self) -> Path:
+        return self.backend.root
 
     @property
     def dir(self) -> Path:
         """The directory holding this version's entries."""
-        return self.root / self.version
+        return self.backend.dir
 
     def entry_path(self, spec: SimJobSpec) -> Path:
-        return self.dir / f"{spec.content_hash}.json"
+        return self.backend.path_for(spec.content_hash)
 
     # ------------------------------------------------------------------
     def load(self, spec: SimJobSpec) -> dict | None:
@@ -99,38 +111,17 @@ class ResultCache:
         An entry carrying a ``payload_sha256`` that does not match its
         payload (bit rot, a truncated write that still parses, chaos
         injection) is a miss too — never an error, never stale data.
+        A hit refreshes the entry's ``last_access`` recency record.
         """
-        try:
-            entry = json.loads(self.entry_path(spec).read_text())
-        except (OSError, ValueError):
+        entry = self.backend.get(spec.content_hash)
+        if entry is None:
             return None
-        if not isinstance(entry, dict) or entry.get("version") != self.version:
-            return None
-        payload = entry.get("payload")
-        digest = entry.get("payload_sha256")
-        if digest is not None and digest != content_hash_of(payload):
-            return None
-        if self.max_bytes is not None:
-            # Keep the LRU signal honest on relatime/noatime mounts.
-            try:
-                os.utime(self.entry_path(spec))
-            except OSError:
-                pass
-        return payload
+        return entry.get("payload")
 
     def store(self, spec: SimJobSpec, payload: dict) -> Path:
         """Atomically persist a payload under the spec's content hash."""
-        path = self.entry_path(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "version": self.version,
-            "spec": spec.to_dict(),
-            "payload": payload,
-            "payload_sha256": content_hash_of(payload),
-        }
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
-        os.replace(tmp, path)
+        path = self.backend.put(spec.content_hash, payload,
+                                spec_doc=spec.to_dict())
         maybe_corrupt_entry(spec.content_hash, path)  # $REPRO_CHAOS only
         if self.max_bytes is not None:
             self.prune()
@@ -140,30 +131,10 @@ class ResultCache:
     # Size bounding
     def size_bytes(self) -> int:
         """Total bytes of entries under the root (all versions)."""
-        return sum(size for _, _, size in self._entries())
-
-    def _entries(self) -> list[tuple[float, Path, int]]:
-        """``(atime, path, size)`` for every entry file under the root.
-
-        Unstattable files (deleted by a concurrent pruner, permission
-        oddities) are skipped — eviction must tolerate anything loads
-        tolerate.
-        """
-        out = []
-        try:
-            paths = list(self.root.rglob("*.json"))
-        except OSError:
-            return []
-        for path in paths:
-            try:
-                st = path.stat()
-            except OSError:
-                continue
-            out.append((st.st_atime, path, st.st_size))
-        return out
+        return self.backend.size_bytes()
 
     def prune(self, max_bytes: int | None = None) -> int:
-        """Evict oldest-access entries until the root fits the cap.
+        """Evict least-recently-accessed entries until under the cap.
 
         Returns the number of entries evicted.  With no cap configured
         (and none passed) this is a no-op.
@@ -171,33 +142,13 @@ class ResultCache:
         cap = self.max_bytes if max_bytes is None else max_bytes
         if cap is None:
             return 0
-        entries = self._entries()
-        total = sum(size for _, _, size in entries)
-        if total <= cap:
-            return 0
-        evicted = 0
-        # Oldest access first; path as tie-break keeps eviction stable.
-        for atime, path, size in sorted(
-            entries, key=lambda e: (e[0], str(e[1]))
-        ):
-            if total <= cap:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue  # raced with another pruner: already gone
-            total -= size
-            evicted += 1
-        return evicted
+        return self.backend.prune(cap)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         """Number of entries stored for this version."""
-        try:
-            return sum(1 for _ in self.dir.glob("*.json"))
-        except OSError:
-            return 0
+        return self.backend.count()
 
     def clear(self) -> None:
         """Drop every entry of this version."""
-        shutil.rmtree(self.dir, ignore_errors=True)
+        self.backend.clear()

@@ -14,7 +14,14 @@ Layout::
     http    — minimal HTTP/1.1 over asyncio streams (stdlib only)
     broker  — single-flight dedup, bounded queue, lanes, crash recovery
     app     — routes, SIGTERM drain, `pasm-serve` entry point
-    client  — sync client: retries, exponential backoff + jitter
+    client  — sync client: retries, backoff + jitter, optional ring
+    ring    — consistent hashing of content hashes onto instances
+    router  — `pasm-router`: fleet front door, failover, fleet views
+
+Fleet mode: N instances share one content-addressed result store
+(:class:`~repro.exec.SharedStore`, ``$REPRO_STORE``), and the router
+consistent-hashes job content hashes onto them so single-flight dedup
+collapses identical submissions fleet-wide.
 
 The broker reuses :mod:`repro.exec`'s pool worker and result cache
 unchanged, so a payload served over HTTP is bit-identical to one
@@ -30,16 +37,31 @@ from repro.serve.app import API_VERSION, ServeApp, ServerThread
 from repro.serve.broker import BrokerEngine, JobBroker, JobEntry, exhibit_key
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.config import DEFAULT_PORT, LANES, PORT_ENV, ServeConfig
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, parse_instance
+from repro.serve.router import (
+    DEFAULT_ROUTER_PORT,
+    RouterApp,
+    RouterConfig,
+    RouterThread,
+    merge_prometheus,
+    route_key,
+)
 
 __all__ = [
     "API_VERSION",
     "BackpressureError",
     "BrokerEngine",
     "DEFAULT_PORT",
+    "DEFAULT_REPLICAS",
+    "DEFAULT_ROUTER_PORT",
+    "HashRing",
     "JobBroker",
     "JobEntry",
     "LANES",
     "PORT_ENV",
+    "RouterApp",
+    "RouterConfig",
+    "RouterThread",
     "ServeApp",
     "ServeClient",
     "ServeClientError",
@@ -48,4 +70,7 @@ __all__ = [
     "ServerThread",
     "ServiceDrainingError",
     "exhibit_key",
+    "merge_prometheus",
+    "parse_instance",
+    "route_key",
 ]

@@ -84,10 +84,22 @@ class ServeApp:
 
     # ------------------------------------------------------------------
     # Lifecycle
+    @property
+    def instance_name(self) -> str:
+        """This fleet member's identity (``--name`` or host:port)."""
+        return self.config.instance or f"{self.config.host}:{self.port}"
+
     async def start(self) -> None:
         self._stopped = asyncio.Event()
         await self.broker.start()
         await self.server.start()
+        # Identity is only final once the port is bound (port=0 cases).
+        self.metrics.describe(
+            "pasm_serve_instance_info", "gauge",
+            "Constant 1 per live instance, labelled with its identity "
+            "(the router's aggregated /metrics keeps one line each)")
+        self.metrics.set_gauge("pasm_serve_instance_info", 1,
+                               instance=self.instance_name)
 
     async def shutdown(self) -> None:
         """Graceful drain: refuse new work, finish what's admitted."""
@@ -193,6 +205,7 @@ class ServeApp:
     def _healthz(self) -> Response:
         return Response(body={
             "status": "draining" if self.broker.draining else "ok",
+            "instance": self.instance_name,
             "queue_depth": self.broker.queue_depth,
             "in_flight": self.broker.in_flight,
             "pool_jobs": self.broker.pool_jobs,
@@ -440,6 +453,9 @@ def main(argv: list[str] | None = None) -> int:
                         default="text",
                         help="access/lifecycle log rendering on stderr "
                              "(default: text)")
+    parser.add_argument("--name", default=None, metavar="NAME",
+                        help="instance name for fleet views "
+                             "(default: host:port)")
     args = parser.parse_args(argv)
     try:
         config = ServeConfig(
@@ -455,6 +471,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_max_mb=args.cache_max_mb,
             trace=args.trace,
             log_format=args.log_format,
+            instance=args.name,
         )
         config.resolved_jobs()
     except ReproError as exc:
@@ -474,6 +491,7 @@ async def _serve(config: ServeConfig) -> int:
     app.log.info(
         "startup",
         message=f"pasm-serve listening on http://{config.host}:{app.port}",
+        instance=app.instance_name,
         pool=app.broker.pool_jobs,
         queue_limit=config.queue_limit,
         cache="on" if app.broker.cache is not None else "off",

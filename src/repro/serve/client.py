@@ -13,6 +13,15 @@ inference-serving client would use:
   optimism;
 * everything else (2xx, 4xx, job failures) returns/raises immediately.
 
+**Fleet mode**: given ``base_urls`` (a list of instance URLs), the
+client builds the same consistent-hash ring as ``pasm-router`` and
+sends each job straight to the instance that owns its content hash —
+skipping the router hop while preserving fleet-wide single-flight
+dedup (identical submissions from every ring-aware party land on one
+instance).  A transport error advances the ring to the next distinct
+instance, exactly like the router's failover.  With a single URL (or
+plain ``host``/``port``) behaviour is unchanged.
+
 The RNG is injectable so tests can pin the jitter.
 """
 
@@ -23,11 +32,13 @@ import json
 import random
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import ServeError
-from repro.exec import SimJobSpec
+from repro.exec import SimJobSpec, content_hash_of
 from repro.obs.ids import format_traceparent, new_request_id, new_span_id, new_trace_id
 from repro.serve.config import default_port
+from repro.serve.ring import DEFAULT_REPLICAS, HashRing, parse_instance
 
 #: HTTP statuses worth retrying: the server said "not now", not "no".
 RETRYABLE = (429, 503)
@@ -92,6 +103,15 @@ class ServeClient:
     ----------
     host, port:
         Service address (port defaults to ``$REPRO_SERVE_PORT``/8137).
+    base_urls:
+        Optional list of instance URLs (``http://host:port``).  When
+        given, requests are routed by job content hash over the same
+        consistent-hash ring ``pasm-router`` uses, so the client can
+        talk to a fleet directly; ``host``/``port`` are ignored.  A
+        single-element list behaves exactly like ``host``/``port``.
+    replicas:
+        Virtual nodes per instance on the ring (must match the
+        router's setting for placement agreement).
     timeout:
         Socket timeout per request.  Long-poll requests get the poll
         duration added on top automatically.
@@ -118,6 +138,8 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int | None = None,
         *,
+        base_urls: Sequence[str] | None = None,
+        replicas: int = DEFAULT_REPLICAS,
         timeout: float = 30.0,
         max_retries: int = 8,
         backoff_base: float = 0.05,
@@ -126,6 +148,13 @@ class ServeClient:
         sleep=time.sleep,
         trace: bool = False,
     ) -> None:
+        self.ring: HashRing | None = None
+        self._addrs: dict[str, tuple[str, int]] = {}
+        if base_urls:
+            parsed = [parse_instance(u) for u in base_urls]
+            self._addrs = {base: (h, p) for base, h, p in parsed}
+            self.ring = HashRing(list(self._addrs), replicas=replicas)
+            host, port = self._addrs[self.ring.nodes[0]]
         self.host = host
         self.port = port if port is not None else default_port()
         self.timeout = timeout
@@ -141,11 +170,17 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     # Transport
+    def _targets(self, key: str | None) -> list[tuple[str, int]]:
+        """Instance addresses to try, owner first (ring failover order)."""
+        if self.ring is None:
+            return [(self.host, self.port)]
+        return [self._addrs[b] for b in self.ring.nodes_for(key or "/")]
+
     def _request_once(self, method: str, path: str, body: bytes | None,
-                      timeout: float,
-                      headers: dict[str, str] | None = None) -> HttpReply:
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=timeout)
+                      timeout: float, headers: dict[str, str] | None = None,
+                      *, address: tuple[str, int] | None = None) -> HttpReply:
+        host, port = address if address else (self.host, self.port)
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
         try:
             all_headers = {"Content-Type": "application/json"} if body else {}
             if headers:
@@ -168,12 +203,18 @@ class ServeClient:
         return delay
 
     def request(self, method: str, path: str, *, doc: dict | None = None,
-                timeout: float | None = None) -> HttpReply:
+                timeout: float | None = None,
+                key: str | None = None) -> HttpReply:
         """One request with retry on 429/503/transport errors.
 
         Every logical request carries one ``X-Request-ID`` (held across
         its retries, so a shed-then-retried exchange tells one story in
         the server logs) and, with ``trace=True``, one ``traceparent``.
+
+        In fleet mode ``key`` (the job content hash) picks the owning
+        instance; a transport error advances to the next distinct ring
+        node, while 429/503 retries stay on the same instance — it
+        owns the key, shedding load is its call to make.
         """
         body = (json.dumps(doc).encode() if doc is not None else None)
         timeout = self.timeout if timeout is None else timeout
@@ -184,16 +225,21 @@ class ServeClient:
             headers["traceparent"] = format_traceparent(
                 self.last_trace_id, new_span_id()
             )
+        targets = self._targets(key)
+        target_idx = 0
         last: HttpReply | None = None
         last_exc: OSError | None = None
         for attempt in range(self.max_retries + 1):
             try:
-                last = self._request_once(method, path, body, timeout,
-                                          headers)
+                last = self._request_once(
+                    method, path, body, timeout, headers,
+                    address=targets[target_idx % len(targets)],
+                )
                 last_exc = None
             except OSError as exc:
                 last, last_exc = None, exc
                 reply_floor = None
+                target_idx += 1  # dead instance: advance the ring
             else:
                 if last.status not in RETRYABLE:
                     return last
@@ -217,6 +263,24 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     # API surface
+    @staticmethod
+    def _spec_key(spec: SimJobSpec | dict) -> str:
+        """The routing key of a submission — the job's content hash."""
+        if isinstance(spec, SimJobSpec):
+            return spec.content_hash
+        try:
+            return SimJobSpec.from_dict(spec).content_hash
+        except Exception:
+            # Malformed spec: route it stably anyway; the owning
+            # instance will answer with the structured 400.
+            return content_hash_of(spec)
+
+    @staticmethod
+    def _exhibit_key(name: str, seed: int | None) -> str:
+        # Mirrors repro.serve.broker.exhibit_key (kept inline so the
+        # client stays importable without the broker stack).
+        return content_hash_of({"exhibit": name, "seed": seed})
+
     def healthz(self) -> dict:
         return self._expect(self.request("GET", "/healthz"), 200).json()
 
@@ -231,6 +295,7 @@ class ServeClient:
     def submit(self, spec: SimJobSpec | dict, *, lane: str = "interactive",
                wait: bool = False, timeout: float | None = None) -> dict:
         """Submit one job spec; returns the job document."""
+        key = self._spec_key(spec)
         if isinstance(spec, SimJobSpec):
             spec = spec.to_dict()
         path = "/v1/jobs"
@@ -240,13 +305,14 @@ class ServeClient:
         reply = self.request(
             "POST", path, doc={"spec": spec, "lane": lane},
             timeout=self.timeout + (poll if wait else 0.0),
+            key=key,
         )
         return self._expect(reply, 200, 202).json()
 
     def job_trace(self, job: str) -> dict:
         """The job's Chrome trace-event document (``--trace`` services)."""
         return self._expect(
-            self.request("GET", f"/v1/jobs/{job}/trace"), 200
+            self.request("GET", f"/v1/jobs/{job}/trace", key=job), 200
         ).json()
 
     def status(self, job: str, *, wait: bool = False,
@@ -255,7 +321,8 @@ class ServeClient:
         if wait:
             path += f"?wait=1&timeout={poll_timeout:g}"
         reply = self.request("GET", path,
-                             timeout=self.timeout + poll_timeout)
+                             timeout=self.timeout + poll_timeout,
+                             key=job)
         return self._expect(reply, 200, 202, 500).json()
 
     def result(self, job: str, *, timeout: float = 300.0,
@@ -303,6 +370,7 @@ class ServeClient:
                 "GET",
                 f"/v1/exhibits/{name}?wait=1&timeout={poll:g}{seed_q}",
                 timeout=self.timeout + poll,
+                key=self._exhibit_key(name, seed),
             )
             if reply.status == 200 and "x-pasm-exhibit" in reply.headers:
                 return reply.body.decode()

@@ -91,6 +91,11 @@ class ServeConfig:
     log_format:
         Access/lifecycle log rendering, ``"text"`` or ``"json"`` (one
         JSON object per line; see :mod:`repro.obs.jsonlog`).
+    instance:
+        A human-readable name for this fleet member (``--name``),
+        surfaced in ``/healthz`` and the ``pasm_serve_instance_info``
+        metric so the router's aggregated views can tell instances
+        apart.  Defaults to ``host:port`` once the port is bound.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +114,7 @@ class ServeConfig:
     max_resubmits: int = 3  #: crashed-worker resubmissions per job
     trace: bool = False
     log_format: str = "text"
+    instance: str | None = None
 
     def __post_init__(self) -> None:
         if self.log_format not in ("text", "json"):

@@ -168,6 +168,71 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     )
 
 
+async def send_request(
+    host: str,
+    port: int,
+    method: str,
+    target: str,
+    *,
+    headers: dict[str, str] | None = None,
+    body: bytes = b"",
+    timeout: float = 300.0,
+) -> tuple[int, dict[str, str], bytes]:
+    """One client-side HTTP/1.1 exchange over a fresh connection.
+
+    The router's forwarding primitive: writes the request with
+    ``Connection: close``, reads status line + headers +
+    ``Content-Length`` body, returns ``(status, headers, body)`` with
+    header names lower-cased.  Raises ``OSError`` (or a subclass) on
+    any transport failure and ``asyncio.TimeoutError`` past the
+    deadline — callers treat both as "this instance is dead, advance
+    the ring".
+    """
+    headers = dict(headers or {})
+    headers.setdefault("Host", f"{host}:{port}")
+    headers["Content-Length"] = str(len(body))
+    headers["Connection"] = "close"
+    head = [f"{method} {target} HTTP/1.1"]
+    head.extend(f"{k}: {v}" for k, v in headers.items())
+    raw = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+    async def exchange() -> tuple[int, dict[str, str], bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(raw)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.split(None, 2)
+            if len(parts) < 2 or not parts[0].startswith(b"HTTP/1."):
+                raise ConnectionError(
+                    f"malformed status line {status_line[:80]!r}"
+                )
+            status = int(parts[1])
+            reply_headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.partition(b":")
+                reply_headers[name.decode("latin-1").strip().lower()] = (
+                    value.decode("latin-1").strip()
+                )
+            length = reply_headers.get("content-length")
+            if length is not None:
+                reply_body = await reader.readexactly(int(length))
+            else:
+                reply_body = await reader.read()  # Connection: close
+            return status, reply_headers, reply_body
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(exchange(), timeout)
+
+
 Handler = Callable[[Request], Awaitable[Response]]
 
 

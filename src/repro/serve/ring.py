@@ -1,0 +1,130 @@
+"""Consistent hashing of job content hashes onto service instances.
+
+The fleet layer routes by *content*: every job already has a stable
+SHA-256 content hash (:mod:`repro.exec.spec`), so mapping that hash
+onto an instance ring means identical submissions — from any client,
+through any router — land on the same ``pasm-serve`` process, where
+the broker's single-flight dedup collapses them into one computation.
+The shared result store then carries warm results across instances;
+the ring is what keeps *in-flight* work deduplicated fleet-wide.
+
+Classic consistent hashing with virtual nodes: each instance owns
+``replicas`` points on a 64-bit ring (SHA-256 of ``"{node}#{i}"``), a
+key maps to the first point at or after its own hash, and removing an
+instance only remaps the keys that pointed at it — everything else
+stays put, so a dead instance invalidates ~1/N of the routing table,
+not all of it.
+
+Both the router (:mod:`repro.serve.router`) and a multi-URL
+:class:`~repro.serve.ServeClient` build the ring the same way from the
+same instance list, so a client that skips the router hop still agrees
+with the router about where every job lives.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Virtual nodes per instance.  64 keeps the max/min load spread of a
+#: small fleet within ~20% while the ring stays tiny (N*64 points).
+DEFAULT_REPLICAS = 64
+
+
+def parse_instance(text: str) -> tuple[str, str, int]:
+    """``http://host:port`` / ``host:port`` -> (base-url, host, port).
+
+    The returned base URL is the *normalized* instance identity — the
+    string hashed onto the ring — so ``http://h:p``, ``h:p`` and a
+    trailing slash all name the same ring node.
+    """
+    raw = text.strip()
+    hostport = raw
+    for scheme in ("http://", "https://"):
+        if hostport.startswith(scheme):
+            hostport = hostport[len(scheme):]
+    hostport = hostport.rstrip("/")
+    host, sep, port_text = hostport.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"invalid instance {text!r}: expected host:port or "
+            "http://host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid instance {text!r}: port {port_text!r} is not an "
+            "integer"
+        ) from None
+    return f"http://{host}:{port}", host, port
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring position for a label."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic key -> node mapping with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Instance identifiers (any non-empty strings; the fleet layer
+        uses base URLs).  Order does not matter — the mapping depends
+        only on the *set* of nodes, so every party that knows the
+        instance list derives the same ring.
+    replicas:
+        Virtual nodes per instance.
+    """
+
+    def __init__(self, nodes: Sequence[str], *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        nodes = list(dict.fromkeys(nodes))  # dedupe, keep caller's order
+        if not nodes:
+            raise ConfigurationError("HashRing needs at least one node")
+        if replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {replicas}"
+            )
+        self.nodes: tuple[str, ...] = tuple(nodes)
+        self.replicas = replicas
+        points = [
+            (_point(f"{node}#{i}"), node)
+            for node in self.nodes
+            for i in range(replicas)
+        ]
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_for(self, key: str) -> str:
+        """The instance owning a key (first ring point clockwise)."""
+        idx = bisect.bisect_right(self._points, _point(key))
+        if idx == len(self._points):
+            idx = 0  # wrap past the top of the ring
+        return self._owners[idx]
+
+    def nodes_for(self, key: str) -> Iterator[str]:
+        """Every instance, nearest first, each yielded once.
+
+        The failover order: a router (or ring-aware client) that finds
+        the owner dead advances clockwise to the next *distinct*
+        instance, so retries of one key always walk the same sequence.
+        """
+        start = bisect.bisect_right(self._points, _point(key))
+        seen: set[str] = set()
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner

@@ -150,6 +150,12 @@ def test_stored_entry_records_spec_for_inspection(tmp_path):
 
 # ---------------------------------------------------------------------------
 # LRU size cap (--cache-max-mb / $REPRO_CACHE_MAX_MB)
+#
+# Eviction recency is the sqlite index's last_access column — never the
+# file atime, which noatime/relatime mounts freeze or lazily update.
+# These tests therefore stamp recency through the store API, and the
+# regression test below pins file atimes in the *opposite* order to
+# prove the filesystem cannot influence eviction.
 # ---------------------------------------------------------------------------
 import os  # noqa: E402
 
@@ -161,8 +167,8 @@ def _spec(m):
     return matmul_spec(ExecutionMode.SIMD, 16, 4, added_multiplies=m)
 
 
-def _set_atime(cache, spec, when):
-    os.utime(cache.entry_path(spec), (when, when))
+def _set_access(cache, spec, when):
+    cache.backend.set_last_access(spec.content_hash, when)
 
 
 class TestCacheMaxResolution:
@@ -187,14 +193,22 @@ class TestCacheMaxResolution:
 
 
 class TestLruEviction:
-    def test_store_evicts_oldest_atime_first(self, tmp_path):
+    def test_store_evicts_oldest_access_first(self, tmp_path):
+        """Regression (noatime mounts): eviction follows the index's
+        last_access column, touched in a controlled order here, even
+        when every file atime says the opposite."""
         cache = ResultCache(tmp_path, version="1.0", max_mb=1)
         for m in range(4):
             cache.store(_spec(m), {"m": m})
         entry_size = cache.entry_path(_spec(0)).stat().st_size
         # Stamp distinct access times: entry 2 oldest, then 0, 1, 3.
         for m, age in ((2, 100), (0, 200), (1, 300), (3, 400)):
-            _set_atime(cache, _spec(m), age)
+            _set_access(cache, _spec(m), age)
+        # Adversarial filesystem: atimes claim the REVERSE recency
+        # (entry 2 "newest").  A frozen or scrambled atime — what
+        # noatime mounts produce — must not change the outcome.
+        for m, age in ((2, 4000), (0, 3000), (1, 2000), (3, 1000)):
+            os.utime(cache.entry_path(_spec(m)), (age, age))
         # Cap to exactly two entries' worth: the two oldest must go.
         evicted = cache.prune(max_bytes=2 * entry_size)
         assert evicted == 2
@@ -203,14 +217,17 @@ class TestLruEviction:
         assert cache.load(_spec(1)) == {"m": 1}
         assert cache.load(_spec(3)) == {"m": 3}
 
-    def test_load_refreshes_atime_and_protects_entry(self, tmp_path):
+    def test_load_refreshes_recency_and_protects_entry(self, tmp_path):
         cache = ResultCache(tmp_path, version="1.0", max_mb=1)
         for m in range(3):
             cache.store(_spec(m), {"m": m})
-            _set_atime(cache, _spec(m), 100 + m)
+            _set_access(cache, _spec(m), 100 + m)
         entry_size = cache.entry_path(_spec(0)).stat().st_size
-        # A hit on the oldest entry must move it to the young end.
+        # A hit on the oldest entry must move it to the young end —
+        # via the index column, not os.utime (pin atimes to prove it).
         assert cache.load(_spec(0)) == {"m": 0}
+        for m in range(3):
+            os.utime(cache.entry_path(_spec(m)), (50, 50))
         assert cache.prune(max_bytes=2 * entry_size) == 1
         assert cache.load(_spec(1)) is None  # now the oldest: evicted
         assert cache.load(_spec(0)) == {"m": 0}
@@ -225,7 +242,7 @@ class TestLruEviction:
         cache = ResultCache(tmp_path, version="1.0", max_mb=cap_mb)
         for m in range(6):
             cache.store(_spec(m), {"m": m})
-            _set_atime(cache, _spec(m), 100 + m)
+            _set_access(cache, _spec(m), 100 + m)
         assert cache.size_bytes() <= cache.max_bytes
         assert len(cache) == 2
         # Youngest survivors only.
@@ -236,8 +253,8 @@ class TestLruEviction:
         new = ResultCache(tmp_path, version="1.0", max_mb=1)
         old.store(_spec(0), {"gen": "old"})
         new.store(_spec(0), {"gen": "new"})
-        _set_atime(old, _spec(0), 100)   # dead generation, oldest access
-        _set_atime(new, _spec(0), 200)
+        _set_access(old, _spec(0), 100)  # dead generation, oldest access
+        _set_access(new, _spec(0), 200)
         entry_size = new.entry_path(_spec(0)).stat().st_size
         assert new.prune(max_bytes=entry_size) >= 1
         assert old.load(_spec(0)) is None
@@ -248,7 +265,8 @@ class TestLruEviction:
         cache.store(_spec(0), {"m": 0})
         (tmp_path / "1.0" / "garbage.json").write_text("{not json")
         (tmp_path / "README.txt").write_text("not an entry")
-        _set_atime(cache, _spec(0), 100)
+        _set_access(cache, _spec(0), 100)
+        # Unindexed foreign files fall back to mtime for ordering.
         os.utime(tmp_path / "1.0" / "garbage.json", (50, 50))
         # Corrupt entries are counted, evictable, and never fatal.
         assert cache.size_bytes() > 0

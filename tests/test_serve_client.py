@@ -20,13 +20,16 @@ class ScriptedClient(ServeClient):
     def __init__(self, script, **kwargs):
         self.script = list(script)
         self.requests = []
+        self.addresses = []
         self.slept = []
         kwargs.setdefault("rng", random.Random(7))
         kwargs.setdefault("sleep", self.slept.append)
         super().__init__(port=1, **kwargs)
 
-    def _request_once(self, method, path, body, timeout, headers=None):
+    def _request_once(self, method, path, body, timeout, headers=None,
+                      *, address=None):
         self.requests.append((method, path))
+        self.addresses.append(address or (self.host, self.port))
         self.sent_headers = headers
         item = self.script.pop(0)
         if isinstance(item, Exception):
