@@ -50,6 +50,20 @@ def content_hash_of(obj) -> str:
     return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
 
 
+def _params_pairs(params) -> tuple:
+    """Normalise ``params`` input to the sorted tuple-of-pairs form.
+
+    Accepts a mapping (``to_dict`` output) or an iterable of ``(key,
+    value)`` pairs — the shape JSON gives a client that serialises the
+    spec field directly, since tuples round-trip as lists.  Malformed
+    pairs raise ``ValueError``/``TypeError``, which the serving layer
+    maps to a 400.
+    """
+    if hasattr(params, "items"):
+        params = params.items()
+    return tuple(sorted((k, v) for k, v in params))
+
+
 @dataclass(frozen=True)
 class SimJobSpec:
     """One independently schedulable simulation job.
@@ -169,7 +183,7 @@ class SimJobSpec:
             seed=d.get("seed", DEFAULT_SEED),
             b_max=d.get("b_max"),
             config=config,
-            params=tuple(sorted(d.get("params", {}).items())),
+            params=_params_pairs(d.get("params") or {}),
             fault_plan=(FaultPlan.from_dict(d["fault_plan"])
                         if d.get("fault_plan") else None),
         )

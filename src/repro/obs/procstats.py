@@ -1,0 +1,89 @@
+"""Process self-metrics: RSS, CPU seconds, open FDs, uptime.
+
+Every serious exporter carries the ``process_*`` family; ours is
+stdlib-only (``resource`` + ``/proc`` with graceful fallbacks) and
+namespaced ``pasm_process_*`` so the router's fleet aggregation sums
+per-instance lines like any other metric.
+
+* ``pasm_process_resident_memory_bytes`` — current RSS from
+  ``/proc/self/status`` (``VmRSS``); falls back to the peak
+  (``ru_maxrss``) where ``/proc`` is unavailable (macOS), which is the
+  honest best available number there.
+* ``pasm_process_cpu_seconds_total{mode=user|system}`` — cumulative
+  CPU, surfaced as a true counter (the collector feeds *deltas* into
+  the registry, so restarts and registry semantics stay consistent).
+* ``pasm_process_open_fds`` — ``/proc/self/fd`` entry count (absent
+  off-Linux rather than guessed).
+* ``pasm_process_uptime_seconds`` — monotonic seconds since the
+  collector was created (process start, for our purposes).
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+
+
+class ProcessStats:
+    """Collects process self-metrics into a metrics registry.
+
+    ``collect()`` is cheap (two syscalls and one small ``/proc`` read)
+    and idempotent per instant — the serve/router layers call it from
+    the sampling loop and on every ``/metrics`` render.
+    """
+
+    def __init__(self, metrics, *, clock=time.monotonic) -> None:
+        self.metrics = metrics
+        self._clock = clock
+        self._start = clock()
+        self._last_cpu = {"user": 0.0, "system": 0.0}
+        m = metrics
+        m.describe("pasm_process_resident_memory_bytes", "gauge",
+                   "Resident set size of this process")
+        m.describe("pasm_process_cpu_seconds_total", "counter",
+                   "Cumulative CPU seconds, by mode (user/system)")
+        m.describe("pasm_process_uptime_seconds", "gauge",
+                   "Seconds since this process's collector started")
+        if os.path.isdir("/proc/self/fd"):
+            m.describe("pasm_process_open_fds", "gauge",
+                       "Open file descriptors of this process")
+
+    # ------------------------------------------------------------------
+    def collect(self) -> None:
+        m = self.metrics
+        m.set_gauge("pasm_process_resident_memory_bytes", self._rss_bytes())
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        for mode, total in (("user", usage.ru_utime),
+                            ("system", usage.ru_stime)):
+            delta = total - self._last_cpu[mode]
+            if delta > 0:
+                m.inc("pasm_process_cpu_seconds_total", delta, mode=mode)
+                self._last_cpu[mode] = total
+        fds = self._open_fds()
+        if fds is not None:
+            m.set_gauge("pasm_process_open_fds", fds)
+        m.set_gauge("pasm_process_uptime_seconds",
+                    self._clock() - self._start)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rss_bytes() -> float:
+        try:
+            with open("/proc/self/status", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return float(line.split()[1]) * 1024.0
+        except (OSError, ValueError, IndexError):
+            pass
+        # ru_maxrss: KiB on Linux, bytes on macOS — peak, not current,
+        # but the best portable fallback.
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return float(peak) * (1.0 if peak > 1 << 32 else 1024.0)
+
+    @staticmethod
+    def _open_fds() -> int | None:
+        try:
+            return len(os.listdir("/proc/self/fd"))
+        except OSError:
+            return None

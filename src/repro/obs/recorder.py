@@ -1,0 +1,147 @@
+"""Flight recorder: a bounded ring of recent events, dumped on incident.
+
+Logs scroll away and metrics aggregate; what an incident investigation
+needs is the *last few thousand raw events* — which requests were in
+flight, which got shed, when the pool rebuilt, which alert flipped —
+frozen at the moment things went wrong.  :class:`FlightRecorder` keeps
+exactly that: a fixed-size deque of structured events that costs one
+append per event while healthy, and is serialized into a JSON *incident
+bundle* when something pages.
+
+Events carry whatever correlation fields the caller has
+(``request_id``, ``trace_id``, job keys), so a bundled request can be
+followed with ``pasm-trace``/``grep`` exactly like a live one.
+
+Dump triggers (wired in :mod:`repro.serve.app`):
+
+* ``SIGQUIT`` — operator-requested snapshot of a live process;
+* an SLO page — the evaluator's ``on_fire`` hook;
+* broker pool crashes — the strongest "something is wrong" signal the
+  serving layer has.
+
+Dumps are rate-limited (``min_dump_interval_s``): a page storm
+produces one bundle per window, not one per page.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+#: Default bound on retained events.
+DEFAULT_CAPACITY = 2048
+
+#: Default directory incident bundles land in.
+DEFAULT_DUMP_DIR = ".pasm-flightrec"
+
+#: Environment variable overriding the dump directory.
+DUMP_DIR_ENV = "REPRO_FLIGHTREC_DIR"
+
+
+class FlightRecorder:
+    """Thread-safe bounded event ring with JSON incident dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Ring bound; the oldest events fall off.
+    dump_dir:
+        Where incident bundles are written (created on first dump).
+        ``None`` resolves ``$REPRO_FLIGHTREC_DIR`` then the default.
+    instance:
+        Fleet identity stamped into every bundle.
+    min_dump_interval_s:
+        Floor between dumps; rate-limited dumps return ``None``.
+    clock:
+        Wall-clock source (injectable for tests).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, *,
+                 dump_dir: str | None = None, instance: str = "",
+                 min_dump_interval_s: float = 10.0,
+                 clock=time.time) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dump_dir = (dump_dir
+                         or os.environ.get(DUMP_DIR_ENV, "").strip()
+                         or DEFAULT_DUMP_DIR)
+        self.instance = instance
+        self.min_dump_interval_s = min_dump_interval_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._last_dump: float | None = None
+        self.events_recorded = 0
+        self.dumps_written = 0
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; constant-time, never raises on full."""
+        event = {"ts": self._clock(), "kind": kind}
+        event.update({k: v for k, v in fields.items() if v is not None})
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._events.append(event)
+            self.events_recorded += 1
+
+    def snapshot(self) -> list[dict]:
+        """The retained events, oldest first (copies, safe to mutate)."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    def bundle(self, reason: str, *, extra: dict | None = None) -> dict:
+        """The incident document (no file IO): events + context."""
+        events = self.snapshot()
+        doc = {
+            "bundle": "pasm-flight-recorder",
+            "reason": reason,
+            "ts": self._clock(),
+            "instance": self.instance,
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "events_recorded": self.events_recorded,
+            "events": events,
+        }
+        if extra:
+            doc["context"] = extra
+        return doc
+
+    def dump(self, reason: str, *, extra: dict | None = None,
+             force: bool = False) -> str | None:
+        """Write one incident bundle; returns its path.
+
+        Returns ``None`` when rate-limited (unless ``force``, the
+        SIGQUIT path — an operator asking twice means it).
+        """
+        now = self._clock()
+        with self._lock:
+            if (not force and self._last_dump is not None
+                    and now - self._last_dump < self.min_dump_interval_s):
+                return None
+            self._last_dump = now
+        doc = self.bundle(reason, extra=extra)
+        os.makedirs(self.dump_dir, exist_ok=True)
+        safe_reason = "".join(
+            c if c.isalnum() or c in "-_" else "-" for c in reason
+        )
+        name = f"flightrec-{int(now * 1000)}-{safe_reason}.json"
+        path = os.path.join(self.dump_dir, name)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, sort_keys=True, indent=1, default=str)
+            handle.write("\n")
+        os.replace(tmp, path)
+        with self._lock:
+            self.dumps_written += 1
+        return path

@@ -1,0 +1,369 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+The paper's decoupling claim is about *sustained* behaviour — a single
+slow instruction is noise, a saturated fetch queue is signal.  Service
+health works the same way: one 429 is load shedding doing its job, a
+sustained 429 ratio is an incident.  This module encodes that
+distinction with the standard SRE multi-window burn-rate rule:
+
+* every :class:`SLO` names a **measurement** over the timeseries store
+  (an error *ratio* derived from counter increases, a latency
+  *quantile*, or a *gauge* level) and a **target** it must stay on the
+  right side of;
+* the **burn rate** is ``measured / target`` (how fast the error
+  budget is being spent; 1.0 = exactly on budget);
+* an alert **fires** only when the burn rate exceeds its threshold
+  over *both* a fast and a slow window — the slow window proves the
+  problem is sustained, the fast window proves it is still happening;
+* a firing alert **resolves** only after ``resolve_after`` consecutive
+  healthy evaluations (hysteresis — a burn rate oscillating around the
+  threshold must not flap pages).
+
+:class:`SLOEvaluator` owns the alert state machine, surfaces it as
+``pasm_slo_*`` metrics and the ``GET /v1/alerts`` document, emits one
+structured log line per transition, and notifies the flight recorder
+(which dumps an incident bundle on every page).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.timeseries import TimeseriesStore, parse_series_key
+
+#: Alert states.
+OK, FIRING = "ok", "firing"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (the ``slo`` label on every surfaced metric).
+    kind:
+        ``"ratio"`` — measured = (sum of increases over *numerator*
+        counter series) / (sum over *denominator* series) within the
+        window; ``"quantile"`` — measured = max of the selected
+        quantile series' points in the window; ``"gauge"`` — measured
+        = mean of the gauge's points in the window.
+    metric:
+        Base metric name (the denominator metric for ``ratio``).
+    target:
+        The objective.  With ``direction="upper"`` the measurement must
+        stay **at or below** it (latency, error ratio, queue depth);
+        with ``"lower"`` it must stay **at or above** it (dedup rate).
+    labels:
+        Label filter selecting the series (quantile/gauge kinds).
+    bad_label / bad_values:
+        Ratio kind: numerator series are those whose ``bad_label``
+        value matches any of ``bad_values``; a value ending in ``xx``
+        matches by first digit (``"5xx"`` matches 500/503).
+    fast_window_s / slow_window_s:
+        The two burn-rate windows.
+    fast_burn / slow_burn:
+        Burn-rate thresholds per window (fire needs **both**).
+    resolve_after:
+        Consecutive healthy evaluations required to resolve.
+    min_denominator:
+        Ratio kind: below this many window events the ratio is treated
+        as healthy (no traffic is not an outage).
+    """
+
+    name: str
+    kind: str
+    metric: str
+    target: float
+    description: str = ""
+    direction: str = "upper"
+    labels: tuple[tuple[str, str], ...] = ()
+    bad_label: str = "status"
+    bad_values: tuple[str, ...] = ("429", "5xx")
+    fast_window_s: float = 60.0
+    slow_window_s: float = 300.0
+    fast_burn: float = 2.0
+    slow_burn: float = 1.0
+    resolve_after: int = 3
+    min_denominator: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "quantile", "gauge"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.direction not in ("upper", "lower"):
+            raise ValueError(f"unknown SLO direction {self.direction!r}")
+        if self.target <= 0:
+            raise ValueError(f"SLO {self.name}: target must be positive")
+        if self.fast_window_s >= self.slow_window_s:
+            raise ValueError(
+                f"SLO {self.name}: fast window ({self.fast_window_s}s) must "
+                f"be shorter than the slow window ({self.slow_window_s}s)"
+            )
+        if self.resolve_after < 1:
+            raise ValueError(f"SLO {self.name}: resolve_after must be >= 1")
+
+    # ------------------------------------------------------------------
+    def _bad_match(self, value: str) -> bool:
+        for pattern in self.bad_values:
+            if pattern.endswith("xx"):
+                if value[:1] == pattern[:1] and len(value) == len(pattern):
+                    return True
+            elif value == pattern:
+                return True
+        return False
+
+    def measure(self, store: TimeseriesStore, *, now: float,
+                window_s: float) -> float | None:
+        """The measured value over ``[now - window_s, now]``.
+
+        ``None`` means "no data" (empty window, no traffic) — treated
+        as healthy by the evaluator, never as a zero that could fire a
+        lower-bound objective.
+        """
+        since = now - window_s
+        where = dict(self.labels)
+        if self.kind == "ratio":
+            total = bad = 0.0
+            for key in store.matching(self.metric, where or None):
+                inc = store.window_increase(key, since=since)
+                total += inc
+                _, labels = parse_series_key(key)
+                if self._bad_match(labels.get(self.bad_label, "")):
+                    bad += inc
+            if total < self.min_denominator:
+                return None
+            return bad / total
+        if self.kind == "quantile":
+            values = [
+                v for key in store.matching(self.metric, where or None)
+                for _, v in store.points(key, since=since)
+            ]
+            return max(values) if values else None
+        values = [
+            v for key in store.matching(self.metric, where or None)
+            for _, v in store.points(key, since=since)
+        ]
+        return sum(values) / len(values) if values else None
+
+    def burn_rate(self, measured: float | None) -> float:
+        """How fast the budget burns: 1.0 = exactly on target."""
+        if measured is None:
+            return 0.0
+        if self.direction == "upper":
+            return measured / self.target
+        # Lower bound (e.g. dedup rate must stay >= target): burning
+        # means the measurement fell *below* target.
+        if measured <= 0:
+            return math.inf
+        return self.target / measured
+
+
+@dataclass
+class AlertState:
+    """Mutable per-SLO alert bookkeeping."""
+
+    slo: SLO
+    state: str = OK
+    since: float | None = None  #: when the current state was entered
+    healthy_streak: int = 0
+    fires: int = 0
+    last_measured: float | None = None
+    last_burn: dict = field(default_factory=dict)
+
+    def doc(self) -> dict:
+        slo = self.slo
+        return {
+            "slo": slo.name,
+            "description": slo.description,
+            "state": self.state,
+            "since": self.since,
+            "fires": self.fires,
+            "kind": slo.kind,
+            "metric": slo.metric,
+            "target": slo.target,
+            "direction": slo.direction,
+            "measured": self.last_measured,
+            "burn": dict(self.last_burn),
+            "windows_s": [slo.fast_window_s, slo.slow_window_s],
+            "burn_thresholds": [slo.fast_burn, slo.slow_burn],
+        }
+
+
+class SLOEvaluator:
+    """Evaluates SLOs against a timeseries store; owns alert state.
+
+    Parameters
+    ----------
+    slos:
+        The objectives to evaluate.
+    store:
+        The :class:`TimeseriesStore` measurements read from.  The
+        owner must :meth:`~TimeseriesStore.sample` before each
+        :meth:`evaluate` — the evaluator never samples itself.
+    metrics:
+        Registry receiving ``pasm_slo_status`` / ``pasm_slo_burn_rate``
+        gauges and the ``pasm_slo_transitions_total`` counter.
+    log:
+        Optional :class:`~repro.obs.jsonlog.StructuredLogger`; one
+        ``slo_fire`` / ``slo_resolve`` line per transition.
+    on_fire / on_resolve:
+        Optional callbacks ``(state: AlertState) -> None`` invoked
+        after the metrics/log surfaces update — the serve app hooks
+        the flight-recorder dump in here.
+    """
+
+    def __init__(self, slos, store: TimeseriesStore, *, metrics=None,
+                 log=None, on_fire=None, on_resolve=None,
+                 clock=time.time) -> None:
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.states = {slo.name: AlertState(slo) for slo in slos}
+        self.store = store
+        self.metrics = metrics
+        self.log = log
+        self.on_fire = on_fire
+        self.on_resolve = on_resolve
+        self._clock = clock
+        self.evaluations = 0
+        if metrics is not None:
+            metrics.describe("pasm_slo_status", "gauge",
+                             "1 while the SLO's alert is firing, else 0")
+            metrics.describe("pasm_slo_burn_rate", "gauge",
+                             "Error-budget burn rate per window "
+                             "(1.0 = exactly on target)")
+            metrics.describe("pasm_slo_transitions_total", "counter",
+                             "Alert transitions by SLO and new state")
+            for name in names:
+                metrics.set_gauge("pasm_slo_status", 0, slo=name)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: float | None = None) -> list[AlertState]:
+        """One evaluation pass; returns states that transitioned."""
+        now = self._clock() if now is None else now
+        self.evaluations += 1
+        transitioned: list[AlertState] = []
+        for state in self.states.values():
+            slo = state.slo
+            fast = slo.measure(self.store, now=now,
+                               window_s=slo.fast_window_s)
+            slow = slo.measure(self.store, now=now,
+                               window_s=slo.slow_window_s)
+            burn_fast = slo.burn_rate(fast)
+            burn_slow = slo.burn_rate(slow)
+            state.last_measured = fast
+            state.last_burn = {"fast": _finite(burn_fast),
+                               "slow": _finite(burn_slow)}
+            breaching = (burn_fast >= slo.fast_burn
+                         and burn_slow >= slo.slow_burn)
+            if state.state == OK:
+                if breaching:
+                    self._transition(state, FIRING, now)
+                    transitioned.append(state)
+            else:
+                if breaching:
+                    state.healthy_streak = 0
+                else:
+                    state.healthy_streak += 1
+                    if state.healthy_streak >= slo.resolve_after:
+                        self._transition(state, OK, now)
+                        transitioned.append(state)
+            if self.metrics is not None:
+                for window, burn in (("fast", burn_fast), ("slow", burn_slow)):
+                    self.metrics.set_gauge("pasm_slo_burn_rate",
+                                           _finite(burn), slo=slo.name,
+                                           window=window)
+        return transitioned
+
+    def _transition(self, state: AlertState, to: str, now: float) -> None:
+        state.state = to
+        state.since = now
+        state.healthy_streak = 0
+        if to == FIRING:
+            state.fires += 1
+        if self.metrics is not None:
+            self.metrics.set_gauge("pasm_slo_status",
+                                   1 if to == FIRING else 0,
+                                   slo=state.slo.name)
+            self.metrics.inc("pasm_slo_transitions_total",
+                             slo=state.slo.name, to=to)
+        if self.log is not None:
+            event = "slo_fire" if to == FIRING else "slo_resolve"
+            self.log.log("error" if to == FIRING else "info", event,
+                         slo=state.slo.name,
+                         measured=state.last_measured,
+                         target=state.slo.target,
+                         burn_fast=state.last_burn.get("fast"),
+                         burn_slow=state.last_burn.get("slow"))
+        hook = self.on_fire if to == FIRING else self.on_resolve
+        if hook is not None:
+            hook(state)
+
+    # ------------------------------------------------------------------
+    @property
+    def firing(self) -> list[AlertState]:
+        return [s for s in self.states.values() if s.state == FIRING]
+
+    def to_doc(self, *, instance: str | None = None) -> dict:
+        """The JSON document served at ``GET /v1/alerts``."""
+        doc = {
+            "firing": len(self.firing),
+            "evaluations": self.evaluations,
+            "alerts": [s.doc() for s in self.states.values()],
+        }
+        if instance is not None:
+            doc["instance"] = instance
+        return doc
+
+
+def _finite(value: float) -> float:
+    """Clamp inf burn rates to something JSON- and gauge-friendly."""
+    return min(value, 1e9)
+
+
+# ---------------------------------------------------------------------------
+def default_slos(
+    *,
+    error_ratio: float = 0.05,
+    p95_latency_s: float = 60.0,
+    queue_depth: float = 48.0,
+    dedup_min: float | None = None,
+    fast_window_s: float = 60.0,
+    slow_window_s: float = 300.0,
+    resolve_after: int = 3,
+) -> list[SLO]:
+    """The serving layer's standard objectives.
+
+    ``dedup_min`` is off by default: a healthy low-traffic instance
+    legitimately has a near-zero hit ratio, so the dedup-collapse
+    objective only makes sense where the operator knows the workload
+    repeats (pass e.g. ``dedup_min=0.5``).
+    """
+    window = {"fast_window_s": fast_window_s, "slow_window_s": slow_window_s,
+              "resolve_after": resolve_after}
+    slos = [
+        SLO(name="error-ratio", kind="ratio",
+            metric="pasm_serve_requests_total", target=error_ratio,
+            description="Fraction of requests answered 429/5xx",
+            bad_label="status", bad_values=("429", "5xx"), **window),
+        SLO(name="latency-p95", kind="quantile",
+            metric="pasm_serve_job_latency_seconds", target=p95_latency_s,
+            labels=(("quantile", "0.95"),),
+            description="p95 submit-to-done latency of computed jobs",
+            **window),
+        SLO(name="queue-depth", kind="gauge",
+            metric="pasm_serve_queue_depth", target=queue_depth,
+            description="Mean jobs waiting for a worker", **window),
+    ]
+    if dedup_min is not None:
+        slos.append(SLO(
+            name="dedup-rate", kind="gauge",
+            metric="pasm_serve_cache_hit_ratio", target=dedup_min,
+            direction="lower",
+            description="Fraction of submissions absorbed without "
+                        "computing (dedup collapse detector)",
+            **window))
+    return slos

@@ -1,0 +1,378 @@
+"""In-process metrics timeseries: a ring-buffer store over a registry.
+
+The serving layer's ``GET /metrics`` is an *instantaneous* view — a
+saturation drift or a dedup collapse is invisible unless someone is
+scraping at the right moment.  :class:`TimeseriesStore` closes that gap
+without any external dependency: it self-samples a
+:class:`~repro.perf.MetricsRegistry` on an interval, retains a bounded
+ring of points per series, and renders the whole history as one JSON
+document (``GET /v1/timeseries``).
+
+Semantics mirror the Prometheus data model scaled down to one process:
+
+* **counters** keep their raw cumulative points; per-second *rates*
+  are derived on read with counter-reset handling (a restart makes the
+  cumulative value drop — the post-reset value is taken as the
+  increase, never a negative rate);
+* **gauges** keep raw points;
+* **summaries** are flattened into one gauge-like series per rendered
+  quantile (``…{quantile=0.95}``) plus a cumulative ``…_count`` series
+  (a counter, so observation rates derive the same way).
+
+Retention is bounded twice over: at most ``retention_points`` points
+per series, and at most ``max_series`` distinct series (oldest-created
+evicted first), so a label-cardinality bug cannot grow memory without
+limit.
+
+The module is deliberately free of any HTTP or asyncio — the serve and
+router layers own the sampling task; tests drive :meth:`sample` with a
+fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+#: Default sampling interval (seconds) for the serving layer.
+DEFAULT_INTERVAL_S = 5.0
+
+#: Default bound on retained points per series (720 x 5s = 1 hour).
+DEFAULT_RETENTION_POINTS = 720
+
+#: Default bound on distinct series (label-cardinality safety net).
+DEFAULT_MAX_SERIES = 2048
+
+
+def series_key(name: str, labels: Mapping[str, object] | Sequence = ()) -> str:
+    """Canonical ``name{k=v,...}`` key for one labelled series."""
+    if isinstance(labels, Mapping):
+        pairs = sorted((k, str(v)) for k, v in labels.items())
+    else:
+        pairs = [(k, str(v)) for k, v in labels]
+    if not pairs:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in pairs)
+    return f"{name}{{{inner}}}"
+
+
+def parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`series_key` (labels as a plain dict)."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in rest.rstrip("}").split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+def increase(points: Sequence[tuple[float, float]]) -> float:
+    """Total increase of a cumulative counter over its points.
+
+    Counter-reset aware: a drop between consecutive points means the
+    process restarted, and the post-reset cumulative value *is* the
+    increase since the reset (the standard Prometheus convention).
+    Never negative.
+    """
+    total = 0.0
+    prev: float | None = None
+    for _, value in points:
+        if prev is not None:
+            delta = value - prev
+            total += delta if delta >= 0 else value
+        prev = value
+    return max(0.0, total)
+
+
+def rate_points(
+    points: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Per-second rate between consecutive cumulative samples.
+
+    Each output point is stamped at the *later* sample's time.  Resets
+    (value drops) contribute the post-reset value over the interval, so
+    rates stay non-negative through restarts.  Zero-or-negative time
+    steps (clock weirdness) are skipped rather than divided by.
+    """
+    rates: list[tuple[float, float]] = []
+    for (t0, v0), (t1, v1) in zip(points, points[1:]):
+        dt = t1 - t0
+        if dt <= 0:
+            continue
+        delta = v1 - v0
+        if delta < 0:  # counter reset: the new value is the increase
+            delta = v1
+        rates.append((t1, delta / dt))
+    return rates
+
+
+def window_points(points: Sequence[tuple[float, float]], *,
+                  since: float) -> list[tuple[float, float]]:
+    """The suffix of ``points`` with timestamps ``>= since``."""
+    return [(t, v) for t, v in points if t >= since]
+
+
+class _Series:
+    """One series ring: kind + bounded ``(ts, value)`` points."""
+
+    __slots__ = ("kind", "points")
+
+    def __init__(self, kind: str, retention: int) -> None:
+        self.kind = kind
+        self.points: deque[tuple[float, float]] = deque(maxlen=retention)
+
+
+class TimeseriesStore:
+    """Bounded, thread-safe history of one registry's metrics.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.perf.MetricsRegistry` to self-sample.
+    interval_s:
+        The *intended* sampling cadence — recorded in the rendered
+        document so readers (``pasm-top``, the router's fleet
+        aggregation) can align buckets.  The store itself never
+        sleeps; whoever owns the event loop calls :meth:`sample`.
+    retention_points:
+        Ring bound per series; the oldest points fall off.
+    max_series:
+        Bound on distinct series; the oldest-*created* series are
+        evicted first when exceeded.
+    clock:
+        Timestamp source for sample points.  Wall-clock by default so
+        points from different fleet members are comparable.
+    """
+
+    def __init__(
+        self,
+        registry,
+        *,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        retention_points: int = DEFAULT_RETENTION_POINTS,
+        max_series: int = DEFAULT_MAX_SERIES,
+        clock=None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if retention_points < 2:
+            raise ValueError(
+                f"retention_points must be >= 2, got {retention_points}"
+            )
+        if max_series < 1:
+            raise ValueError(f"max_series must be >= 1, got {max_series}")
+        import time as _time
+
+        self.registry = registry
+        self.interval_s = interval_s
+        self.retention_points = retention_points
+        self.max_series = max_series
+        self._clock = clock or _time.time
+        self._lock = threading.Lock()
+        self._series: dict[str, _Series] = {}
+        self.samples_taken = 0
+        self.series_evicted = 0
+
+    # ------------------------------------------------------------------
+    # Write side
+    def sample(self, now: float | None = None) -> float:
+        """Take one sample of every registry metric; returns its ts."""
+        ts = self._clock() if now is None else now
+        snapshot = self.registry.snapshot()
+        with self._lock:
+            for name, metric in snapshot.items():
+                kind = metric["kind"]
+                if kind == "summary":
+                    for label_key, summary in metric["series"].items():
+                        for q, value in summary["quantiles"].items():
+                            key = series_key(
+                                name, tuple(label_key) + (("quantile", q),)
+                            )
+                            self._append(key, "quantile", ts, value)
+                        self._append(
+                            series_key(f"{name}_count", label_key),
+                            "counter", ts, summary["count"],
+                        )
+                else:
+                    for label_key, value in metric["series"].items():
+                        self._append(series_key(name, label_key), kind,
+                                     ts, value)
+            self.samples_taken += 1
+        return ts
+
+    def _append(self, key: str, kind: str, ts: float, value: float) -> None:
+        series = self._series.get(key)
+        if series is None:
+            while len(self._series) >= self.max_series:
+                oldest = next(iter(self._series))
+                del self._series[oldest]
+                self.series_evicted += 1
+            series = self._series[key] = _Series(kind, self.retention_points)
+        series.points.append((ts, float(value)))
+
+    # ------------------------------------------------------------------
+    # Read side
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._series)
+
+    def points(self, key: str, *,
+               since: float | None = None) -> list[tuple[float, float]]:
+        """Raw retained points of one series (empty if unknown)."""
+        with self._lock:
+            series = self._series.get(key)
+            pts = list(series.points) if series is not None else []
+        if since is not None:
+            pts = window_points(pts, since=since)
+        return pts
+
+    def kind(self, key: str) -> str | None:
+        with self._lock:
+            series = self._series.get(key)
+            return series.kind if series is not None else None
+
+    def matching(self, name: str,
+                 where: Mapping[str, str] | None = None) -> list[str]:
+        """Series keys of one metric name, optionally label-filtered."""
+        out = []
+        for key in self.keys():
+            base, labels = parse_series_key(key)
+            if base != name:
+                continue
+            if where and any(labels.get(k) != v for k, v in where.items()):
+                continue
+            out.append(key)
+        return out
+
+    def window_increase(self, key: str, *, since: float) -> float:
+        """Counter increase over the window ``[since, now]``.
+
+        The point just *before* the window (when retained) anchors the
+        first delta, so a window boundary between samples does not
+        swallow an increment.
+        """
+        pts = self.points(key)
+        inside = [i for i, (t, _) in enumerate(pts) if t >= since]
+        if not inside:
+            return 0.0
+        start = max(0, inside[0] - 1)
+        return increase(pts[start:])
+
+    def latest(self, key: str) -> tuple[float, float] | None:
+        pts = self.points(key)
+        return pts[-1] if pts else None
+
+    # ------------------------------------------------------------------
+    def to_doc(self, *, since: float | None = None,
+               instance: str | None = None) -> dict:
+        """The JSON document served at ``GET /v1/timeseries``."""
+        with self._lock:
+            snapshot = {
+                key: (series.kind, list(series.points))
+                for key, series in self._series.items()
+            }
+        series_doc: dict[str, dict] = {}
+        for key, (kind, pts) in sorted(snapshot.items()):
+            if since is not None:
+                pts = window_points(pts, since=since)
+            entry: dict = {
+                "kind": kind,
+                "points": [[round(t, 3), value] for t, value in pts],
+            }
+            if kind == "counter":
+                entry["rate"] = [
+                    [round(t, 3), round(r, 6)] for t, r in rate_points(pts)
+                ]
+            series_doc[key] = entry
+        doc = {
+            "interval_s": self.interval_s,
+            "retention_points": self.retention_points,
+            "samples_taken": self.samples_taken,
+            "now": self._clock(),
+            "series": series_doc,
+        }
+        if instance is not None:
+            doc["instance"] = instance
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# Fleet aggregation (the router's /v1/timeseries)
+def aggregate_timeseries(docs: Iterable[dict],
+                         *, interval_s: float | None = None) -> dict:
+    """Merge instance timeseries documents into one fleet-wide view.
+
+    Points are bucketed to the sampling interval (instances sample on
+    their own clocks, so exact timestamps never align); within a bucket
+    counters, counter rates, ``…_count`` series and plain gauges
+    **sum** across instances, gauges named ``*_ratio`` **average**
+    (a sum of fractions is meaningless), and quantile series take the
+    **max** — the fleet's worst tail is the honest aggregate, while
+    averaging quantiles would understate it.
+    """
+    docs = [d for d in docs if isinstance(d, dict) and d.get("series")]
+    if interval_s is None:
+        interval_s = max(
+            [float(d.get("interval_s", DEFAULT_INTERVAL_S)) for d in docs],
+            default=DEFAULT_INTERVAL_S,
+        )
+    step = max(interval_s, 1e-3)
+
+    def bucket(t: float) -> float:
+        return round(round(t / step) * step, 3)
+
+    def combiner(kind: str, key: str) -> str:
+        if kind == "quantile":
+            return "max"
+        if kind == "gauge" and parse_series_key(key)[0].endswith("_ratio"):
+            return "mean"
+        return "sum"
+
+    # key -> field -> bucket -> (accumulated value, contributions)
+    merged: dict[str, dict] = {}
+    for doc in docs:
+        for key, entry in doc["series"].items():
+            kind = entry.get("kind", "gauge")
+            slot = merged.setdefault(key, {"kind": kind, "points": {},
+                                           "rate": {}})
+            for field in ("points", "rate"):
+                for t, value in entry.get(field, ()):  # [[ts, v], ...]
+                    b = bucket(t)
+                    acc, n = slot[field].get(b, (0.0, 0))
+                    if combiner(kind, key) == "max":
+                        acc = max(acc, value) if n else value
+                    else:
+                        acc += value
+                    slot[field][b] = (acc, n + 1)
+
+    def resolved(slot_field: dict, how: str) -> list[list[float]]:
+        out = []
+        for t in sorted(slot_field):
+            acc, n = slot_field[t]
+            out.append([t, acc / n if how == "mean" and n else acc])
+        return out
+
+    series_doc = {}
+    for key, slot in sorted(merged.items()):
+        how = combiner(slot["kind"], key)
+        entry: dict = {
+            "kind": slot["kind"],
+            "points": resolved(slot["points"], how),
+        }
+        if slot["kind"] == "counter":
+            entry["rate"] = resolved(slot["rate"], "sum")
+        series_doc[key] = entry
+    return {
+        "interval_s": interval_s,
+        "instances": len(docs),
+        "series": series_doc,
+    }

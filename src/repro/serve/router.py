@@ -25,9 +25,14 @@ Behaviour:
   one on a cooldown; only when *every* instance fails does the client
   see a 503 + ``Retry-After``;
 * **fleet views** — ``GET /metrics`` sums every instance's Prometheus
-  page (``*_ratio`` gauges are averaged) plus the router's own
-  counters; ``GET /v1/stats`` concatenates per-instance tables;
-  ``GET /healthz`` reports every instance.
+  page (``*_ratio`` gauges are averaged, weighted by each instance's
+  traffic) plus the router's own counters; ``GET /v1/stats``
+  concatenates per-instance tables; ``GET /healthz`` reports every
+  instance; ``GET /v1/timeseries`` returns per-instance ring-buffer
+  history plus a fleet-wide aggregate
+  (:func:`repro.obs.timeseries.aggregate_timeseries`) and the
+  router's own series; ``GET /v1/alerts`` collects every instance's
+  SLO alert states.
 
 Run it::
 
@@ -57,6 +62,8 @@ from repro.obs.ids import (
     parse_traceparent,
 )
 from repro.obs.jsonlog import StructuredLogger
+from repro.obs.procstats import ProcessStats
+from repro.obs.timeseries import TimeseriesStore, aggregate_timeseries
 from repro.perf import MetricsRegistry
 from repro.serve.broker import exhibit_key
 from repro.serve.http import HttpServer, Request, Response, send_request
@@ -113,6 +120,13 @@ class RouterConfig:
         How long a dead instance is skipped before being probed again.
     retry_after_s:
         ``Retry-After`` hint when the whole fleet is unreachable.
+    sample_interval_s:
+        Cadence of the router's own health sampler (its timeseries
+        ring and ``pasm_process_*`` self-metrics).  ``0`` disables it;
+        fleet views still work, the router just contributes no series
+        of its own.
+    retention_points:
+        Ring bound per router timeseries.
     """
 
     instances: tuple[str, ...]
@@ -123,6 +137,8 @@ class RouterConfig:
     cooldown_s: float = 2.0
     retry_after_s: float = 1.0
     log_format: str = "text"
+    sample_interval_s: float = 5.0
+    retention_points: int = 720
 
     def __post_init__(self) -> None:
         if not self.instances:
@@ -134,6 +150,19 @@ class RouterConfig:
                 raise ConfigurationError(
                     f"{name} must be positive, got {getattr(self, name)}"
                 )
+        if self.sample_interval_s < 0:
+            raise ConfigurationError(
+                "sample_interval_s must be >= 0 (0 disables), "
+                f"got {self.sample_interval_s}"
+            )
+        if self.retention_points < 2:
+            raise ConfigurationError(
+                f"retention_points must be >= 2, got {self.retention_points}"
+            )
+
+    @property
+    def sampling_enabled(self) -> bool:
+        return self.sample_interval_s > 0
 
 
 def route_key(request: Request) -> str:
@@ -172,13 +201,34 @@ def route_key(request: Request) -> str:
     ).hexdigest()
 
 
+def _page_weight(page: str) -> float:
+    """One instance's traffic: the sum of its request counters.
+
+    Used to weight ``*_ratio`` gauges in :func:`merge_prometheus` —
+    a cache-hit ratio from an instance that served 10k requests should
+    dominate the same gauge from one that served 3.
+    """
+    weight = 0.0
+    for line in page.splitlines():
+        if line.startswith("pasm_serve_requests_total"):
+            _, _, value_text = line.rpartition(" ")
+            try:
+                weight += float(value_text)
+            except ValueError:
+                continue
+    return weight
+
+
 def merge_prometheus(pages: list[str]) -> str:
     """Aggregate Prometheus text pages from N instances into one.
 
     Samples with identical ``name{labels}`` keys are **summed** —
     right for counters, queue depths and summary sums/counts.  Gauges
     whose name ends in ``_ratio`` are **averaged** instead (a sum of
-    fractions is meaningless).  ``# HELP``/``# TYPE`` lines are kept
+    fractions is meaningless), weighted by each page's traffic (its
+    ``pasm_serve_requests_total`` sum) so a busy instance counts for
+    more than an idle one; when no page carries a traffic counter the
+    unweighted mean is used.  ``# HELP``/``# TYPE`` lines are kept
     from their first appearance, so the merged page stays parseable.
     """
     meta: list[str] = []
@@ -186,7 +236,10 @@ def merge_prometheus(pages: list[str]) -> str:
     order: list[str] = []
     totals: dict[str, float] = {}
     counts: dict[str, int] = {}
+    ratio_weighted: dict[str, float] = {}  #: series -> sum(value * weight)
+    ratio_weights: dict[str, float] = {}   #: series -> sum(weight)
     for page in pages:
+        page_weight = _page_weight(page)
         for line in page.splitlines():
             if not line.strip():
                 continue
@@ -206,12 +259,22 @@ def merge_prometheus(pages: list[str]) -> str:
                 counts[series] = 0
             totals[series] += value
             counts[series] += 1
+            if series.split("{", 1)[0].endswith("_ratio"):
+                ratio_weighted[series] = (
+                    ratio_weighted.get(series, 0.0) + value * page_weight
+                )
+                ratio_weights[series] = (
+                    ratio_weights.get(series, 0.0) + page_weight
+                )
 
     def rendered(series: str) -> str:
         name = series.split("{", 1)[0]
         value = totals[series]
         if name.endswith("_ratio") and counts[series] > 1:
-            value = value / counts[series]
+            if ratio_weights.get(series, 0.0) > 0.0:
+                value = ratio_weighted[series] / ratio_weights[series]
+            else:
+                value = value / counts[series]
         return f"{series} {value:g}"
 
     lines = meta + [rendered(s) for s in order]
@@ -235,6 +298,14 @@ class RouterApp:
                                  port=config.port)
         self._cooling: dict[str, float] = {}  #: base -> monotonic deadline
         self._stopped: asyncio.Event | None = None
+        self.procstats = ProcessStats(self.metrics)
+        self.timeseries = (
+            TimeseriesStore(self.metrics,
+                            interval_s=config.sample_interval_s,
+                            retention_points=config.retention_points)
+            if config.sampling_enabled else None
+        )
+        self._sampler: asyncio.Task | None = None
         m = self.metrics
         m.describe("pasm_router_requests_total", "counter",
                    "Requests forwarded, by instance and status")
@@ -255,12 +326,34 @@ class RouterApp:
     async def start(self) -> None:
         self._stopped = asyncio.Event()
         await self.server.start()
+        if self.timeseries is not None:
+            self._sampler = asyncio.create_task(
+                self._sampler_loop(self.config.sample_interval_s)
+            )
 
     async def shutdown(self) -> None:
         if self._stopped is None or self._stopped.is_set():
             return
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
         await self.server.stop()
         self._stopped.set()
+
+    async def _sampler_loop(self, tick: float) -> None:
+        while True:
+            await asyncio.sleep(tick)
+            try:
+                self.sample_once()
+            except Exception as exc:  # keep sampling through surprises
+                self.log.warning("sampler_error",
+                                 error=f"{type(exc).__name__}: {exc}")
+
+    def sample_once(self) -> None:
+        """One sampler pass: self-metrics, then a timeseries point."""
+        self.procstats.collect()
+        if self.timeseries is not None:
+            self.timeseries.sample()
 
     # ------------------------------------------------------------------
     # Routing
@@ -268,14 +361,29 @@ class RouterApp:
         start = time.perf_counter()
         request_id = request.headers.get("x-request-id") or new_request_id()
         path = request.path.rstrip("/") or "/"
-        if path == "/healthz" and request.method == "GET":
-            response = await self._healthz()
-        elif path == "/metrics" and request.method == "GET":
-            response = await self._fleet_metrics()
-        elif path == "/v1/stats" and request.method == "GET":
-            response = await self._fleet_stats()
-        else:
-            response = await self._proxy(request, request_id)
+        try:
+            if path == "/healthz" and request.method == "GET":
+                response = await self._healthz()
+            elif path == "/metrics" and request.method == "GET":
+                response = await self._fleet_metrics()
+            elif path == "/v1/stats" and request.method == "GET":
+                response = await self._fleet_stats()
+            elif path == "/v1/timeseries" and request.method == "GET":
+                response = await self._fleet_timeseries(request)
+            elif path == "/v1/alerts" and request.method == "GET":
+                response = await self._fleet_alerts()
+            else:
+                response = await self._proxy(request, request_id)
+        except Exception as exc:  # noqa: BLE001
+            # Keep handler bugs inside the counted/logged path rather
+            # than letting the raw HTTP layer answer uninstrumented.
+            self.log.error("handler_error", path=request.path,
+                           error=f"{type(exc).__name__}: {exc}",
+                           request_id=request_id)
+            response = Response(
+                status=500,
+                body={"error": f"{type(exc).__name__}: {exc}"},
+            )
         if response.status >= 400 and isinstance(response.body, dict):
             response.body.setdefault("request_id", request_id)
         response.headers = tuple(response.headers) + (
@@ -410,11 +518,85 @@ class RouterApp:
             for outcome in polled.values()
             if not isinstance(outcome, BaseException) and outcome[0] == 200
         ]
+        self.procstats.collect()
         pages.append(self.metrics.render())
         return Response(
             body=merge_prometheus(pages),
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
+
+    async def _fleet_timeseries(self, request: Request) -> Response:
+        since_text = request.query.get("since")
+        path = "/v1/timeseries"
+        since = None
+        if since_text is not None:
+            try:
+                since = float(since_text)
+            except ValueError:
+                return Response(status=400, body={
+                    "error": f"invalid since value {since_text!r}"
+                })
+            path += "?" + urlencode({"since": since_text})
+        polled = await self._fetch_all(path)
+        instances: dict[str, object] = {}
+        docs = []
+        for base, outcome in sorted(polled.items()):
+            if isinstance(outcome, BaseException):
+                instances[base] = {
+                    "error": f"{type(outcome).__name__}: {outcome}"
+                }
+                continue
+            status, body = outcome
+            if status != 200:
+                instances[base] = {"error": f"http {status}"}
+                continue
+            try:
+                doc = json.loads(body)
+            except ValueError:
+                instances[base] = {"error": "unparseable body"}
+                continue
+            instances[base] = doc
+            docs.append(doc)
+        body_doc: dict[str, object] = {
+            "now": time.time(),
+            "fleet": aggregate_timeseries(docs),
+            "instances": instances,
+        }
+        if self.timeseries is not None:
+            body_doc["router"] = self.timeseries.to_doc(
+                since=since, instance=f"router:{self.port}"
+            )
+        return Response(body=body_doc)
+
+    async def _fleet_alerts(self) -> Response:
+        polled = await self._fetch_all("/v1/alerts")
+        instances: dict[str, object] = {}
+        firing: list[dict] = []
+        for base, outcome in sorted(polled.items()):
+            if isinstance(outcome, BaseException):
+                instances[base] = {
+                    "error": f"{type(outcome).__name__}: {outcome}"
+                }
+                continue
+            status, body = outcome
+            if status != 200:
+                instances[base] = {"error": f"http {status}"}
+                continue
+            try:
+                doc = json.loads(body)
+            except ValueError:
+                instances[base] = {"error": "unparseable body"}
+                continue
+            instances[base] = doc
+            for alert in doc.get("alerts", ()):
+                if alert.get("state") == "firing":
+                    firing.append(dict(alert, instance=base))
+        return Response(body={
+            "now": time.time(),
+            "firing": firing,
+            "firing_count": len(firing),
+            "instances": instances,
+        })
 
     async def _fleet_stats(self) -> Response:
         polled = await self._fetch_all("/v1/stats")
@@ -519,6 +701,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="Retry-After hint when the fleet is down")
     parser.add_argument("--log-format", choices=("text", "json"),
                         default="text")
+    parser.add_argument("--sample-interval", type=float, default=5.0,
+                        metavar="S",
+                        help="router health sampler cadence "
+                             "(0 disables; default: 5)")
+    parser.add_argument("--retention", type=int, default=720,
+                        metavar="POINTS",
+                        help="timeseries ring bound per series "
+                             "(default: 720)")
     args = parser.parse_args(argv)
     instances = tuple(
         part.strip()
@@ -536,6 +726,8 @@ def main(argv: list[str] | None = None) -> int:
             cooldown_s=args.cooldown,
             retry_after_s=args.retry_after,
             log_format=args.log_format,
+            sample_interval_s=args.sample_interval,
+            retention_points=args.retention,
         )
     except ReproError as exc:
         parser.error(str(exc))

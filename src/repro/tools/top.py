@@ -1,0 +1,290 @@
+"""``pasm-top``: a live terminal dashboard over ``GET /v1/timeseries``.
+
+Point it at one ``pasm-serve`` instance or at a ``pasm-router`` and it
+polls the timeseries and alert endpoints, rendering throughput, error
+rate, latency quantiles, queue depth and dedup ratio as sparkline rows
+— plain ANSI, no curses, no dependencies::
+
+    pasm-top http://127.0.0.1:8137            # one instance, live
+    pasm-top http://127.0.0.1:8138 --once     # router: one fleet frame
+
+Against a router the main panel shows the *fleet-wide* aggregate and a
+per-instance table underneath; firing SLO alerts (``GET /v1/alerts``)
+are banner-lined at the top.  ``--once`` prints a single frame and
+exits (scripts, CI smoke); otherwise the screen redraws every
+``--interval`` seconds until interrupted.
+
+Rendering is split into pure functions (:func:`sparkline`,
+:func:`render_frame`) over fetched documents, so tests drive them with
+canned JSON and never open a socket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.timeseries import parse_series_key
+
+#: Eight-level bar glyphs, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: ANSI: cursor home + clear to end of screen (full-frame redraw).
+CLEAR = "\x1b[H\x1b[J"
+
+#: Main-panel rows: (label, metric name, field, combine, labels filter,
+#: value formatter, display divisor).  ``field`` is "rate" for
+#: counter-derived rates, "points" for raw gauge/quantile samples.
+PANEL = (
+    ("req/s", "pasm_serve_requests_total", "rate", "sum", None,
+     "{:.1f}", 1),
+    ("err/s", "pasm_serve_requests_total", "rate", "sum",
+     {"status": lambda s: s == "429" or s.startswith("5")}, "{:.1f}", 1),
+    ("p50 lat", "pasm_serve_job_latency_seconds", "points", "max",
+     {"quantile": "0.5"}, "{:.3f}s", 1),
+    ("p95 lat", "pasm_serve_job_latency_seconds", "points", "max",
+     {"quantile": "0.95"}, "{:.3f}s", 1),
+    ("queue", "pasm_serve_queue_depth", "points", "sum", None,
+     "{:.0f}", 1),
+    ("inflight", "pasm_serve_in_flight", "points", "sum", None,
+     "{:.0f}", 1),
+    ("dedup", "pasm_serve_cache_hit_ratio", "points", "mean", None,
+     "{:.0%}", 1),
+    ("rss MB", "pasm_process_resident_memory_bytes", "points", "sum", None,
+     "{:.0f}", 1 << 20),
+    ("cpu/s", "pasm_process_cpu_seconds_total", "rate", "sum", None,
+     "{:.2f}", 1),
+)
+
+
+def sparkline(values, width: int = 36) -> str:
+    """The last ``width`` values as one row of ▁▂▃▄▅▆▇█ bars."""
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        # A flat line renders low unless it is a flat *non-zero* line.
+        idx = 0 if hi <= 0 else 3
+        return SPARK_CHARS[idx] * len(vals)
+    return "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1,
+                        int((v - lo) / span * len(SPARK_CHARS)))]
+        for v in vals
+    )
+
+
+def _matches(labels: dict, where) -> bool:
+    if not where:
+        return True
+    for k, want in where.items():
+        got = labels.get(k)
+        if got is None:
+            return False
+        if callable(want):
+            if not want(got):
+                return False
+        elif got != want:
+            return False
+    return True
+
+
+def metric_points(doc: dict, name: str, *, field: str = "points",
+                  how: str = "sum", where=None) -> list[list[float]]:
+    """Combined ``[ts, value]`` points of one metric across its series.
+
+    Matching series (by metric name, optionally filtered by labels —
+    exact strings or predicates) are bucketed to the document's
+    sampling interval and combined: ``sum``, ``mean`` or ``max``.
+    """
+    step = max(float(doc.get("interval_s", 5.0)), 1e-3)
+    buckets: dict[float, tuple[float, int]] = {}
+    for key, entry in doc.get("series", {}).items():
+        base, labels = parse_series_key(key)
+        if base != name or not _matches(labels, where):
+            continue
+        for t, value in entry.get(field, ()):
+            b = round(round(t / step) * step, 3)
+            acc, n = buckets.get(b, (0.0, 0))
+            if how == "max":
+                acc = max(acc, value) if n else value
+            else:
+                acc += value
+            buckets[b] = (acc, n + 1)
+    out = []
+    for t in sorted(buckets):
+        acc, n = buckets[t]
+        out.append([t, acc / n if how == "mean" and n else acc])
+    return out
+
+
+def _fmt(template: str, value: float | None) -> str:
+    if value is None:
+        return "-"
+    try:
+        return template.format(value)
+    except (ValueError, TypeError):
+        return str(value)
+
+
+def _panel_lines(doc: dict, *, width: int) -> list[str]:
+    lines = []
+    for label, name, field, how, where, template, divisor in PANEL:
+        pts = metric_points(doc, name, field=field, how=how, where=where)
+        values = [v for _, v in pts]
+        last = values[-1] / divisor if values else None
+        lines.append(f"  {label:<9} {_fmt(template, last):>9}  "
+                     f"{sparkline(values, width)}")
+    return lines
+
+
+def _alert_lines(alerts_doc: dict | None) -> list[str]:
+    if not alerts_doc:
+        return []
+    # Router shape carries a pre-filtered "firing" list; an instance
+    # doc carries every alert under "alerts".
+    if isinstance(alerts_doc.get("firing"), list):
+        firing = alerts_doc["firing"]
+    else:
+        firing = [a for a in alerts_doc.get("alerts", ())
+                  if a.get("state") == "firing"]
+    if not firing:
+        return ["  alerts: none firing"]
+    lines = [f"  ALERTS FIRING: {len(firing)}"]
+    for alert in firing:
+        origin = alert.get("instance", "")
+        origin = f" @ {origin}" if origin else ""
+        lines.append(
+            f"   !! {alert.get('slo', '?')}{origin}: "
+            f"measured {alert.get('measured')} vs "
+            f"target {alert.get('target')} "
+            f"(burn {alert.get('burn', {})})"
+        )
+    return lines
+
+
+def _instance_lines(instances: dict, *, width: int) -> list[str]:
+    lines = ["  instances:"]
+    for base, doc in sorted(instances.items()):
+        if not isinstance(doc, dict) or "series" not in doc:
+            error = doc.get("error", "no data") \
+                if isinstance(doc, dict) else "no data"
+            lines.append(f"   {base:<28} {error}")
+            continue
+        req = metric_points(doc, "pasm_serve_requests_total", field="rate")
+        queue = metric_points(doc, "pasm_serve_queue_depth")
+        last_req = req[-1][1] if req else 0.0
+        last_queue = queue[-1][1] if queue else 0.0
+        lines.append(
+            f"   {base:<28} req/s {last_req:>7.1f}  "
+            f"queue {last_queue:>4.0f}  "
+            f"{sparkline([v for _, v in req], max(8, width // 2))}"
+        )
+    return lines
+
+
+def render_frame(ts_doc: dict, alerts_doc: dict | None = None, *,
+                 source: str = "", width: int = 36,
+                 clock=time.time) -> str:
+    """One full dashboard frame as a string (pure; no I/O).
+
+    Accepts both shapes: an instance document (``series`` at top
+    level) and a router document (``fleet`` aggregate + ``instances``
+    map).
+    """
+    if "fleet" in ts_doc:
+        main = ts_doc.get("fleet", {})
+        instances = ts_doc.get("instances", {})
+        scope = f"fleet of {main.get('instances', len(instances))}"
+    else:
+        main = ts_doc
+        instances = None
+        scope = ts_doc.get("instance") or "instance"
+    stamp = time.strftime("%H:%M:%S", time.localtime(clock()))
+    lines = [f"pasm-top — {source or scope}  [{scope}]  {stamp}", ""]
+    lines += _alert_lines(alerts_doc)
+    lines.append("")
+    lines += _panel_lines(main, width=width)
+    if instances:
+        lines.append("")
+        lines += _instance_lines(instances, width=width)
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Fetch + CLI
+def fetch_json(url: str, *, timeout: float = 5.0) -> dict | None:
+    """GET a JSON document; ``None`` on 404 (endpoint disabled)."""
+    request = urllib.request.Request(
+        url, headers={"Accept": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        if exc.code == 404:
+            return None
+        raise
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pasm-top",
+        description="Live dashboard over a pasm-serve instance or "
+        "pasm-router fleet: polls /v1/timeseries and /v1/alerts, "
+        "renders sparkline rows for throughput, errors, latency "
+        "quantiles, queue depth and dedup.",
+    )
+    parser.add_argument("url", nargs="?", default="http://127.0.0.1:8137",
+                        help="base URL of a pasm-serve or pasm-router "
+                             "(default: http://127.0.0.1:8137)")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="refresh interval (default: 2)")
+    parser.add_argument("--window", type=float, default=300.0, metavar="S",
+                        help="history window to request (default: 300)")
+    parser.add_argument("--width", type=int, default=36,
+                        help="sparkline width in cells (default: 36)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame and exit (scripts, CI)")
+    args = parser.parse_args(argv)
+    base = args.url.rstrip("/")
+
+    def frame() -> str:
+        since = time.time() - args.window
+        ts_doc = fetch_json(f"{base}/v1/timeseries?since={since:.3f}")
+        if ts_doc is None:
+            return (f"pasm-top — {base}\n\n  /v1/timeseries answered "
+                    "404: sampling is disabled on this instance "
+                    "(start it with --sample-interval > 0)\n")
+        alerts_doc = fetch_json(f"{base}/v1/alerts")
+        return render_frame(ts_doc, alerts_doc, source=base,
+                            width=args.width)
+
+    try:
+        if args.once:
+            sys.stdout.write(frame())
+            return 0
+        while True:
+            try:
+                text = frame()
+            except (OSError, ValueError, urllib.error.URLError) as exc:
+                text = (f"pasm-top — {base}\n\n  unreachable: "
+                        f"{type(exc).__name__}: {exc}\n")
+            sys.stdout.write(CLEAR + text)
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ValueError, urllib.error.URLError) as exc:
+        sys.stderr.write(f"pasm-top: {base}: "
+                         f"{type(exc).__name__}: {exc}\n")
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,19 @@ class TestSimJobSpec:
         assert clone == spec
         assert clone.content_hash == spec.content_hash
 
+    def test_from_dict_accepts_params_as_pairs(self):
+        # Tuples round-trip through JSON as lists, so a client that
+        # serialises the params field directly posts pairs, not a dict.
+        spec = SimJobSpec(program="_test", mode="serial", n=1, p=1,
+                          params=(("x", 1), ("y", 2)))
+        as_dict = spec.to_dict()
+        as_pairs = dict(as_dict, params=[["y", 2], ["x", 1]])
+        clone = SimJobSpec.from_dict(as_pairs)
+        assert clone == spec
+        assert clone.content_hash == spec.content_hash
+        with pytest.raises((TypeError, ValueError)):
+            SimJobSpec.from_dict(dict(as_dict, params=[["x", 1, "extra"]]))
+
     def test_job_seed_derived_from_hash(self):
         a = matmul_spec(ExecutionMode.SIMD, 64, 4)
         b = matmul_spec(ExecutionMode.SIMD, 64, 4, added_multiplies=1)

@@ -1,0 +1,84 @@
+"""The flight recorder: bounded ring, incident bundles, rate limiting."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import DUMP_DIR_ENV, FlightRecorder
+
+
+class FakeClock:
+    def __init__(self, now=5_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+        return self.now
+
+
+class TestRing:
+    def test_ring_is_bounded_and_drops_oldest(self):
+        rec = FlightRecorder(capacity=16, clock=FakeClock())
+        for i in range(16 + 10):
+            rec.record("request", idx=i)
+        assert len(rec) == 16
+        events = rec.snapshot()
+        assert events[0]["idx"] == 10 and events[-1]["idx"] == 25
+        # Sequence numbers keep counting across evictions.
+        assert events[0]["seq"] == 11
+        assert rec.events_recorded == 26
+
+    def test_none_fields_are_dropped(self):
+        rec = FlightRecorder(capacity=4, clock=FakeClock())
+        rec.record("shed", request_id="req-1", trace_id=None)
+        (event,) = rec.snapshot()
+        assert event["request_id"] == "req-1"
+        assert "trace_id" not in event
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_bundle_carries_events_and_context(self, tmp_path):
+        clock = FakeClock()
+        rec = FlightRecorder(capacity=8, dump_dir=str(tmp_path),
+                             instance="alpha", clock=clock)
+        rec.record("request", request_id="req-shed-42", status=429)
+        path = rec.dump("slo-error-ratio", extra={"queue_depth": 64})
+        assert path is not None
+        doc = json.loads((tmp_path / path.split("/")[-1]).read_text())
+        assert doc["reason"] == "slo-error-ratio"
+        assert doc["instance"] == "alpha"
+        assert doc["context"]["queue_depth"] == 64
+        (event,) = doc["events"]
+        assert event["request_id"] == "req-shed-42"
+
+    def test_dumps_are_rate_limited_unless_forced(self, tmp_path):
+        clock = FakeClock()
+        rec = FlightRecorder(capacity=8, dump_dir=str(tmp_path),
+                             min_dump_interval_s=10.0, clock=clock)
+        assert rec.dump("first") is not None
+        clock.advance(1.0)
+        assert rec.dump("storm") is None  # inside the window
+        assert rec.dump("sigquit", force=True) is not None
+        clock.advance(20.0)
+        assert rec.dump("later") is not None
+        assert rec.dumps_written == 3
+
+    def test_reason_is_sanitized_into_the_filename(self, tmp_path):
+        rec = FlightRecorder(capacity=4, dump_dir=str(tmp_path),
+                             clock=FakeClock())
+        path = rec.dump("slo error/ratio!")
+        assert path is not None
+        assert path.endswith("-slo-error-ratio-.json")
+
+    def test_dump_dir_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path / "env-dir"))
+        rec = FlightRecorder(capacity=4, clock=FakeClock())
+        assert rec.dump("env") is not None
+        assert (tmp_path / "env-dir").is_dir()

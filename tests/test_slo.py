@@ -1,0 +1,220 @@
+"""SLO burn-rate alerting: the math, the state machine, the surfaces.
+
+The multi-window rule and the resolve hysteresis are what keep the
+pager honest — a breach must be sustained *and* current to fire, and a
+burn rate oscillating around the threshold must not flap.  Everything
+here drives the evaluator with a fake clock and hand-fed samples.
+"""
+
+import pytest
+
+from repro.obs.slo import FIRING, OK, SLO, SLOEvaluator, default_slos
+from repro.obs.timeseries import TimeseriesStore
+from repro.perf import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=10_000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+        return self.now
+
+
+def gauge_slo(**overrides):
+    kwargs = dict(name="queue", kind="gauge", metric="depth", target=10.0,
+                  fast_window_s=10.0, slow_window_s=30.0,
+                  fast_burn=2.0, slow_burn=1.0, resolve_after=2)
+    kwargs.update(overrides)
+    return SLO(**kwargs)
+
+
+def make_world(slo, *, metrics=None, **eval_kwargs):
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    store = TimeseriesStore(registry, clock=clock)
+    evaluator = SLOEvaluator([slo], store, metrics=metrics, clock=clock,
+                             **eval_kwargs)
+    return registry, store, evaluator, clock
+
+
+def feed(registry, store, clock, value, *, steps=8, dt=5.0):
+    for _ in range(steps):
+        registry.set_gauge("depth", value)
+        store.sample(clock.advance(dt))
+
+
+# ---------------------------------------------------------------------------
+# The SLO dataclass
+class TestSLOValidation:
+    def test_rejects_unknown_kind_and_direction(self):
+        with pytest.raises(ValueError, match="kind"):
+            gauge_slo(kind="histogram")
+        with pytest.raises(ValueError, match="direction"):
+            gauge_slo(direction="sideways")
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError, match="window"):
+            gauge_slo(fast_window_s=30.0, slow_window_s=10.0)
+
+
+class TestBurnRate:
+    def test_upper_direction_is_measured_over_target(self):
+        slo = gauge_slo(target=10.0)
+        assert slo.burn_rate(25.0) == 2.5
+        assert slo.burn_rate(5.0) == 0.5
+
+    def test_no_data_burns_nothing(self):
+        assert gauge_slo().burn_rate(None) == 0.0
+
+    def test_lower_direction_inverts_and_handles_zero(self):
+        slo = gauge_slo(direction="lower", target=0.5)
+        assert slo.burn_rate(0.25) == 2.0  # below target -> burning
+        assert slo.burn_rate(1.0) == 0.5   # above target -> healthy
+        assert slo.burn_rate(0.0) == float("inf")
+
+
+class TestRatioMeasure:
+    def test_bad_class_patterns_match_by_first_digit(self):
+        slo = SLO(name="err", kind="ratio", metric="req_total", target=0.05,
+                  fast_window_s=10.0, slow_window_s=30.0)
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        store = TimeseriesStore(registry, clock=clock)
+        for status in (200, 429, 503):
+            registry.inc("req_total", 0, status=status)
+        store.sample(clock.now)  # zero anchor for every series
+        registry.inc("req_total", 90, status=200)
+        registry.inc("req_total", 6, status=429)
+        registry.inc("req_total", 4, status=503)
+        store.sample(clock.advance(5.0))
+        measured = slo.measure(store, now=clock.now, window_s=30.0)
+        assert measured == pytest.approx(0.10)  # (6+4)/100
+
+    def test_below_min_denominator_is_no_data(self):
+        slo = SLO(name="err", kind="ratio", metric="req_total", target=0.05,
+                  fast_window_s=10.0, slow_window_s=30.0,
+                  min_denominator=5.0)
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        store = TimeseriesStore(registry, clock=clock)
+        registry.inc("req_total", 0, status=429)
+        store.sample(clock.now)
+        registry.inc("req_total", 2, status=429)
+        store.sample(clock.advance(5.0))
+        assert slo.measure(store, now=clock.now, window_s=30.0) is None
+
+    def test_quantile_of_empty_window_is_no_data(self):
+        slo = SLO(name="lat", kind="quantile", metric="lat_seconds",
+                  target=1.0, labels=(("quantile", "0.95"),),
+                  fast_window_s=10.0, slow_window_s=30.0)
+        store = TimeseriesStore(MetricsRegistry(), clock=FakeClock())
+        assert slo.measure(store, now=10_000.0, window_s=30.0) is None
+        assert slo.burn_rate(None) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# The state machine
+class TestEvaluator:
+    def test_fire_needs_both_windows(self):
+        registry, store, evaluator, clock = make_world(gauge_slo())
+        state = evaluator.states["queue"]
+        # Breach only the fast window: 25s of calm history, 10s of
+        # saturation.  Slow-window mean stays under target * slow_burn.
+        feed(registry, store, clock, 1.0, steps=5)
+        feed(registry, store, clock, 30.0, steps=2)
+        evaluator.evaluate()
+        assert state.state == OK
+        # Sustain the saturation until the slow window breaches too.
+        feed(registry, store, clock, 30.0, steps=6)
+        transitioned = evaluator.evaluate()
+        assert state.state == FIRING
+        assert [s.slo.name for s in transitioned] == ["queue"]
+
+    def test_hysteresis_fire_resolve_refire(self):
+        fired, resolved = [], []
+        metrics = MetricsRegistry()
+        registry, store, evaluator, clock = make_world(
+            gauge_slo(), metrics=metrics,
+            on_fire=lambda s: fired.append(s.slo.name),
+            on_resolve=lambda s: resolved.append(s.slo.name),
+        )
+        state = evaluator.states["queue"]
+
+        feed(registry, store, clock, 50.0)
+        evaluator.evaluate()
+        assert state.state == FIRING and fired == ["queue"]
+        assert metrics.value("pasm_slo_status", slo="queue") == 1.0
+
+        # One healthy evaluation is not enough (resolve_after=2)...
+        feed(registry, store, clock, 0.0)
+        evaluator.evaluate()
+        assert state.state == FIRING and resolved == []
+        # ...the second one resolves.
+        feed(registry, store, clock, 0.0)
+        evaluator.evaluate()
+        assert state.state == OK and resolved == ["queue"]
+        assert metrics.value("pasm_slo_status", slo="queue") == 0.0
+
+        # A fresh breach fires again and counts a second page.
+        feed(registry, store, clock, 50.0)
+        evaluator.evaluate()
+        assert state.state == FIRING
+        assert state.fires == 2 and fired == ["queue", "queue"]
+        assert metrics.value("pasm_slo_transitions_total",
+                             slo="queue", to="firing") == 2.0
+
+    def test_breach_during_recovery_resets_the_streak(self):
+        registry, store, evaluator, clock = make_world(gauge_slo())
+        state = evaluator.states["queue"]
+        feed(registry, store, clock, 50.0)
+        evaluator.evaluate()
+        assert state.state == FIRING
+        feed(registry, store, clock, 0.0)
+        evaluator.evaluate()  # healthy_streak -> 1
+        feed(registry, store, clock, 50.0)
+        evaluator.evaluate()  # breach again: streak must reset
+        assert state.healthy_streak == 0
+        feed(registry, store, clock, 0.0)
+        evaluator.evaluate()
+        assert state.state == FIRING  # still needs two in a row
+
+    def test_burn_gauges_and_doc_surfaces(self):
+        metrics = MetricsRegistry()
+        registry, store, evaluator, clock = make_world(
+            gauge_slo(), metrics=metrics)
+        feed(registry, store, clock, 30.0)
+        evaluator.evaluate()
+        assert metrics.value("pasm_slo_burn_rate",
+                             slo="queue", window="fast") == 3.0
+        doc = evaluator.to_doc(instance="alpha")
+        assert doc["instance"] == "alpha"
+        assert doc["firing"] == 1
+        (alert,) = doc["alerts"]
+        assert alert["slo"] == "queue" and alert["state"] == FIRING
+        assert alert["burn"]["fast"] == 3.0
+
+    def test_idle_store_fires_nothing(self):
+        _, _, evaluator, _ = make_world(gauge_slo())
+        assert evaluator.evaluate() == []
+        assert evaluator.firing == []
+
+    def test_rejects_duplicate_names(self):
+        store = TimeseriesStore(MetricsRegistry(), clock=FakeClock())
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEvaluator([gauge_slo(), gauge_slo()], store)
+
+
+# ---------------------------------------------------------------------------
+# The default set
+class TestDefaultSLOs:
+    def test_standard_trio_and_optional_dedup(self):
+        names = [s.name for s in default_slos()]
+        assert names == ["error-ratio", "latency-p95", "queue-depth"]
+        with_dedup = default_slos(dedup_min=0.5)
+        assert with_dedup[-1].name == "dedup-rate"
+        assert with_dedup[-1].direction == "lower"

@@ -1,0 +1,274 @@
+"""The timeseries layer: rate derivation, ring bounds, aggregation.
+
+These are the semantics ``pasm-top`` and the SLO evaluator stand on:
+counter resets must never produce negative rates, retention must be
+bounded on both axes (points per series *and* distinct series), and the
+fleet aggregate must sum what sums and average what doesn't.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.procstats import ProcessStats
+from repro.obs.timeseries import (
+    TimeseriesStore,
+    aggregate_timeseries,
+    increase,
+    parse_series_key,
+    rate_points,
+    series_key,
+)
+from repro.perf import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+        return self.now
+
+
+def make_store(registry=None, **kwargs):
+    clock = FakeClock()
+    store = TimeseriesStore(registry or MetricsRegistry(),
+                            clock=clock, **kwargs)
+    return store, clock
+
+
+# ---------------------------------------------------------------------------
+# Keys
+class TestSeriesKey:
+    def test_round_trips_with_sorted_labels(self):
+        key = series_key("x_total", {"b": 2, "a": "one"})
+        assert key == "x_total{a=one,b=2}"
+        assert parse_series_key(key) == ("x_total", {"a": "one", "b": "2"})
+
+    def test_bare_name_round_trips(self):
+        assert parse_series_key(series_key("up")) == ("up", {})
+
+
+# ---------------------------------------------------------------------------
+# Counter math
+class TestCounterMath:
+    def test_increase_is_last_minus_first_without_resets(self):
+        pts = [(0, 10.0), (5, 12.0), (10, 30.0)]
+        assert increase(pts) == 20.0
+
+    def test_increase_survives_counter_reset(self):
+        # 10 -> 14 (+4), restart to 3 (+3: the post-reset value IS the
+        # increase), 3 -> 8 (+5).
+        pts = [(0, 10.0), (5, 14.0), (10, 3.0), (15, 8.0)]
+        assert increase(pts) == 12.0
+
+    def test_rate_points_stamp_at_later_sample(self):
+        pts = [(0, 0.0), (10, 50.0)]
+        assert rate_points(pts) == [(10, 5.0)]
+
+    def test_rate_points_never_negative_through_reset(self):
+        pts = [(0, 100.0), (10, 5.0)]
+        (ts, rate), = rate_points(pts)
+        assert ts == 10 and rate == 0.5  # post-reset 5 over 10s
+
+    def test_zero_dt_is_skipped_not_divided(self):
+        pts = [(5, 1.0), (5, 2.0), (10, 3.0)]
+        assert all(r >= 0 for _, r in rate_points(pts))
+        assert len(rate_points(pts)) == 1
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=40))
+    def test_rates_conserve_total_increase(self, increments):
+        # A cumulative counter built from non-negative increments:
+        # sum(rate * dt) must reproduce the total increase exactly
+        # (no reset in this stream), and every rate is non-negative.
+        total, pts = 0.0, []
+        for i, inc in enumerate(increments):
+            total += inc
+            pts.append((float(i * 5), total))
+        rates = rate_points(pts)
+        recovered = sum(r * 5.0 for _, r in rates)
+        assert recovered == pytest.approx(total - increments[0])
+        assert all(r >= 0.0 for _, r in rates)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=40))
+    def test_rates_stay_nonnegative_through_any_reset(self, values):
+        # Arbitrary cumulative stream, including drops (restarts):
+        # rates and increases never go negative.
+        pts = [(float(i * 3), v) for i, v in enumerate(values)]
+        assert all(r >= 0.0 for _, r in rate_points(pts))
+        assert increase(pts) >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# The store
+class TestTimeseriesStore:
+    def test_samples_counters_gauges_and_summaries(self):
+        registry = MetricsRegistry()
+        registry.inc("jobs_total", 3, lane="a")
+        registry.set_gauge("depth", 7)
+        registry.observe("lat_seconds", 0.25)
+        store, _ = make_store(registry)
+        store.sample()
+        assert store.kind("jobs_total{lane=a}") == "counter"
+        assert store.kind("depth") == "gauge"
+        assert store.kind("lat_seconds{quantile=0.95}") == "quantile"
+        assert store.kind("lat_seconds_count") == "counter"
+        assert store.latest("depth")[1] == 7.0
+
+    def test_retention_ring_evicts_oldest_points(self):
+        registry = MetricsRegistry()
+        store, clock = make_store(registry, retention_points=5)
+        for i in range(12):
+            registry.set_gauge("g", i)
+            store.sample(clock.advance(1.0))
+        pts = store.points("g")
+        assert len(pts) == 5
+        assert [v for _, v in pts] == [7.0, 8.0, 9.0, 10.0, 11.0]
+
+    def test_max_series_evicts_oldest_created(self):
+        registry = MetricsRegistry()
+        store, clock = make_store(registry, max_series=3)
+        for i in range(6):
+            registry.set_gauge("g", 1, idx=i)
+            store.sample(clock.advance(1.0))
+        keys = set(store.keys())
+        assert len(keys) == 3
+        assert "g{idx=5}" in keys and "g{idx=0}" not in keys
+        assert store.series_evicted > 0
+
+    def test_window_increase_anchors_point_before_window(self):
+        registry = MetricsRegistry()
+        store, clock = make_store(registry)
+        registry.inc("c_total", 10)
+        store.sample(clock.advance(5.0))
+        registry.inc("c_total", 4)
+        t_in_window = clock.advance(5.0)
+        store.sample(t_in_window)
+        # Window opens between the two samples: the +4 step lands
+        # inside it and must not be swallowed by the boundary.
+        assert store.window_increase(
+            "c_total", since=t_in_window - 2.0) == 4.0
+
+    def test_window_increase_handles_reset_inside_window(self):
+        registry = MetricsRegistry()
+        store, clock = make_store(registry)
+        pts = [(clock.advance(5.0), v) for v in (50.0, 60.0, 2.0)]
+        for t, v in pts:
+            store._append("c_total", "counter", t, v)
+        assert store.window_increase("c_total", since=pts[0][0]) == 12.0
+
+    def test_to_doc_since_filters_and_derives_rates(self):
+        registry = MetricsRegistry()
+        store, clock = make_store(registry)
+        for amount in (5, 5, 5):
+            registry.inc("c_total", amount)
+            store.sample(clock.advance(10.0))
+        doc = store.to_doc()
+        entry = doc["series"]["c_total"]
+        assert len(entry["points"]) == 3
+        assert [r for _, r in entry["rate"]] == [0.5, 0.5]
+        cutoff = clock.now - 15.0
+        windowed = store.to_doc(since=cutoff)
+        assert len(windowed["series"]["c_total"]["points"]) == 2
+
+    def test_summary_with_no_observations_yields_no_series(self):
+        # A described-but-never-observed summary must not fabricate a
+        # quantile series — the "quantile of an empty window" shows up
+        # as *absence*, which the SLO layer reads as healthy no-data.
+        registry = MetricsRegistry()
+        registry.describe("lat_seconds", "summary", "latency")
+        store, _ = make_store(registry)
+        store.sample()
+        assert store.matching("lat_seconds") == []
+        assert store.points("lat_seconds{quantile=0.95}") == []
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError):
+            TimeseriesStore(MetricsRegistry(), interval_s=0)
+        with pytest.raises(ValueError):
+            TimeseriesStore(MetricsRegistry(), retention_points=1)
+        with pytest.raises(ValueError):
+            TimeseriesStore(MetricsRegistry(), max_series=0)
+
+
+# ---------------------------------------------------------------------------
+# Fleet aggregation
+class TestAggregateTimeseries:
+    @staticmethod
+    def doc(series, interval=5.0):
+        return {"interval_s": interval, "series": series}
+
+    def test_counters_and_gauges_sum_across_instances(self):
+        a = self.doc({"jobs_total": {"kind": "counter",
+                                     "points": [[10.0, 4.0]],
+                                     "rate": [[10.0, 0.4]]},
+                      "depth": {"kind": "gauge", "points": [[10.0, 3.0]]}})
+        b = self.doc({"jobs_total": {"kind": "counter",
+                                     "points": [[11.0, 6.0]],
+                                     "rate": [[11.0, 0.6]]},
+                      "depth": {"kind": "gauge", "points": [[11.0, 5.0]]}})
+        merged = aggregate_timeseries([a, b])
+        assert merged["instances"] == 2
+        # 10.0 and 11.0 land in the same 5s bucket.
+        assert merged["series"]["jobs_total"]["points"] == [[10.0, 10.0]]
+        assert merged["series"]["jobs_total"]["rate"] == [[10.0, 1.0]]
+        assert merged["series"]["depth"]["points"] == [[10.0, 8.0]]
+
+    def test_ratio_gauges_average_and_quantiles_take_max(self):
+        a = self.doc({"hit_ratio": {"kind": "gauge",
+                                    "points": [[10.0, 0.2]]},
+                      "lat{quantile=0.95}": {"kind": "quantile",
+                                             "points": [[10.0, 1.5]]}})
+        b = self.doc({"hit_ratio": {"kind": "gauge",
+                                    "points": [[10.0, 0.8]]},
+                      "lat{quantile=0.95}": {"kind": "quantile",
+                                             "points": [[10.0, 0.5]]}})
+        merged = aggregate_timeseries([a, b])
+        assert merged["series"]["hit_ratio"]["points"] == [[10.0, 0.5]]
+        assert merged["series"]["lat{quantile=0.95}"]["points"] \
+            == [[10.0, 1.5]]
+
+    def test_empty_and_malformed_docs_are_skipped(self):
+        merged = aggregate_timeseries([{}, {"error": "http 404"}, None])
+        assert merged["instances"] == 0
+        assert merged["series"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Process self-metrics
+class TestProcessStats:
+    def test_collect_populates_the_process_family(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        stats = ProcessStats(registry, clock=clock)
+        clock.advance(3.0)
+        stats.collect()
+        assert registry.value("pasm_process_resident_memory_bytes") > 0
+        assert registry.value("pasm_process_uptime_seconds") \
+            == pytest.approx(3.0)
+        assert registry.total("pasm_process_cpu_seconds_total") > 0
+
+    def test_cpu_counter_is_monotone_across_collections(self):
+        registry = MetricsRegistry()
+        stats = ProcessStats(registry)
+        stats.collect()
+        first = registry.total("pasm_process_cpu_seconds_total")
+        sum(i * i for i in range(50_000))  # burn a little CPU
+        stats.collect()
+        assert registry.total("pasm_process_cpu_seconds_total") >= first
+
+    def test_open_fds_reported_where_proc_exists(self):
+        import os
+
+        registry = MetricsRegistry()
+        ProcessStats(registry).collect()
+        if os.path.isdir("/proc/self/fd"):
+            assert registry.value("pasm_process_open_fds") > 0

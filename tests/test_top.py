@@ -1,0 +1,128 @@
+"""``pasm-top`` rendering: pure functions over canned documents.
+
+No sockets here — the dashboard's fetch loop is exercised end-to-end
+in ``test_fleet_health.py``; these tests pin the rendering itself.
+"""
+
+from repro.tools.top import metric_points, render_frame, sparkline
+
+
+class TestSparkline:
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_zero_renders_low(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_flat_nonzero_renders_mid(self):
+        line = sparkline([5, 5, 5])
+        assert len(line) == 3 and line[0] not in ("▁", "█")
+
+    def test_monotone_rise_ends_high(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_clamps_to_most_recent(self):
+        line = sparkline(list(range(100)), width=8)
+        assert len(line) == 8
+
+
+def instance_doc():
+    return {
+        "interval_s": 5.0,
+        "instance": "alpha",
+        "series": {
+            "pasm_serve_requests_total{status=200}": {
+                "kind": "counter",
+                "points": [[10.0, 50.0], [15.0, 100.0]],
+                "rate": [[15.0, 10.0]],
+            },
+            "pasm_serve_requests_total{status=429}": {
+                "kind": "counter",
+                "points": [[10.0, 0.0], [15.0, 10.0]],
+                "rate": [[15.0, 2.0]],
+            },
+            "pasm_serve_queue_depth": {
+                "kind": "gauge",
+                "points": [[10.0, 3.0], [15.0, 7.0]],
+            },
+            "pasm_serve_job_latency_seconds{quantile=0.95}": {
+                "kind": "quantile",
+                "points": [[15.0, 0.25]],
+            },
+            "pasm_process_resident_memory_bytes": {
+                "kind": "gauge",
+                "points": [[15.0, 96.0 * 1024 * 1024]],
+            },
+        },
+    }
+
+
+class TestMetricPoints:
+    def test_sums_rates_across_label_series(self):
+        pts = metric_points(instance_doc(), "pasm_serve_requests_total",
+                            field="rate")
+        assert pts == [[15.0, 12.0]]
+
+    def test_label_predicate_filters(self):
+        pts = metric_points(
+            instance_doc(), "pasm_serve_requests_total", field="rate",
+            where={"status": lambda s: s == "429" or s.startswith("5")},
+        )
+        assert pts == [[15.0, 2.0]]
+
+    def test_max_combiner_for_quantiles(self):
+        pts = metric_points(instance_doc(),
+                            "pasm_serve_job_latency_seconds", how="max",
+                            where={"quantile": "0.95"})
+        assert pts == [[15.0, 0.25]]
+
+    def test_unknown_metric_is_empty(self):
+        assert metric_points(instance_doc(), "nope_total") == []
+
+
+class TestRenderFrame:
+    def test_instance_frame_shows_panel_rows(self):
+        frame = render_frame(instance_doc(), None, source="http://a:1",
+                             clock=lambda: 0.0)
+        assert "pasm-top" in frame and "alpha" in frame
+        assert "req/s" in frame and "12.0" in frame
+        assert "queue" in frame and "p95 lat" in frame
+        # RSS is exported in bytes but displayed in MB.
+        assert "rss MB" in frame and "96" in frame
+        assert "100663296" not in frame
+
+    def test_firing_alert_is_bannered(self):
+        alerts = {"alerts": [
+            {"slo": "error-ratio", "state": "firing", "measured": 0.4,
+             "target": 0.05, "burn": {"fast": 8.0, "slow": 8.0}},
+            {"slo": "latency-p95", "state": "ok"},
+        ]}
+        frame = render_frame(instance_doc(), alerts, clock=lambda: 0.0)
+        assert "ALERTS FIRING: 1" in frame
+        assert "error-ratio" in frame and "latency-p95" not in frame
+
+    def test_no_alerts_line_when_quiet(self):
+        frame = render_frame(instance_doc(), {"alerts": []},
+                             clock=lambda: 0.0)
+        assert "alerts: none firing" in frame
+
+    def test_router_frame_shows_fleet_and_instances(self):
+        router_doc = {
+            "fleet": dict(instance_doc(), instances=2),
+            "instances": {
+                "http://a:1": instance_doc(),
+                "http://b:2": {"error": "http 404"},
+            },
+        }
+        alerts = {"firing": [
+            {"slo": "queue-depth", "instance": "http://a:1",
+             "measured": 60.0, "target": 48.0, "burn": {}},
+        ]}
+        frame = render_frame(router_doc, alerts, source="http://r:3",
+                             clock=lambda: 0.0)
+        assert "fleet of 2" in frame
+        assert "instances:" in frame
+        assert "http://a:1" in frame and "http://b:2" in frame
+        assert "http 404" in frame
+        assert "queue-depth @ http://a:1" in frame
